@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md).  Benchmarks run on the ``small``
+dataset profile so a full ``pytest benchmarks/ --benchmark-only`` pass
+finishes in CI-friendly time; pass ``--bench-profile=default`` for the
+paper-scale runs used to produce EXPERIMENTS.md.
+
+Each benchmark also writes the regenerated paper-style rows to
+``benchmarks/results/<name>.txt`` so the series can be inspected after
+the run (pytest-benchmark's own table only shows timings).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, format_result
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-profile",
+        action="store",
+        default="small",
+        choices=("small", "default"),
+        help="dataset scale for the benchmark suite",
+    )
+
+
+@pytest.fixture(scope="session")
+def profile(request) -> str:
+    """The dataset profile all benchmarks run at."""
+    return request.config.getoption("--bench-profile")
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Write an ExperimentResult's rows under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(result: ExperimentResult, name: str) -> ExperimentResult:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(format_result(result) + "\n")
+        return result
+
+    return _save

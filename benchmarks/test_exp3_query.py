@@ -1,0 +1,60 @@
+"""Benchmarks regenerating Figures 2l-2n (Exp-3: query time CH vs H2H)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp3
+from repro.experiments.datasets import build_ch, build_h2h, build_network
+from repro.ch.query import ch_distance
+from repro.h2h.query import h2h_distance
+from repro.workloads.queries import query_groups
+
+
+def test_exp3_figures_2l_2n(benchmark, profile, save_result):
+    networks = ("WUS", "CUS", "US")
+    result = benchmark.pedantic(
+        lambda: exp3.run(networks=networks, queries_per_group=60,
+                         profile=profile),
+        rounds=1, iterations=1,
+    )
+    save_result(result, "exp3_fig2l-2n")
+
+    for name in networks:
+        ch_times = result.series_by_name(f"{name}/CH").y
+        h2h_times = result.series_by_name(f"{name}/H2H").y
+        # Shape (1): CH grows with the distance group; compare the
+        # averages of the near half and the far half.
+        half = len(ch_times) // 2
+        assert sum(ch_times[half:]) > sum(ch_times[:half])
+        # Shape (2): H2H is at least an order of magnitude faster than CH
+        # on the distant groups.
+        assert h2h_times[-1] * 10 < ch_times[-1]
+        # No mismatches were recorded by the sanity check.
+        assert not any("MISMATCH" in note for note in result.notes)
+
+
+def test_bench_ch_distant_query(benchmark, profile):
+    graph = build_network("US", profile)
+    index = build_ch("US", profile)
+    groups = query_groups(graph, queries_per_group=20, seed=42)
+    far_group = max(i for i, pairs in groups.items() if pairs)
+    pairs = groups[far_group]
+
+    def run():
+        for s, t in pairs:
+            ch_distance(index, s, t)
+
+    benchmark(run)
+
+
+def test_bench_h2h_distant_query(benchmark, profile):
+    graph = build_network("US", profile)
+    index = build_h2h("US", profile)
+    groups = query_groups(graph, queries_per_group=20, seed=42)
+    far_group = max(i for i, pairs in groups.items() if pairs)
+    pairs = groups[far_group]
+
+    def run():
+        for s, t in pairs:
+            h2h_distance(index, s, t)
+
+    benchmark(run)

@@ -1,0 +1,40 @@
+"""Benchmarks regenerating Figures 2j-2k and 2o-2q (Exp-4: update time).
+
+One-by-one updates across eight weight-factor groups for DCH, UE,
+IncH2H and DTDHL.  The shape assertions encode the paper's findings:
+DCH orders of magnitude faster than IncH2H, DTDHL slower than IncH2H,
+UE slower than DCH.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import exp4
+
+
+def test_exp4_figures(benchmark, profile, save_result):
+    networks = ("WUS", "CUS", "US")
+    result = benchmark.pedantic(
+        lambda: exp4.run(networks=networks, updates_per_group=10,
+                         profile=profile),
+        rounds=1, iterations=1,
+    )
+    save_result(result, "exp4_fig2j-2k_2o-2q")
+
+    for name in networks:
+        dch_up = sum(result.series_by_name(f"{name}/DCH+").y)
+        dch_down = sum(result.series_by_name(f"{name}/DCH-").y)
+        inch2h_up = sum(result.series_by_name(f"{name}/IncH2H+").y)
+        inch2h_down = sum(result.series_by_name(f"{name}/IncH2H-").y)
+        dtdhl_up = sum(result.series_by_name(f"{name}/DTDHL+").y)
+        ue_up = sum(result.series_by_name(f"{name}/UE+").y)
+
+        # Fig 2o-2q: DCH is far faster per update than IncH2H (they
+        # maintain different oracles; Section 6.2).
+        assert dch_up * 5 < inch2h_up
+        # DTDHL+ is markedly slower than IncH2H+.
+        assert dtdhl_up > inch2h_up
+        # Fig 2j-2k: UE does at least as much work as DCH.
+        assert ue_up >= dch_up * 0.8
+        # Decrease variants are never dramatically slower than increase.
+        assert dch_down <= dch_up * 2
+        assert inch2h_down <= inch2h_up * 2

@@ -1,0 +1,35 @@
+"""Benchmarks regenerating Figures 2r-2s (Exp-6: ParIncH2H speedup)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp6
+
+
+def test_exp6_figures_2r_2s(benchmark, profile, save_result):
+    result = benchmark.pedantic(
+        lambda: exp6.run(network="US", profile=profile),
+        rounds=1, iterations=1,
+    )
+    save_result(result, "exp6_fig2r-2s")
+
+    small_series = [s for s in result.series if "/2r/" in s.name]
+    large_series = [s for s in result.series if "/2s/" in s.name]
+    assert small_series and large_series
+
+    for series in result.series:
+        speedups = series.y
+        # Speedup is 1.0 on one core and non-decreasing in cores.
+        assert speedups[0] == 1.0
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+        # Never super-linear under the makespan model.
+        assert all(s <= c + 1e-9 for s, c in zip(speedups, series.x))
+
+    # Larger batches parallelize better (the paper's observation):
+    # compare the biggest Exp-2-style batch against the smallest
+    # Exp-1-style batch at the highest core count.
+    def batch_size(series):
+        return int(series.name.rsplit("=", 1)[1])
+
+    smallest = min(small_series, key=batch_size)
+    largest = max(large_series, key=batch_size)
+    assert largest.y[-1] >= smallest.y[-1]

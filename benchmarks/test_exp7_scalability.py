@@ -1,0 +1,41 @@
+"""Benchmarks regenerating Figure 2t and Table 3 (Exp-7: scalability)."""
+
+from __future__ import annotations
+
+from repro.experiments import exp7, tables
+
+
+def test_exp7_figure_2t_and_table3(benchmark, profile, save_result):
+    result = benchmark.pedantic(
+        lambda: exp7.run(network="US", profile=profile),
+        rounds=1, iterations=1,
+    )
+    save_result(result, "exp7_fig2t_table3")
+
+    sizes = result.series_by_name("US/IncH2H+").x
+    times = result.series_by_name("US/IncH2H+").y
+    proportions = result.series_by_name("US/proportion").y
+
+    # Table 3 shape: the affected proportion grows and saturates.
+    assert proportions == sorted(proportions)
+    assert proportions[-1] > 0.3
+
+    # Fig 2t shape: sub-linear growth — time grows far slower than |dG|.
+    size_ratio = sizes[-1] / sizes[0]
+    time_ratio = times[-1] / times[0]
+    assert time_ratio < size_ratio
+
+    # Saturation: the growth of the proportion slows at the top end.
+    early_gain = proportions[1] - proportions[0]
+    late_gain = proportions[-1] - proportions[-2]
+    late_step = sizes[-1] - sizes[-2]
+    early_step = sizes[1] - sizes[0]
+    assert late_gain / late_step <= early_gain / early_step * 2
+
+
+def test_table3_standalone(save_result, profile):
+    result = tables.table3(network="US", sizes=(2, 8, 32), profile=profile)
+    save_result(result, "table3")
+    headers, rows = result.tables["Table 3"]
+    assert headers == ["|dG|", "proportion updated"]
+    assert len(rows) == 3

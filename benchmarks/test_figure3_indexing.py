@@ -1,0 +1,49 @@
+"""Benchmarks regenerating Figures 3a-3b (Exp-5: indexing time and space)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure3
+from repro.experiments.datasets import build_network
+from repro.ch.indexing import ch_indexing
+from repro.h2h.indexing import h2h_indexing
+
+
+def test_figure3(benchmark, profile, save_result):
+    result = benchmark.pedantic(
+        lambda: figure3.run(profile=profile), rounds=1, iterations=1
+    )
+    save_result(result, "figure3")
+
+    ch_time = result.series_by_name("CH indexing").y
+    h2h_time = result.series_by_name("H2H indexing").y
+    ch_space = result.series_by_name("CH space").y
+    h2h_space = result.series_by_name("H2H space").y
+    h2h_static = result.series_by_name("H2H space (static)").y
+
+    # Fig 3a shape: H2H construction slower than CH.  Individual build
+    # timings jitter (GC, CPU contention), so the shape is asserted on
+    # the median ratio across networks rather than per network.
+    import statistics
+
+    ratios = sorted(h / c for c, h in zip(ch_time, h2h_time))
+    median_ratio = statistics.median(ratios)
+    # The paper reports 2-5x; allow 1.2-12x for the Python port.
+    assert 1.2 < median_ratio < 12.0
+    # The majority of networks must individually show the ordering.
+    assert sum(1 for r in ratios if r > 1.0) >= len(ratios) * 2 // 3
+    # Fig 3b shape: H2H space far above CH space, growing with network.
+    assert all(h > 3 * c for c, h in zip(ch_space, h2h_space))
+    assert h2h_space[-1] > h2h_space[0]
+    # Incremental H2H ~2x static H2H (Section 6.2's memory note).
+    for static, full in zip(h2h_static, h2h_space):
+        assert 1.2 < full / static < 3.0
+
+
+def test_bench_ch_indexing_us(benchmark, profile):
+    graph = build_network("US", profile)
+    benchmark.pedantic(lambda: ch_indexing(graph), rounds=1, iterations=1)
+
+
+def test_bench_h2h_indexing_us(benchmark, profile):
+    graph = build_network("US", profile)
+    benchmark.pedantic(lambda: h2h_indexing(graph), rounds=1, iterations=1)

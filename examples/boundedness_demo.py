@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Relative subboundedness, demonstrated empirically.
+
+The paper's central claim (Theorems 4.1 and 5.1): DCH and IncH2H run in
+``O(||AFF|| log ||AFF||)`` time, where ``||AFF||`` is the time the
+from-scratch construction algorithm spends on the *affected* part of
+the index.  This script measures, over growing update batches:
+
+* the operation count of each maintenance algorithm,
+* ``||AFF||`` and ``|DIFF|`` from the change lists,
+* the ratio ``ops / (||AFF|| log ||AFF||)`` — which stays flat for the
+  relatively subbounded algorithms and drifts upward for UE, the
+  baseline that is *not* relatively subbounded (Section 4.3).
+
+Run:  python examples/boundedness_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import road_network
+from repro.ch.dch import dch_decrease, dch_increase
+from repro.ch.indexing import ch_indexing
+from repro.ch.ue import ue_update
+from repro.core.bounds import BoundednessReport
+from repro.core.changed import ch_change_metrics, h2h_change_metrics
+from repro.h2h.inch2h import inch2h_decrease, inch2h_increase
+from repro.h2h.indexing import h2h_indexing
+from repro.utils.counters import OpCounter
+from repro.workloads.updates import increase_batch, restore_batch, sample_edges
+
+BATCH_SIZES = (2, 5, 10, 20, 40, 80)
+
+
+def header(title: str) -> None:
+    print(f"\n=== {title} ===")
+    print(f"{'|dG|':>6}{'ops':>12}{'||AFF||':>12}{'|DIFF|':>12}"
+          f"{'ops/AFFlog':>12}{'ops/DIFFlog':>12}")
+
+
+def show(report: BoundednessReport, size: int) -> None:
+    print(f"{size:>6}{report.measured_ops:>12}{report.aff_norm:>12}"
+          f"{report.diff:>12}{report.ratio_vs_aff:>12.3f}"
+          f"{report.ratio_vs_diff:>12.3f}")
+
+
+def main() -> None:
+    network = road_network(800, seed=3)
+    print(f"network: {network.n} vertices, {network.m} edges")
+
+    # ------------------------------------------------------------------
+    # DCH+ : subbounded relative to CHIndexing.
+    # ------------------------------------------------------------------
+    header("DCH+ (weight increase) — subbounded relative to CHIndexing")
+    for size in BATCH_SIZES:
+        sc = ch_indexing(network)
+        edges = sample_edges(network, size, seed=size)
+        ops = OpCounter()
+        changed = dch_increase(sc, increase_batch(edges, 2.0), ops)
+        metrics = ch_change_metrics(sc, size, changed)
+        show(BoundednessReport("DCH+", ops.total(), metrics.aff_norm,
+                               metrics.diff), size)
+
+    # ------------------------------------------------------------------
+    # DCH- : additionally bounded relative to CHIndexing.
+    # ------------------------------------------------------------------
+    header("DCH- (weight decrease) — bounded relative to CHIndexing")
+    for size in BATCH_SIZES:
+        sc = ch_indexing(network)
+        edges = sample_edges(network, size, seed=size)
+        dch_increase(sc, increase_batch(edges, 2.0))
+        ops = OpCounter()
+        changed = dch_decrease(sc, restore_batch(edges), ops)
+        metrics = ch_change_metrics(sc, size, changed)
+        show(BoundednessReport("DCH-", ops.total(), metrics.aff_norm,
+                               metrics.diff), size)
+
+    # ------------------------------------------------------------------
+    # UE: NOT relatively subbounded — watch the ratio drift upward.
+    # ------------------------------------------------------------------
+    header("UE (baseline) — not relatively subbounded (Section 4.3)")
+    for size in BATCH_SIZES:
+        sc = ch_indexing(network)
+        edges = sample_edges(network, size, seed=size)
+        ops = OpCounter()
+        changed = ue_update(sc, increase_batch(edges, 2.0), ops)
+        metrics = ch_change_metrics(sc, size, changed)
+        show(BoundednessReport("UE", ops.total(), metrics.aff_norm,
+                               metrics.diff), size)
+
+    # ------------------------------------------------------------------
+    # IncH2H+ / IncH2H- : Theorem 5.1.
+    # ------------------------------------------------------------------
+    header("IncH2H+ — subbounded relative to H2HIndexing")
+    for size in BATCH_SIZES:
+        index = h2h_indexing(network)
+        edges = sample_edges(network, size, seed=size)
+        ops = OpCounter()
+        changed_ssc = inch2h_increase(index, increase_batch(edges, 2.0), ops)
+        # Recover the embedded CH change list for the metrics.
+        inch2h_decrease(index, restore_batch(edges))
+        changed_sc = dch_increase(index.sc, increase_batch(edges, 2.0))
+        dch_decrease(index.sc, restore_batch(edges))
+        metrics = h2h_change_metrics(index, size, changed_sc, changed_ssc)
+        show(BoundednessReport("IncH2H+", ops.total(), metrics.aff_norm,
+                               metrics.diff), size)
+
+    print("\nreading the table: for the relatively subbounded algorithms "
+          "the last two columns stay flat and small as |dG| grows 40x; "
+          "UE pays an order of magnitude more per unit of ||AFF|| because "
+          "it recomputes partners it never needed to touch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare the oracles' trade-offs on one network.
+
+Reproduces, in miniature, the trade-off table implicit in the paper's
+Section 6: construction time, index size, query time, and update time
+for Dijkstra (no index), CH, and H2H — including the UE and DTDHL
+baselines for the update column.
+
+Run:  python examples/oracle_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import DijkstraOracle, DynamicCH, DynamicH2H, road_network
+from repro.ch.indexing import ch_indexing
+from repro.ch.ue import ue_update
+from repro.h2h.dtdhl import dtdhl_decrease, dtdhl_increase
+from repro.h2h.indexing import h2h_indexing
+from repro.workloads.queries import query_groups
+from repro.workloads.updates import increase_batch, restore_batch, sample_edges
+
+
+def bench(fn, repeat=1):
+    start = time.perf_counter()
+    for _ in range(repeat):
+        fn()
+    return (time.perf_counter() - start) / repeat
+
+
+def main() -> None:
+    network = road_network(900, seed=11)
+    print(f"network: {network.n} vertices, {network.m} edges\n")
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    t0 = time.perf_counter()
+    ch = DynamicCH(network.copy())
+    t_ch = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    h2h = DynamicH2H(network.copy())
+    t_h2h = time.perf_counter() - t0
+    dijkstra = DijkstraOracle(network.copy())
+
+    print(f"{'oracle':<10}{'build (s)':>12}{'index size':>16}")
+    print("-" * 38)
+    print(f"{'Dijkstra':<10}{0.0:>12.3f}{'none':>16}")
+    print(f"{'CH':<10}{t_ch:>12.3f}"
+          f"{ch.index.size_in_bytes() / 1024:>13.0f} KB")
+    print(f"{'H2H':<10}{t_h2h:>12.3f}"
+          f"{h2h.index.size_in_bytes() / 1024:>13.0f} KB")
+
+    # ------------------------------------------------------------------
+    # Queries (distant pairs, the hard case for searches).
+    # ------------------------------------------------------------------
+    groups = query_groups(network, queries_per_group=30, seed=5)
+    far = max(i for i, pairs in groups.items() if pairs)
+    pairs = groups[far]
+
+    def run_queries(oracle):
+        return lambda: [oracle.distance(s, t) for s, t in pairs]
+
+    q_dij = bench(run_queries(dijkstra)) / len(pairs)
+    q_ch = bench(run_queries(ch), repeat=3) / len(pairs)
+    q_h2h = bench(run_queries(h2h), repeat=3) / len(pairs)
+    print(f"\n{'oracle':<10}{'query (us, distant pairs)':>28}")
+    print("-" * 38)
+    print(f"{'Dijkstra':<10}{q_dij * 1e6:>28.1f}")
+    print(f"{'CH':<10}{q_ch * 1e6:>28.1f}")
+    print(f"{'H2H':<10}{q_h2h * 1e6:>28.1f}")
+
+    # ------------------------------------------------------------------
+    # Updates: 20 congested roads, then recovery.
+    # ------------------------------------------------------------------
+    edges = sample_edges(network, 20, seed=9)
+    ups, downs = increase_batch(edges, 2.0), restore_batch(edges)
+
+    t_ch_up = bench(lambda: ch.apply(ups))
+    t_ch_down = bench(lambda: ch.apply(downs))
+    t_h2h_up = bench(lambda: h2h.apply(ups))
+    t_h2h_down = bench(lambda: h2h.apply(downs))
+
+    sc_ue = ch_indexing(network)
+    t_ue_up = bench(lambda: ue_update(sc_ue, ups))
+    t_ue_down = bench(lambda: ue_update(sc_ue, downs))
+
+    h2h_baseline = h2h_indexing(network)
+    t_dtdhl_up = bench(lambda: dtdhl_increase(h2h_baseline, ups))
+    t_dtdhl_down = bench(lambda: dtdhl_decrease(h2h_baseline, downs))
+
+    print(f"\n{'algorithm':<12}{'increase (ms)':>16}{'decrease (ms)':>16}")
+    print("-" * 44)
+    print(f"{'DCH':<12}{t_ch_up * 1e3:>16.2f}{t_ch_down * 1e3:>16.2f}")
+    print(f"{'UE':<12}{t_ue_up * 1e3:>16.2f}{t_ue_down * 1e3:>16.2f}")
+    print(f"{'IncH2H':<12}{t_h2h_up * 1e3:>16.2f}{t_h2h_down * 1e3:>16.2f}")
+    print(f"{'DTDHL':<12}{t_dtdhl_up * 1e3:>16.2f}{t_dtdhl_down * 1e3:>16.2f}")
+
+    print("\ntakeaways (matching the paper's Section 6):")
+    print("  * H2H queries are the fastest; Dijkstra's are the slowest.")
+    print("  * CH updates are orders of magnitude cheaper than H2H updates.")
+    print("  * UE and DTDHL trail their optimized counterparts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: build a dynamic distance oracle, query it, update it.
+
+Demonstrates the library's two main entry points — DynamicCH (fast to
+update) and DynamicH2H (fast to query) — on a small synthetic road
+network, with Dijkstra as the ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DijkstraOracle, DynamicCH, DynamicH2H, road_network
+
+
+def main() -> None:
+    # A ~400-intersection synthetic city (perturbed grid + highways).
+    city = road_network(400, seed=2024)
+    print(f"network: {city.n} intersections, {city.m} road segments")
+
+    # Three oracles over identical copies of the network.
+    dijkstra = DijkstraOracle(city.copy())
+    ch = DynamicCH(city.copy())
+    h2h = DynamicH2H(city.copy())
+    print(f"CH index:  {ch.index.num_shortcuts} shortcuts")
+    print(f"H2H index: {h2h.index.num_super_shortcuts()} super-shortcuts, "
+          f"tree height {h2h.index.height}")
+
+    # ------------------------------------------------------------------
+    # Query: all three oracles agree.
+    # ------------------------------------------------------------------
+    s, t = 0, city.n - 1
+    d = h2h.distance(s, t)
+    assert d == ch.distance(s, t) == dijkstra.distance(s, t)
+    print(f"\nsd({s}, {t}) = {d}")
+
+    # CH can also return the actual path (shortcuts unpacked).
+    path = ch.path(s, t)
+    print(f"shortest path has {len(path)} vertices: "
+          f"{path[:5]} ... {path[-3:]}")
+
+    # ------------------------------------------------------------------
+    # Update: congestion doubles a road's transit time.
+    # ------------------------------------------------------------------
+    u, v, w = next(iter(city.edges()))
+    print(f"\ncongestion on road ({u}, {v}): weight {w} -> {w * 2}")
+    report_ch = ch.apply([((u, v), w * 2)])
+    report_h2h = h2h.apply([((u, v), w * 2)])
+    dijkstra.apply([((u, v), w * 2)])
+    print(f"  CH:  {len(report_ch.changed_shortcuts)} shortcut weights changed")
+    print(f"  H2H: {len(report_h2h.changed_super_shortcuts)} super-shortcut "
+          "values changed")
+
+    d_after = h2h.distance(s, t)
+    assert d_after == ch.distance(s, t) == dijkstra.distance(s, t)
+    print(f"sd({s}, {t}) after congestion = {d_after}")
+
+    # ------------------------------------------------------------------
+    # Recovery: the road clears again.
+    # ------------------------------------------------------------------
+    for oracle in (ch, h2h, dijkstra):
+        oracle.apply([((u, v), w)])
+    assert h2h.distance(s, t) == d
+    print("weights restored; distances back to the original values")
+
+
+if __name__ == "__main__":
+    main()

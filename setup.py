@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables editable installs where the modern PEP 660
+path is unavailable (offline environments without the ``wheel`` package).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,10 @@
+"""Ground-truth shortest-path algorithms (no preprocessing)."""
+
+from repro.baselines.dijkstra import (
+    bidirectional_distance,
+    dijkstra,
+    distance,
+    shortest_path,
+)
+
+__all__ = ["bidirectional_distance", "dijkstra", "distance", "shortest_path"]

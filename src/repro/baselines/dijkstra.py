@@ -1,0 +1,153 @@
+"""Dijkstra's algorithm: the correctness reference for every oracle.
+
+Every index in this library (CH, H2H, and their dynamic variants) is
+tested against these uncached searches.  They are deliberately simple —
+binary heap, no goal-directed tricks — because their role is to be
+*obviously correct*, not fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, List, Optional
+
+from repro.errors import QueryError
+from repro.graph.graph import RoadNetwork
+
+__all__ = ["dijkstra", "distance", "bidirectional_distance", "shortest_path"]
+
+
+def dijkstra(
+    graph: RoadNetwork,
+    source: int,
+    targets: Optional[Iterable[int]] = None,
+) -> List[float]:
+    """Single-source shortest distances from *source*.
+
+    Parameters
+    ----------
+    graph:
+        The road network.
+    source:
+        Start vertex.
+    targets:
+        If given, the search stops once every target is settled; distances
+        of unsettled vertices are then upper bounds or ``inf``.
+
+    Returns
+    -------
+    list of float
+        ``dist[v]`` for every vertex ``v`` (``inf`` if unreachable).
+    """
+    if not 0 <= source < graph.n:
+        raise QueryError(f"source {source} out of range [0, {graph.n})")
+    remaining = set(targets) if targets is not None else None
+    dist = [math.inf] * graph.n
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, w in graph.neighbor_items(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def distance(graph: RoadNetwork, s: int, t: int) -> float:
+    """The shortest distance between *s* and *t* (``inf`` if unreachable)."""
+    if s == t:
+        if not 0 <= s < graph.n:
+            raise QueryError(f"vertex {s} out of range [0, {graph.n})")
+        return 0.0
+    return dijkstra(graph, s, targets=[t])[t]
+
+
+def bidirectional_distance(graph: RoadNetwork, s: int, t: int) -> float:
+    """Shortest distance via bidirectional Dijkstra.
+
+    Alternates the forward search from *s* and the backward search from
+    *t*; terminates when the smaller queue head can no longer improve the
+    best meeting distance.
+    """
+    if not 0 <= s < graph.n:
+        raise QueryError(f"source {s} out of range [0, {graph.n})")
+    if not 0 <= t < graph.n:
+        raise QueryError(f"target {t} out of range [0, {graph.n})")
+    if s == t:
+        return 0.0
+    dist_f = {s: 0.0}
+    dist_b = {t: 0.0}
+    heap_f = [(0.0, s)]
+    heap_b = [(0.0, t)]
+    settled_f: set = set()
+    settled_b: set = set()
+    best = math.inf
+
+    def expand(heap, dist_this, dist_other, settled) -> None:
+        nonlocal best
+        d, u = heapq.heappop(heap)
+        if d > dist_this.get(u, math.inf):
+            return
+        settled.add(u)
+        for v, w in graph.neighbor_items(u):
+            nd = d + w
+            if nd < dist_this.get(v, math.inf):
+                dist_this[v] = nd
+                heapq.heappush(heap, (nd, v))
+                other = dist_other.get(v)
+                if other is not None and nd + other < best:
+                    best = nd + other
+
+    while heap_f and heap_b:
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        if heap_f[0][0] <= heap_b[0][0]:
+            expand(heap_f, dist_f, dist_b, settled_f)
+        else:
+            expand(heap_b, dist_b, dist_f, settled_b)
+    return best
+
+
+def shortest_path(graph: RoadNetwork, s: int, t: int) -> Optional[List[int]]:
+    """An actual shortest path from *s* to *t* as a vertex list.
+
+    Returns ``None`` when *t* is unreachable from *s*.
+    """
+    if not 0 <= s < graph.n:
+        raise QueryError(f"source {s} out of range [0, {graph.n})")
+    if not 0 <= t < graph.n:
+        raise QueryError(f"target {t} out of range [0, {graph.n})")
+    if s == t:
+        return [s]
+    dist = [math.inf] * graph.n
+    parent = [-1] * graph.n
+    dist[s] = 0.0
+    heap = [(0.0, s)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        if u == t:
+            break
+        for v, w in graph.neighbor_items(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    if math.isinf(dist[t]):
+        return None
+    path = [t]
+    while path[-1] != s:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path

@@ -1,0 +1,21 @@
+"""Contraction hierarchy (CH): index, queries, incremental maintenance."""
+
+from repro.ch.dch import dch_decrease, dch_increase
+from repro.ch.edge_updates import delete_edge, insert_edge
+from repro.ch.indexing import ch_indexing
+from repro.ch.query import ch_distance, ch_path
+from repro.ch.shortcut_graph import Shortcut, ShortcutGraph
+from repro.ch.ue import ue_update
+
+__all__ = [
+    "Shortcut",
+    "ShortcutGraph",
+    "ch_distance",
+    "ch_indexing",
+    "ch_path",
+    "dch_decrease",
+    "dch_increase",
+    "delete_edge",
+    "insert_edge",
+    "ue_update",
+]

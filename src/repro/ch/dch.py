@@ -1,0 +1,229 @@
+"""DCH — the state-of-the-art incremental CH maintenance [39].
+
+``dch_increase`` is Algorithm 2 (DCH+) and ``dch_decrease`` is
+Algorithm 3 (DCH-) of the paper.  Section 4.2 proves:
+
+* DCH+ is *subbounded relative to* CHIndexing: it runs in
+  ``O(||AFF|| log ||AFF||)`` time, where ``||AFF||`` is the time
+  CHIndexing spends on the affected shortcuts;
+* DCH- is additionally *bounded relative to* CHIndexing: it runs in
+  ``O(|DIFF| log |DIFF|)`` time.
+
+Both functions return the set of shortcuts whose weight changed (the
+paper's set ``C``), which IncH2H consumes directly (Algorithms 4-5).
+
+Support maintenance under decreases
+-----------------------------------
+Algorithm 3 does not spell out how ``sup`` is kept exact; the paper notes
+it "can be done on-the-fly".  Doing it literally on the fly is delicate
+because the same shortcut pair can be re-evaluated from both of its
+members, so this implementation instead recomputes ``sup``/``via`` from
+Equation (<>) for every shortcut *touched* by the decrease pass (weight
+changed, or inspected as an upward-pair partner).  The extra work is
+tallied in the separate ``"support_fixup"`` counter channel so the
+relative-boundedness measurements of the core algorithm stay faithful to
+Algorithm 3 as printed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.errors import UpdateError
+from repro.ch.shortcut_graph import Shortcut, ShortcutGraph
+from repro.graph.graph import WeightUpdate
+from repro.utils.counters import OpCounter, resolve_counter
+from repro.utils.heap import AddressableHeap
+
+__all__ = ["dch_increase", "dch_decrease", "ChangedShortcut"]
+
+#: A changed shortcut with its weight before and after the update.
+ChangedShortcut = Tuple[Shortcut, float, float]
+
+
+def _validate_batch(
+    index: ShortcutGraph, updates: Sequence[WeightUpdate], direction: str
+) -> None:
+    """Check the batch is well-formed and monotone in *direction*."""
+    seen: Set[Shortcut] = set()
+    for (u, v), w in updates:
+        key = index.key(u, v)
+        if not index.is_graph_edge(u, v):
+            raise UpdateError(f"({u}, {v}) is not an edge of G")
+        if key in seen:
+            raise UpdateError(f"edge ({u}, {v}) appears twice in one batch")
+        seen.add(key)
+        if w < 0 or math.isnan(w):
+            raise UpdateError(f"invalid weight {w} for edge ({u}, {v})")
+        old = index.edge_weight(u, v)
+        if direction == "increase" and w < old:
+            raise UpdateError(
+                f"dch_increase got a decrease on ({u}, {v}): {old} -> {w}"
+            )
+        if direction == "decrease" and w > old:
+            raise UpdateError(
+                f"dch_decrease got an increase on ({u}, {v}): {old} -> {w}"
+            )
+
+
+def dch_increase(
+    index: ShortcutGraph,
+    updates: Sequence[WeightUpdate],
+    counter: Optional[OpCounter] = None,
+) -> List[ChangedShortcut]:
+    """DCH+ (Algorithm 2): apply weight *increases* to the CH index.
+
+    Parameters
+    ----------
+    index:
+        The CH index; mutated in place (weights, supports, witnesses and
+        its stored ``phi(e, G)`` copies).
+    updates:
+        ``((u, v), new_weight)`` pairs; every new weight must be >= the
+        current ``phi(e, G)``.
+    counter:
+        Optional instrumentation; channels: ``queue_push``, ``queue_pop``,
+        ``scp_plus_inspect``, ``scp_minus_inspect``, ``delta_inspect``.
+
+    Returns
+    -------
+    list of (shortcut, old_weight, new_weight)
+        The paper's set ``C``: shortcuts whose weight changed, in the
+        order they were finalized (ascending rank of lower endpoint).
+    """
+    _validate_batch(index, updates, "increase")
+    ops = resolve_counter(counter)
+    rank = index.ordering.rank
+    queue: AddressableHeap[Shortcut] = AddressableHeap()
+
+    def priority(key: Shortcut) -> Tuple[int, int]:
+        u, v = key
+        return (min(rank[u], rank[v]), max(rank[u], rank[v]))
+
+    # Lines 2-6: consume Delta G.
+    for (u, v), w in updates:
+        ops.add("delta_inspect")
+        key = index.key(u, v)
+        old_edge_weight = index.edge_weight(u, v)
+        if w > old_edge_weight and not math.isinf(old_edge_weight) and (
+            old_edge_weight == index.weight(u, v)
+        ):
+            sup = index.support(u, v) - 1
+            index.set_support(u, v, sup)
+            if sup == 0:
+                queue.push(key, priority(key))
+                ops.add("queue_push")
+        index.set_edge_weight(u, v, w)
+
+    changed: List[ChangedShortcut] = []
+    # Lines 7-13: propagate, lowest lower-endpoint rank first.
+    while queue:
+        key, _ = queue.pop()
+        ops.add("queue_pop")
+        u, v = key
+        old_weight = index.weight(u, v)
+        # Lines 9-12: the weight of <u, v> is about to increase; any
+        # upward-pair partner it currently supports loses one support.
+        # Infinite weights (deleted roads) support nothing by convention,
+        # matching evaluate_equation's support counting.
+        for x, w_mid, y in index.scp_plus(u, v) if not math.isinf(old_weight) else ():
+            ops.add("scp_plus_inspect")
+            partner = index.key(w_mid, y)
+            candidate = old_weight + index.weight(x, w_mid)
+            if not math.isinf(candidate) and index.weight(*partner) == candidate:
+                sup = index.support(*partner) - 1
+                index.set_support(*partner, sup)
+                if sup == 0:
+                    queue.push(partner, priority(partner))
+                    ops.add("queue_push")
+        # Line 13: recompute weight and support from Equation (<>).
+        new_weight = index.recompute(u, v, counter)
+        if new_weight != old_weight:
+            changed.append((key, old_weight, new_weight))
+    return changed
+
+
+def dch_decrease(
+    index: ShortcutGraph,
+    updates: Sequence[WeightUpdate],
+    counter: Optional[OpCounter] = None,
+) -> List[ChangedShortcut]:
+    """DCH- (Algorithm 3): apply weight *decreases* to the CH index.
+
+    Mirrors :func:`dch_increase`; see the module docstring for how
+    supports are restored after the relaxation pass.
+
+    Returns
+    -------
+    list of (shortcut, old_weight, new_weight)
+        Shortcuts whose weight changed, with their original (pre-batch)
+        and final weights.
+    """
+    _validate_batch(index, updates, "decrease")
+    ops = resolve_counter(counter)
+    rank = index.ordering.rank
+    queue: AddressableHeap[Shortcut] = AddressableHeap()
+
+    def priority(key: Shortcut) -> Tuple[int, int]:
+        u, v = key
+        return (min(rank[u], rank[v]), max(rank[u], rank[v]))
+
+    original: dict = {}
+
+    # Lines 2-6: consume Delta G.  A strictly smaller edge weight either
+    # relaxes the shortcut (support resets to the edge term alone) or ties
+    # it (the edge term newly attains the minimum: one more support).
+    for (u, v), w in updates:
+        ops.add("delta_inspect")
+        key = index.key(u, v)
+        old_edge_w = index.edge_weight(u, v)
+        index.set_edge_weight(u, v, w)
+        current = index.weight(u, v)
+        if w < current:
+            original.setdefault(key, current)
+            index.set_weight(u, v, w)
+            index.set_support(u, v, 1)
+            index.set_via(u, v, None)
+            if key not in queue:
+                queue.push(key, priority(key))
+                ops.add("queue_push")
+        elif w == current and w < old_edge_w and not math.isinf(w):
+            index.set_support(u, v, index.support(u, v) + 1)
+
+    # Lines 7-12: propagate relaxations.  Supports are maintained exactly
+    # on the fly: all weights sharing a lower endpoint are final before
+    # the first of them pops, so a pair's sum is evaluated with final
+    # values; when *both* members of a pair changed, the pair would be
+    # evaluated from both pops with the same sum, so the earlier pop
+    # (other member still queued) skips it and the later pop applies it.
+    while queue:
+        key, _ = queue.pop()
+        ops.add("queue_pop")
+        u, v = key
+        weight_e = index.weight(u, v)
+        inspected = 0
+        for x, w_mid, y in index.scp_plus(u, v):
+            inspected += 1
+            if (index.key(x, w_mid)) in queue:
+                continue  # the other member's pop will evaluate this pair
+            partner = index.key(w_mid, y)
+            candidate = weight_e + index._adj[x][w_mid]
+            current = index._adj[w_mid][y]
+            if candidate < current:
+                original.setdefault(partner, current)
+                index.set_weight(*partner, candidate)
+                index.set_support(*partner, 1)
+                index.set_via(*partner, x)
+                if partner not in queue:
+                    queue.push(partner, priority(partner))
+                    ops.add("queue_push")
+            elif candidate == current and not math.isinf(candidate):
+                index.set_support(*partner, index.support(*partner) + 1)
+        ops.add("scp_plus_inspect", inspected)
+
+    return [
+        (key, old, index.weight(*key))
+        for key, old in original.items()
+        if index.weight(*key) != old
+    ]

@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The workflow the paper targets, as shell commands::
+
+    python -m repro generate --vertices 2000 --seed 7 --out city.gr
+    python -m repro build --network city.gr --oracle h2h --out city.h2h.npz
+    python -m repro query --index city.h2h.npz --pairs "0 1500" "12 900"
+    python -m repro update --index city.h2h.npz --set "0 1 140" --out city.h2h.npz
+    python -m repro stats --network city.gr --index city.h2h.npz
+
+``build`` pays the indexing cost once; ``update`` maintains the saved
+index incrementally with DCH / IncH2H (never rebuilding); ``query``
+reads distances from the up-to-date index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.ch.dch import dch_decrease, dch_increase
+from repro.ch.indexing import ch_indexing
+from repro.ch.query import ch_distance
+from repro.errors import ReproError
+from repro.graph.generators import road_network
+from repro.graph.io import read_dimacs, read_edge_list, write_dimacs
+from repro.h2h.inch2h import inch2h_decrease, inch2h_increase
+from repro.h2h.indexing import h2h_indexing
+from repro.h2h.query import h2h_distance
+from repro.persist import load_ch, load_h2h, save_ch, save_h2h
+from repro.utils.timer import Timer
+
+__all__ = ["main"]
+
+
+def _read_network(path: str):
+    if path.endswith(".gr"):
+        return read_dimacs(path)
+    return read_edge_list(path)
+
+
+def _load_index(path: str):
+    """Load either index type; returns ("ch"|"h2h", index)."""
+    try:
+        return "h2h", load_h2h(path)
+    except ReproError:
+        return "ch", load_ch(path)
+
+
+def _cmd_generate(args) -> int:
+    graph = road_network(args.vertices, seed=args.seed)
+    write_dimacs(graph, args.out,
+                 comment=f"synthetic road network, seed={args.seed}")
+    print(f"wrote {graph.n} vertices / {graph.m} edges to {args.out}")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    graph = _read_network(args.network)
+    with Timer() as timer:
+        if args.oracle == "ch":
+            index = ch_indexing(graph)
+            save_ch(index, args.out)
+            size = index.num_shortcuts
+            unit = "shortcuts"
+        else:
+            index = h2h_indexing(graph)
+            save_h2h(index, args.out)
+            size = index.num_super_shortcuts()
+            unit = "super-shortcuts"
+    print(f"built {args.oracle.upper()} index ({size} {unit}) "
+          f"in {timer.elapsed:.2f}s -> {args.out}")
+    return 0
+
+
+def _parse_pair(text: str) -> tuple:
+    fields = text.split()
+    if len(fields) != 2:
+        raise ReproError(f"expected 's t', got {text!r}")
+    return int(fields[0]), int(fields[1])
+
+
+def _cmd_query(args) -> int:
+    kind, index = _load_index(args.index)
+    distance = h2h_distance if kind == "h2h" else ch_distance
+    pairs = [_parse_pair(p) for p in args.pairs]
+    if args.pairs_file:
+        with open(args.pairs_file) as handle:
+            pairs += [_parse_pair(line) for line in handle if line.strip()]
+    if not pairs:
+        print("no query pairs given", file=sys.stderr)
+        return 2
+    with Timer() as timer:
+        answers = [(s, t, distance(index, s, t)) for s, t in pairs]
+    for s, t, d in answers:
+        print(f"{s} {t} {d}")
+    print(
+        f"[{kind}] {len(pairs)} queries in {timer.elapsed * 1e3:.2f}ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _parse_update(text: str) -> tuple:
+    fields = text.split()
+    if len(fields) != 3:
+        raise ReproError(f"expected 'u v new_weight', got {text!r}")
+    return (int(fields[0]), int(fields[1])), float(fields[2])
+
+
+def _cmd_update(args) -> int:
+    kind, index = _load_index(args.index)
+    updates = [_parse_update(u) for u in args.set]
+    if args.updates_file:
+        with open(args.updates_file) as handle:
+            updates += [_parse_update(line) for line in handle
+                        if line.strip() and not line.startswith("#")]
+    if not updates:
+        print("no updates given", file=sys.stderr)
+        return 2
+    sc = index.sc if kind == "h2h" else index
+    increases = [((u, v), w) for (u, v), w in updates
+                 if w > sc.edge_weight(u, v)]
+    decreases = [((u, v), w) for (u, v), w in updates
+                 if w < sc.edge_weight(u, v)]
+    with Timer() as timer:
+        changed = 0
+        if kind == "h2h":
+            if increases:
+                changed += len(inch2h_increase(index, increases))
+            if decreases:
+                changed += len(inch2h_decrease(index, decreases))
+        else:
+            if increases:
+                changed += len(dch_increase(index, increases))
+            if decreases:
+                changed += len(dch_decrease(index, decreases))
+    out = args.out or args.index
+    if kind == "h2h":
+        save_h2h(index, out)
+    else:
+        save_ch(index, out)
+    print(f"applied {len(increases)} increases / {len(decreases)} decreases "
+          f"({changed} index entries changed) in {timer.elapsed * 1e3:.2f}ms "
+          f"-> {out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    if args.network:
+        graph = _read_network(args.network)
+        print(f"network: {graph.n} vertices, {graph.m} edges, "
+              f"{'connected' if graph.is_connected() else 'DISCONNECTED'}")
+    if args.index:
+        kind, index = _load_index(args.index)
+        if kind == "h2h":
+            print(f"h2h index: {index.num_super_shortcuts()} super-shortcuts, "
+                  f"height {index.height}, "
+                  f"~{index.size_in_bytes() / 2**20:.1f} MiB")
+        else:
+            print(f"ch index: {index.num_shortcuts} shortcuts, "
+                  f"~{index.size_in_bytes() / 2**20:.1f} MiB")
+    if not args.network and not args.index:
+        print("give --network and/or --index", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic distance oracles for road networks "
+                    "(CH / H2H with incremental maintenance).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="synthesize a road network")
+    p_gen.add_argument("--vertices", type=int, default=1000)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_build = sub.add_parser("build", help="build and save an index")
+    p_build.add_argument("--network", required=True,
+                         help=".gr (DIMACS) or edge-list file")
+    p_build.add_argument("--oracle", choices=("ch", "h2h"), default="h2h")
+    p_build.add_argument("--out", required=True)
+    p_build.set_defaults(func=_cmd_build)
+
+    p_query = sub.add_parser("query", help="answer distance queries")
+    p_query.add_argument("--index", required=True)
+    p_query.add_argument("--pairs", nargs="*", default=[],
+                         help="each 's t'")
+    p_query.add_argument("--pairs-file", default=None)
+    p_query.set_defaults(func=_cmd_query)
+
+    p_update = sub.add_parser(
+        "update", help="apply weight updates incrementally"
+    )
+    p_update.add_argument("--index", required=True)
+    p_update.add_argument("--set", nargs="*", default=[],
+                          help="each 'u v new_weight'")
+    p_update.add_argument("--updates-file", default=None)
+    p_update.add_argument("--out", default=None,
+                          help="output archive (default: in place)")
+    p_update.set_defaults(func=_cmd_update)
+
+    p_stats = sub.add_parser("stats", help="network / index statistics")
+    p_stats.add_argument("--network", default=None)
+    p_stats.add_argument("--index", default=None)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""The paper's core framework: dynamic oracles + boundedness analysis."""
+
+from repro.core.bounds import (
+    BoundednessReport,
+    linearithmic,
+    ratios_bounded,
+    subboundedness_ratio,
+)
+from repro.core.changed import (
+    ChChangeMetrics,
+    H2HChangeMetrics,
+    ch_change_metrics,
+    h2h_change_metrics,
+)
+from repro.core.dynamic import DynamicCH, DynamicH2H, UpdateReport
+from repro.core.oracle import DijkstraOracle, DistanceOracle
+
+__all__ = [
+    "BoundednessReport",
+    "ChChangeMetrics",
+    "DijkstraOracle",
+    "DistanceOracle",
+    "DynamicCH",
+    "DynamicH2H",
+    "H2HChangeMetrics",
+    "UpdateReport",
+    "ch_change_metrics",
+    "h2h_change_metrics",
+    "linearithmic",
+    "ratios_bounded",
+    "subboundedness_ratio",
+]

@@ -1,0 +1,93 @@
+"""Empirical verification of relative (sub)boundedness.
+
+Theorems 4.1 and 5.1 say the maintenance algorithms run in
+``O(||AFF|| log ||AFF||)`` (and, for the decrease variants,
+``O(|DIFF| log |DIFF|)``).  Constants and machines being what they are,
+the verifiable empirical claim is: over workloads of wildly varying
+size, the ratio::
+
+    measured elementary operations / (x * (1 + log2(1 + x)))
+
+— with ``x`` the relevant measure — stays bounded by a constant.  The
+tests and the boundedness-demo example drive these helpers over many
+batches and check exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["linearithmic", "subboundedness_ratio", "BoundednessReport"]
+
+
+def linearithmic(x: float) -> float:
+    """``x * (1 + log2(1 + x))`` — the budget of a subbounded algorithm.
+
+    The ``1 +`` terms keep the budget positive for tiny ``x`` so ratios
+    are always well defined.
+    """
+    if x < 0:
+        raise ValueError(f"x must be non-negative, got {x}")
+    return x * (1.0 + math.log2(1.0 + x))
+
+
+def subboundedness_ratio(measured_ops: float, measure: float) -> float:
+    """``measured_ops / linearithmic(measure)``.
+
+    For a relatively subbounded algorithm this ratio is O(1) as the
+    workload grows; for an algorithm that does work outside AFF (e.g.
+    UE's blanket recomputations) it drifts upward.
+    """
+    budget = linearithmic(max(measure, 1.0))
+    return measured_ops / budget
+
+
+@dataclass(frozen=True)
+class BoundednessReport:
+    """One workload's evidence for/against relative subboundedness."""
+
+    label: str
+    measured_ops: int
+    aff_norm: int
+    diff: int
+
+    @property
+    def ratio_vs_aff(self) -> float:
+        """ops / (||AFF|| log ||AFF||) — Theorem 4.1/5.1's (1)."""
+        return subboundedness_ratio(self.measured_ops, self.aff_norm)
+
+    @property
+    def ratio_vs_diff(self) -> float:
+        """ops / (|DIFF| log |DIFF|) — Theorem 4.1/5.1's (2)."""
+        return subboundedness_ratio(self.measured_ops, self.diff)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: ops={self.measured_ops} ||AFF||={self.aff_norm} "
+            f"|DIFF|={self.diff} ops/(||AFF||·log)={self.ratio_vs_aff:.3f} "
+            f"ops/(|DIFF|·log)={self.ratio_vs_diff:.3f}"
+        )
+
+
+def ratios_bounded(
+    reports: Sequence[BoundednessReport],
+    attribute: str = "ratio_vs_aff",
+    tolerance: float = 4.0,
+) -> bool:
+    """True if the given ratio does not systematically grow with size.
+
+    The check compares the largest-workload ratios against the
+    smallest-workload ones: growth beyond *tolerance* x suggests the
+    algorithm is **not** subbounded relative to the reference (this is
+    how the tests separate DCH from UE empirically).
+    """
+    if len(reports) < 2:
+        return True
+    ordered = sorted(reports, key=lambda r: r.aff_norm)
+    half = max(1, len(ordered) // 3)
+    small = [getattr(r, attribute) for r in ordered[:half]]
+    large = [getattr(r, attribute) for r in ordered[-half:]]
+    baseline = max(max(small), 1e-9)
+    return max(large) <= tolerance * baseline

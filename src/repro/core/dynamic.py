@@ -1,0 +1,196 @@
+"""Dynamic oracle facades: the library's main entry points.
+
+:class:`DynamicCH` and :class:`DynamicH2H` tie together an index, its
+maintenance algorithms, and the instrumentation: construct once, then
+interleave ``distance`` queries with ``apply`` update batches.  A batch
+may mix increases and decreases; the facade splits it and dispatches the
+increase part to the ``+`` algorithm and the decrease part to the ``-``
+algorithm, exactly as the paper's experiments do (Exp-4 applies an
+increase batch, then restores with a decrease batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ch.dch import dch_decrease, dch_increase
+from repro.ch.indexing import ch_indexing
+from repro.ch.query import ch_distance, ch_path
+from repro.errors import UpdateError
+from repro.graph.graph import RoadNetwork, WeightUpdate
+from repro.h2h.inch2h import inch2h_decrease, inch2h_increase
+from repro.h2h.indexing import fill_distance_arrays, h2h_indexing
+from repro.h2h.query import h2h_distance
+from repro.h2h.tree import TreeDecomposition
+from repro.order.ordering import Ordering
+from repro.utils.counters import OpCounter
+
+__all__ = ["DynamicCH", "DynamicH2H", "UpdateReport"]
+
+
+@dataclass
+class UpdateReport:
+    """What one :meth:`apply` call did.
+
+    Attributes
+    ----------
+    increases / decreases:
+        Number of edges whose weight went up / down.
+    changed_shortcuts:
+        Shortcuts whose weight changed (AFF_2).
+    changed_super_shortcuts:
+        Super-shortcuts whose value changed (AFF_3); 0 for CH.
+    ops:
+        Operation counts of the maintenance work, by channel.
+    """
+
+    increases: int = 0
+    decreases: int = 0
+    changed_shortcuts: List = field(default_factory=list)
+    changed_super_shortcuts: List = field(default_factory=list)
+    ops: dict = field(default_factory=dict)
+
+
+def _split_batch(
+    graph: RoadNetwork, updates: Sequence[WeightUpdate]
+) -> Tuple[List[WeightUpdate], List[WeightUpdate]]:
+    """Split a mixed batch into (increases, decreases) vs current weights.
+
+    No-op updates (same weight) are dropped; duplicate edges rejected.
+    """
+    increases: List[WeightUpdate] = []
+    decreases: List[WeightUpdate] = []
+    seen = set()
+    for (u, v), w in updates:
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            raise UpdateError(f"edge ({u}, {v}) appears twice in one batch")
+        seen.add(key)
+        old = graph.weight(u, v)
+        if w > old:
+            increases.append(((u, v), w))
+        elif w < old:
+            decreases.append(((u, v), w))
+    return increases, decreases
+
+
+class DynamicCH:
+    """A contraction hierarchy that stays correct under weight updates.
+
+    Example
+    -------
+    >>> from repro.graph import grid_network
+    >>> oracle = DynamicCH(grid_network(4, 4, seed=3))
+    >>> d0 = oracle.distance(0, 15)
+    >>> report = oracle.apply([((0, 1), oracle.graph.weight(0, 1) * 2)])
+    >>> oracle.distance(0, 15) >= d0
+    True
+    """
+
+    def __init__(
+        self, graph: RoadNetwork, ordering: Optional[Ordering] = None
+    ) -> None:
+        self._graph = graph
+        self._ordering = ordering
+        self.counter = OpCounter()
+        self.index = ch_indexing(graph, ordering, self.counter)
+
+    @property
+    def graph(self) -> RoadNetwork:
+        """The road network in its current state."""
+        return self._graph
+
+    def distance(self, s: int, t: int) -> float:
+        """Shortest distance via bidirectional upward search."""
+        return ch_distance(self.index, s, t, self.counter)
+
+    def path(self, s: int, t: int):
+        """A shortest path with shortcuts unpacked to real edges."""
+        return ch_path(self.index, s, t, self.counter)
+
+    def apply(self, updates: Sequence[WeightUpdate]) -> UpdateReport:
+        """Apply a (possibly mixed) weight-update batch with DCH."""
+        increases, decreases = _split_batch(self._graph, updates)
+        ops = OpCounter()
+        report = UpdateReport(increases=len(increases), decreases=len(decreases))
+        if increases:
+            self._graph.apply_batch(increases)
+            report.changed_shortcuts += dch_increase(self.index, increases, ops)
+        if decreases:
+            self._graph.apply_batch(decreases)
+            report.changed_shortcuts += dch_decrease(self.index, decreases, ops)
+        report.ops = ops.as_dict()
+        self.counter.merge(ops)
+        return report
+
+    def rebuild(self) -> None:
+        """Recompute the index from the current network (CHIndexing)."""
+        self.index = ch_indexing(self._graph, self._ordering, self.counter)
+
+
+class DynamicH2H:
+    """A hierarchical 2-hop index that stays correct under weight updates.
+
+    Example
+    -------
+    >>> from repro.graph import grid_network
+    >>> oracle = DynamicH2H(grid_network(4, 4, seed=3))
+    >>> oracle.distance(0, 15) == DynamicCH(grid_network(4, 4, seed=3)).distance(0, 15)
+    True
+    """
+
+    def __init__(
+        self, graph: RoadNetwork, ordering: Optional[Ordering] = None
+    ) -> None:
+        self._graph = graph
+        self._ordering = ordering
+        self.counter = OpCounter()
+        self.index = h2h_indexing(graph, ordering, self.counter)
+
+    @property
+    def graph(self) -> RoadNetwork:
+        """The road network in its current state."""
+        return self._graph
+
+    @property
+    def tree(self) -> TreeDecomposition:
+        """The underlying tree decomposition."""
+        return self.index.tree
+
+    def distance(self, s: int, t: int) -> float:
+        """Shortest distance from the distance arrays (no search)."""
+        return h2h_distance(self.index, s, t, self.counter)
+
+    def apply(self, updates: Sequence[WeightUpdate]) -> UpdateReport:
+        """Apply a (possibly mixed) weight-update batch with IncH2H."""
+        increases, decreases = _split_batch(self._graph, updates)
+        ops = OpCounter()
+        report = UpdateReport(increases=len(increases), decreases=len(decreases))
+        if increases:
+            self._graph.apply_batch(increases)
+            report.changed_super_shortcuts += inch2h_increase(
+                self.index, increases, ops
+            )
+        if decreases:
+            self._graph.apply_batch(decreases)
+            report.changed_super_shortcuts += inch2h_decrease(
+                self.index, decreases, ops
+            )
+        report.ops = ops.as_dict()
+        self.counter.merge(ops)
+        return report
+
+    def rebuild(self, weights_only: bool = True) -> None:
+        """Recompute from the current network.
+
+        With *weights_only* (the paper's recompute baseline), the tree
+        decomposition is kept — it is weight independent — and only the
+        shortcut weights and distance arrays are rebuilt.
+        """
+        if weights_only:
+            sc = ch_indexing(self._graph, self.index.sc.ordering, self.counter)
+            tree = TreeDecomposition(sc)
+            self.index = fill_distance_arrays(sc, tree, self.counter)
+        else:
+            self.index = h2h_indexing(self._graph, self._ordering, self.counter)

@@ -1,0 +1,54 @@
+"""Directed road networks (the extension noted in Section 2).
+
+The paper presents CH/H2H and their maintenance for undirected graphs
+"for ease of exposition, emphasizing that our results and algorithms
+can be extended to the directed case".  This subpackage carries out
+that extension for the CH side of the stack:
+
+* :class:`~repro.directed.graph.DiRoadNetwork` — arc-weighted directed
+  graphs (one-way streets, asymmetric transit times);
+* :func:`~repro.directed.ch.directed_ch_indexing` — the contraction
+  hierarchy over per-direction shortcut weights (the shortcut *set*
+  stays symmetric — it is the elimination fill of the symmetrized
+  graph, weight independent as before — while each shortcut carries a
+  forward and a backward weight);
+* :func:`~repro.directed.ch.directed_ch_distance` — forward-upward /
+  backward-upward bidirectional query;
+* :func:`~repro.directed.dch.directed_dch_increase` /
+  :func:`~repro.directed.dch.directed_dch_decrease` — DCH per
+  direction, with per-direction supports.
+"""
+
+from repro.directed.ch import (
+    DirectedShortcutGraph,
+    directed_ch_distance,
+    directed_ch_indexing,
+)
+from repro.directed.dch import directed_dch_decrease, directed_dch_increase
+from repro.directed.dijkstra import directed_dijkstra
+from repro.directed.dynamic import DynamicDiCH, DynamicDiH2H
+from repro.directed.graph import DiRoadNetwork
+from repro.directed.h2h import (
+    DirectedH2HIndex,
+    directed_h2h_distance,
+    directed_h2h_indexing,
+    directed_inch2h_decrease,
+    directed_inch2h_increase,
+)
+
+__all__ = [
+    "DiRoadNetwork",
+    "DirectedH2HIndex",
+    "DirectedShortcutGraph",
+    "DynamicDiCH",
+    "DynamicDiH2H",
+    "directed_ch_distance",
+    "directed_ch_indexing",
+    "directed_dch_decrease",
+    "directed_dch_increase",
+    "directed_dijkstra",
+    "directed_h2h_distance",
+    "directed_h2h_indexing",
+    "directed_inch2h_decrease",
+    "directed_inch2h_increase",
+]

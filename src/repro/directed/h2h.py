@@ -1,0 +1,412 @@
+"""Directed H2H: hierarchical 2-hop labels for digraphs.
+
+The tree decomposition is a property of the *skeleton* (the symmetrized
+shortcut structure), so it carries over unchanged; what doubles is the
+label: every vertex stores, per ancestor ``a``,
+
+* ``dis_to(u)[depth(a)]  = sd(u -> a)``  and
+* ``dis_from(u)[depth(a)] = sd(a -> u)``,
+
+each satisfying a directed Equation (*) over the directed shortcut
+weights::
+
+    sd(u -> a) = min over v in nbr+(u) of  phi(u -> v) + sd(v -> a)
+    sd(a -> u) = min over v in nbr+(u) of  sd(a -> v) + phi(v -> u)
+
+with the inner ``sd`` values read from whichever of the two vertices is
+deeper, via the directed Equation (nabla)::
+
+    sd(v -> a) = dis_to(v)[depth(a)]    if depth(v) > depth(a)
+                 dis_from(a)[depth(v)]  if depth(v) < depth(a)
+
+A query is one position-array scan, as in the undirected case::
+
+    sd(s -> t) = min over i in pos(lca) of dis_to(s)[i] + dis_from(t)[i]
+
+The incremental algorithms mirror Algorithms 4-5 per direction.  The
+dependents of a changed ``TO`` entry ``sd(u -> a)`` are the ``TO``
+entries of ``nbr-(u)`` at the same ancestor depth and the ``FROM``
+entries ``sd(u -> x)``-side of ``nbr-(a) ∩ des(u)``; symmetrically for
+a changed ``FROM`` entry — the same two-loop structure as the
+undirected IncH2H, with directions threaded through.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.directed.ch import DirectedShortcutGraph, directed_ch_indexing
+from repro.directed.dch import (
+    ArcUpdate,
+    directed_dch_decrease,
+    directed_dch_increase,
+)
+from repro.directed.graph import DiRoadNetwork
+from repro.errors import IndexError_, QueryError
+from repro.h2h.tree import TreeDecomposition
+from repro.order.ordering import Ordering
+from repro.utils.counters import OpCounter, resolve_counter
+from repro.utils.heap import AddressableHeap
+
+__all__ = [
+    "DirectedH2HIndex",
+    "directed_h2h_indexing",
+    "directed_h2h_distance",
+    "directed_inch2h_increase",
+    "directed_inch2h_decrease",
+]
+
+#: Direction tags for super-shortcut entries.
+TO, FROM = 0, 1
+
+
+class DirectedH2HIndex:
+    """The directed H2H index: tree + two distance/support matrix pairs."""
+
+    def __init__(
+        self,
+        sc: DirectedShortcutGraph,
+        tree: TreeDecomposition,
+        dis: Tuple[np.ndarray, np.ndarray],
+        sup: Tuple[np.ndarray, np.ndarray],
+    ) -> None:
+        self.sc = sc
+        self.tree = tree
+        self.dis = dis  # (dis_to, dis_from)
+        self.sup = sup
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.tree.n
+
+    def num_super_shortcuts(self) -> int:
+        """Directed super-shortcuts: two per (vertex, ancestor) pair."""
+        return 2 * self.tree.num_super_shortcuts()
+
+    # ------------------------------------------------------------------
+    def _sd(self, direction: int, u: int, v: int, da: int) -> float:
+        """Directed Equation (nabla): ``sd(v -> a)`` for TO, ``sd(a -> v)``
+        for FROM, where *v* and ``a = anc(u)[da]`` are ancestors of *u*."""
+        dv = int(self.tree.depth[v])
+        if dv > da:
+            return float(self.dis[direction][v, da])
+        if dv < da:
+            a = int(self.tree.anc[u][da])
+            return float(self.dis[1 - direction][a, dv])
+        return 0.0
+
+    def evaluate_entry(
+        self, direction: int, u: int, da: int,
+        counter: Optional[OpCounter] = None,
+    ) -> Tuple[float, int]:
+        """Directed Equation (*): ``(value, support)`` of one entry."""
+        ops = resolve_counter(counter)
+        weights = self.sc._w
+        best = math.inf
+        count = 0
+        terms = 0
+        for v in self.sc.upward(u):
+            terms += 1
+            if direction == TO:
+                candidate = weights[u][v] + self._sd(TO, u, v, da)
+            else:
+                candidate = self._sd(FROM, u, v, da) + weights[v][u]
+            if candidate < best:
+                best = candidate
+                count = 1
+            elif candidate == best and not math.isinf(candidate):
+                count += 1
+        ops.add("star_term", terms)
+        return best, count
+
+    def recompute_entry(
+        self, direction: int, u: int, da: int,
+        counter: Optional[OpCounter] = None,
+    ) -> float:
+        """Recompute and store one entry from the directed Equation (*)."""
+        value, support = self.evaluate_entry(direction, u, da, counter)
+        self.dis[direction][u, da] = value
+        self.sup[direction][u, da] = support
+        return value
+
+    def validate(self) -> None:
+        """Check every entry of both directions against Equation (*)."""
+        depth = self.tree.depth
+        for u in range(self.n):
+            du = int(depth[u])
+            for direction in (TO, FROM):
+                if self.dis[direction][u, du] != 0.0:
+                    raise IndexError_(f"dis[{direction}]({u})[{du}] must be 0")
+                for da in range(du):
+                    value, support = self.evaluate_entry(direction, u, da)
+                    if self.dis[direction][u, da] != value:
+                        raise IndexError_(
+                            f"dis[{direction}]({u})[{da}] = "
+                            f"{self.dis[direction][u, da]}, actual {value}"
+                        )
+                    if self.sup[direction][u, da] != support:
+                        raise IndexError_(
+                            f"sup[{direction}]({u})[{da}] = "
+                            f"{self.sup[direction][u, da]}, actual {support}"
+                        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectedH2HIndex(n={self.n}, "
+            f"super_shortcuts={self.num_super_shortcuts()})"
+        )
+
+
+def directed_h2h_indexing(
+    graph: DiRoadNetwork,
+    ordering: Optional[Ordering] = None,
+    counter: Optional[OpCounter] = None,
+) -> DirectedH2HIndex:
+    """Build the directed H2H index (top-down directed Equation (*))."""
+    sc = directed_ch_indexing(graph, ordering, counter)
+    tree = TreeDecomposition(sc)  # duck-typed: needs ordering/upward/downward
+    n = tree.n
+    height = tree.height
+    depth = tree.depth
+    dis_to = np.full((n, height), np.inf, dtype=np.float64)
+    dis_from = np.full((n, height), np.inf, dtype=np.float64)
+    sup_to = np.zeros((n, height), dtype=np.int32)
+    sup_from = np.zeros((n, height), dtype=np.int32)
+    index = DirectedH2HIndex(sc, tree, (dis_to, dis_from), (sup_to, sup_from))
+
+    for u in tree.top_down_order:
+        du = int(depth[u])
+        dis_to[u, du] = 0.0
+        dis_from[u, du] = 0.0
+        for da in range(du):
+            index.recompute_entry(TO, u, da, counter)
+            index.recompute_entry(FROM, u, da, counter)
+    return index
+
+
+def directed_h2h_distance(
+    index: DirectedH2HIndex,
+    s: int,
+    t: int,
+    counter: Optional[OpCounter] = None,
+) -> float:
+    """``sd(s -> t)`` read from the directed labels (one pos scan)."""
+    n = index.n
+    if not 0 <= s < n:
+        raise QueryError(f"source {s} out of range [0, {n})")
+    if not 0 <= t < n:
+        raise QueryError(f"target {t} out of range [0, {n})")
+    if s == t:
+        return 0.0
+    ops = resolve_counter(counter)
+    a = index.tree.lca(s, t)
+    positions = index.tree.pos[a]
+    ops.add("pos_scan", len(positions))
+    total = index.dis[TO][s, positions] + index.dis[FROM][t, positions]
+    return float(np.min(total))
+
+
+# ----------------------------------------------------------------------
+# Incremental maintenance
+# ----------------------------------------------------------------------
+
+#: A queue entry: (direction, descendant vertex, ancestor depth).
+Entry = Tuple[int, int, int]
+
+
+def _seed_candidates(index, arc, weight):
+    """Yield ``(direction, lower_endpoint)`` affected by a changed arc.
+
+    An arc ``l -> h`` (skeleton lower endpoint ``l``) feeds the TO
+    entries of ``l``; an arc ``h -> l`` feeds the FROM entries of ``l``.
+    """
+    u, v = arc
+    low = index.sc.lower_endpoint(u, v)
+    if u == low:
+        yield TO, low, v  # candidates phi(l -> h) + sd(h -> a)
+    else:
+        yield FROM, low, u  # candidates sd(a -> h) + phi(h -> l)
+
+
+def directed_inch2h_increase(
+    index: DirectedH2HIndex,
+    updates: Sequence[ArcUpdate],
+    counter: Optional[OpCounter] = None,
+) -> List[Tuple[Entry, float, float]]:
+    """Directed IncH2H+ : weight increases through both label matrices."""
+    ops = resolve_counter(counter)
+    changed_arcs = directed_dch_increase(index.sc, updates, counter)
+
+    sc = index.sc
+    tree = index.tree
+    rank = sc.ordering.rank
+    depth = tree.depth
+    weights = sc._w
+    queue: AddressableHeap[Entry] = AddressableHeap()
+
+    # Seeds: per changed arc, test every entry of the lower endpoint.
+    for arc, old_w, _new_w in changed_arcs:
+        if math.isinf(old_w):
+            continue
+        for direction, u, via in _seed_candidates(index, arc, old_w):
+            du = int(depth[u])
+            dis_dir = index.dis[direction]
+            sup_dir = index.sup[direction]
+            for da in range(du):
+                ops.add("anc_scan")
+                tmp = old_w + index._sd(direction, u, via, da)
+                if not math.isinf(tmp) and tmp == dis_dir[u, da]:
+                    sup_dir[u, da] -= 1
+                    if sup_dir[u, da] == 0:
+                        queue.push((direction, u, da), (-rank[u], direction, da))
+                        ops.add("queue_push")
+
+    changed: List[Tuple[Entry, float, float]] = []
+    while queue:
+        (direction, u, da), _ = queue.pop()
+        ops.add("queue_pop")
+        a = int(tree.anc[u][da])
+        du = int(depth[u])
+        dis_dir = index.dis[direction]
+        old_val = float(dis_dir[u, da])
+        if not math.isinf(old_val):
+            sup_dir = index.sup[direction]
+            # Loop 1: same-direction entries of downward neighbors.
+            # (Infinite legs — one-way streets — support nothing.)
+            for x in sc.downward(u):
+                ops.add("dependent_inspect")
+                leg = weights[x][u] if direction == TO else weights[u][x]
+                if not math.isinf(leg) and leg + old_val == dis_dir[x, da]:
+                    sup_dir[x, da] -= 1
+                    if sup_dir[x, da] == 0:
+                        queue.push((direction, x, da), (-rank[x], direction, da))
+                        ops.add("queue_push")
+            # Loop 2: opposite-position entries of nbr-(a) ∩ des(u):
+            # a changed sd(u -> a) feeds sd(x -> ...) via phi(x -> a)?
+            # No — it feeds the *same* direction read through the deeper
+            # side: entries (x, depth(u)) of direction `direction` whose
+            # candidate via a reads dis[1 - direction]... the candidate
+            # via neighbor a of entry (x, du, direction) is
+            #   TO:   phi(x -> a) + sd(a -> u) = phi(x -> a) + dis_FROM[u, da]
+            #   FROM: sd(u -> a)... = dis_TO[u, da] + phi(a -> x)
+            # so a changed (u, da, TO) feeds FROM entries and vice versa.
+            other = 1 - direction
+            dis_other = index.dis[other]
+            sup_other = index.sup[other]
+            for x in tree.down_in_descendants(a, u):
+                ops.add("dependent_inspect")
+                leg = weights[a][x] if direction == TO else weights[x][a]
+                if not math.isinf(leg) and leg + old_val == dis_other[x, du]:
+                    sup_other[x, du] -= 1
+                    if sup_other[x, du] == 0:
+                        queue.push((other, x, du), (-rank[x], other, du))
+                        ops.add("queue_push")
+        new_val = index.recompute_entry(direction, u, da, ops)
+        if new_val != old_val:
+            changed.append(((direction, u, da), old_val, new_val))
+    return changed
+
+
+def directed_inch2h_decrease(
+    index: DirectedH2HIndex,
+    updates: Sequence[ArcUpdate],
+    counter: Optional[OpCounter] = None,
+) -> List[Tuple[Entry, float, float]]:
+    """Directed IncH2H- : weight decreases with on-the-fly supports."""
+    ops = resolve_counter(counter)
+    changed_arcs = directed_dch_decrease(index.sc, updates, counter)
+
+    sc = index.sc
+    tree = index.tree
+    rank = sc.ordering.rank
+    depth = tree.depth
+    weights = sc._w
+    queue: AddressableHeap[Entry] = AddressableHeap()
+    original: dict = {}
+    # Seed memo: (direction, u, via) -> candidate array (du long), to
+    # dedupe against later pop-loop evaluations at identical values.
+    seed_rows: Dict[Tuple[int, int, int], np.ndarray] = {}
+
+    for arc, _old_w, new_w in changed_arcs:
+        for direction, u, via in _seed_candidates(index, arc, new_w):
+            du = int(depth[u])
+            if du == 0:
+                continue
+            dis_dir = index.dis[direction]
+            sup_dir = index.sup[direction]
+            row = np.empty(du, dtype=np.float64)
+            for da in range(du):
+                ops.add("anc_scan")
+                row[da] = new_w + index._sd(direction, u, via, da)
+            seed_rows[(direction, u, via)] = row
+            for da in range(du):
+                tmp = row[da]
+                current = dis_dir[u, da]
+                if tmp < current:
+                    original.setdefault((direction, u, da), float(current))
+                    dis_dir[u, da] = tmp
+                    sup_dir[u, da] = 1
+                    if (direction, u, da) not in queue:
+                        queue.push((direction, u, da),
+                                   (-rank[u], direction, da))
+                        ops.add("queue_push")
+                elif tmp == current and not math.isinf(tmp):
+                    sup_dir[u, da] += 1
+
+    while queue:
+        (direction, u, da), _ = queue.pop()
+        ops.add("queue_pop")
+        a = int(tree.anc[u][da])
+        du = int(depth[u])
+        dis_dir = index.dis[direction]
+        val = float(dis_dir[u, da])
+        if math.isinf(val):
+            continue
+        sup_dir = index.sup[direction]
+        for x in sc.downward(u):
+            ops.add("dependent_inspect")
+            leg = weights[x][u] if direction == TO else weights[u][x]
+            candidate = leg + val
+            seed_row = seed_rows.get((direction, x, u))
+            if seed_row is not None and seed_row[da] == candidate:
+                continue
+            current = dis_dir[x, da]
+            if candidate < current:
+                original.setdefault((direction, x, da), float(current))
+                dis_dir[x, da] = candidate
+                sup_dir[x, da] = 1
+                if (direction, x, da) not in queue:
+                    queue.push((direction, x, da), (-rank[x], direction, da))
+                    ops.add("queue_push")
+            elif candidate == current and not math.isinf(candidate):
+                sup_dir[x, da] += 1
+        other = 1 - direction
+        dis_other = index.dis[other]
+        sup_other = index.sup[other]
+        for x in tree.down_in_descendants(a, u):
+            ops.add("dependent_inspect")
+            leg = weights[a][x] if direction == TO else weights[x][a]
+            candidate = leg + val
+            seed_row = seed_rows.get((other, x, a))
+            if seed_row is not None and seed_row[du] == candidate:
+                continue
+            current = dis_other[x, du]
+            if candidate < current:
+                original.setdefault((other, x, du), float(current))
+                dis_other[x, du] = candidate
+                sup_other[x, du] = 1
+                if (other, x, du) not in queue:
+                    queue.push((other, x, du), (-rank[x], other, du))
+                    ops.add("queue_push")
+            elif candidate == current and not math.isinf(candidate):
+                sup_other[x, du] += 1
+
+    return [
+        (entry, old, float(index.dis[entry[0]][entry[1], entry[2]]))
+        for entry, old in original.items()
+        if index.dis[entry[0]][entry[1], entry[2]] != old
+    ]

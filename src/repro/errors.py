@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing unrelated exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A graph operation received invalid input (unknown vertex, bad weight,
+    duplicate edge, ...)."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation requiring a connected graph was given a disconnected one.
+
+    Both CH and H2H (and the tree decomposition underlying H2H) assume the
+    road network is connected, matching the paper's setting.
+    """
+
+
+class OrderingError(ReproError):
+    """A vertex ordering is malformed (not a permutation of the vertices)."""
+
+
+class IndexError_(ReproError):
+    """An oracle index is inconsistent with the graph it claims to index."""
+
+
+class UpdateError(ReproError):
+    """An update batch is malformed (unknown edge, negative weight, or a
+    mixed-direction batch handed to a single-direction algorithm)."""
+
+
+class QueryError(ReproError):
+    """A distance query referenced an unknown vertex."""

@@ -1,0 +1,28 @@
+"""The experiment harness: regenerates every table and figure of Section 6.
+
+Each ``expN`` module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.harness.ExperimentResult`; the CLI
+(``python -m repro.experiments``) pretty-prints them, and the
+``benchmarks/`` suite wraps them in pytest-benchmark fixtures.
+"""
+
+from repro.experiments.datasets import (
+    DATASETS,
+    PROFILES,
+    DatasetSpec,
+    build_ch,
+    build_h2h,
+    build_network,
+)
+from repro.experiments.harness import ExperimentResult, Series
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "ExperimentResult",
+    "PROFILES",
+    "Series",
+    "build_ch",
+    "build_h2h",
+    "build_network",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.experiments`` dispatches to the runner CLI."""
+
+from repro.experiments.runner import main
+
+raise SystemExit(main())

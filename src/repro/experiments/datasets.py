@@ -1,0 +1,138 @@
+"""The nine-network dataset registry (the paper's Table 2, scaled).
+
+The paper evaluates on nine real road networks from DIMACS and
+Geofabrik, 0.26M-24M vertices.  Pure Python cannot index those sizes,
+so the registry carries synthetic analogues (see
+:func:`repro.graph.generators.road_network` and DESIGN.md's
+substitution table) with the same names and the same *relative* size
+ordering at two scales:
+
+* ``default`` — about 1/100 of the paper's vertex counts (1/1000 for
+  the continental networks); used by the CLI and EXPERIMENTS.md;
+* ``small`` — about 1/5 of ``default``; used by the pytest benchmarks
+  so a full benchmark run stays in CI-friendly time.
+
+Built networks and indexes are cached per (name, profile) within the
+process, mirroring how the paper builds each index once and reuses it
+across experiments.  Callers that mutate weights must restore them
+(the increase-then-restore protocol does this by construction) or use
+:func:`fresh_copy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.ch.indexing import ch_indexing
+from repro.ch.shortcut_graph import ShortcutGraph
+from repro.errors import ReproError
+from repro.graph.generators import road_network
+from repro.graph.graph import RoadNetwork
+from repro.h2h.index import H2HIndex
+from repro.h2h.indexing import h2h_indexing
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "PROFILES",
+    "build_network",
+    "build_ch",
+    "build_h2h",
+    "fresh_copy",
+    "clear_cache",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named road network of the registry."""
+
+    name: str
+    description: str
+    paper_vertices: str  #: the real network's |V| (for documentation)
+    n_default: int
+    n_small: int
+    seed: int
+
+
+#: The nine networks of Table 2, in the paper's size order.
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec("NY", "New York City", "0.26M", 2_600, 520, 101),
+        DatasetSpec("COL", "Colorado", "0.43M", 4_300, 860, 102),
+        DatasetSpec("FLA", "Florida", "1.07M", 7_000, 1_400, 103),
+        DatasetSpec("CAL", "California and Nevada", "1.89M", 9_500, 1_900, 104),
+        DatasetSpec("ENG", "England", "2.35M", 10_500, 2_100, 109),
+        DatasetSpec("EUS", "Eastern US", "3.60M", 12_000, 2_400, 105),
+        DatasetSpec("WUS", "Western US", "6.26M", 15_000, 3_000, 106),
+        DatasetSpec("CUS", "Central US", "14.08M", 20_000, 4_000, 107),
+        DatasetSpec("US", "Full US", "23.95M", 26_000, 5_200, 108),
+    )
+}
+
+#: Valid profile names -> attribute of DatasetSpec holding the size.
+PROFILES: Tuple[str, ...] = ("default", "small")
+
+_network_cache: Dict[Tuple[str, str], RoadNetwork] = {}
+_ch_cache: Dict[Tuple[str, str], ShortcutGraph] = {}
+_h2h_cache: Dict[Tuple[str, str], H2HIndex] = {}
+
+
+def _spec(name: str) -> DatasetSpec:
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown dataset {name!r}; known: {sorted(DATASETS)}"
+        ) from None
+
+
+def _size(spec: DatasetSpec, profile: str) -> int:
+    if profile == "default":
+        return spec.n_default
+    if profile == "small":
+        return spec.n_small
+    raise ReproError(f"unknown profile {profile!r}; known: {PROFILES}")
+
+
+def build_network(name: str, profile: str = "default") -> RoadNetwork:
+    """The named network (cached; do not mutate — use :func:`fresh_copy`)."""
+    key = (name, profile)
+    if key not in _network_cache:
+        spec = _spec(name)
+        _network_cache[key] = road_network(_size(spec, profile), seed=spec.seed)
+    return _network_cache[key]
+
+
+def fresh_copy(name: str, profile: str = "default") -> RoadNetwork:
+    """An independent mutable copy of the named network."""
+    return build_network(name, profile).copy()
+
+
+def build_ch(name: str, profile: str = "default") -> ShortcutGraph:
+    """The CH index of the named network (cached)."""
+    key = (name, profile)
+    if key not in _ch_cache:
+        _ch_cache[key] = ch_indexing(build_network(name, profile))
+    return _ch_cache[key]
+
+
+def build_h2h(name: str, profile: str = "default") -> H2HIndex:
+    """The H2H index of the named network (cached).
+
+    Shares nothing with :func:`build_ch`'s index, so the two oracles can
+    be updated independently in comparative experiments.
+    """
+    key = (name, profile)
+    if key not in _h2h_cache:
+        _h2h_cache[key] = h2h_indexing(build_network(name, profile))
+    return _h2h_cache[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached networks and indexes (tests use this)."""
+    _network_cache.clear()
+    _ch_cache.clear()
+    _h2h_cache.clear()

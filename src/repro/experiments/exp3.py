@@ -1,0 +1,78 @@
+"""Exp-3: query time of CH vs H2H (Figures 2l-2n).
+
+Queries are grouped by distance (``Q_1 .. Q_10``, each group's pairs
+twice as far apart as the previous one, following [49]); the figures
+report the average query time per group.  The paper's findings to
+reproduce: CH query time grows with distance while H2H's stays flat,
+and H2H is one to three orders of magnitude faster.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.ch.query import ch_distance
+from repro.experiments.datasets import build_ch, build_h2h, build_network
+from repro.experiments.harness import ExperimentResult, Series
+from repro.h2h.query import h2h_distance
+from repro.workloads.queries import query_groups
+
+__all__ = ["run", "DEFAULT_NETWORKS"]
+
+#: Networks of Figures 2l-2n.
+DEFAULT_NETWORKS = ("WUS", "CUS", "US")
+
+
+def _average_seconds(fn, index, pairs) -> float:
+    """Average seconds per query of ``fn(index, s, t)`` over *pairs*."""
+    start = time.perf_counter()
+    for s, t in pairs:
+        fn(index, s, t)
+    return (time.perf_counter() - start) / len(pairs)
+
+
+def run(
+    networks: Sequence[str] = DEFAULT_NETWORKS,
+    queries_per_group: int = 100,
+    profile: str = "default",
+) -> ExperimentResult:
+    """Figures 2l-2n: per-group average query time, CH vs H2H."""
+    result = ExperimentResult(
+        exp_id="exp3",
+        title="Fig. 2l-2n: query time by distance group, CH vs H2H",
+    )
+    for name in networks:
+        graph = build_network(name, profile)
+        ch_index = build_ch(name, profile)
+        h2h_index = build_h2h(name, profile)
+        groups = query_groups(graph, queries_per_group, seed=300)
+        xs, ch_times, h2h_times = [], [], []
+        for group_id in sorted(groups):
+            pairs = groups[group_id]
+            if not pairs:
+                continue
+            xs.append(group_id)
+            ch_times.append(_average_seconds(ch_distance, ch_index, pairs))
+            h2h_times.append(_average_seconds(h2h_distance, h2h_index, pairs))
+        result.series.append(
+            Series(f"{name}/CH", xs, ch_times, "query group Qi", "seconds/query")
+        )
+        result.series.append(
+            Series(f"{name}/H2H", xs, h2h_times, "query group Qi", "seconds/query")
+        )
+        # Sanity: both oracles must agree on every sampled pair.
+        for group_id, pairs in groups.items():
+            for s, t in pairs[:5]:
+                d_ch = ch_distance(ch_index, s, t)
+                d_h2h = h2h_distance(h2h_index, s, t)
+                if d_ch != d_h2h:
+                    result.notes.append(
+                        f"MISMATCH on {name} Q{group_id} ({s},{t}): "
+                        f"CH={d_ch} H2H={d_h2h}"
+                    )
+    result.notes.append(
+        "Expected shape: CH query time grows with the distance group; "
+        "H2H stays flat and is 1-3 orders of magnitude faster."
+    )
+    return result

@@ -1,0 +1,62 @@
+"""Exp-6: scalability of ParIncH2H w.r.t. number of cores (Fig. 2r-2s).
+
+Runs the ParIncH2H scheduling simulation (Section 5.3; see
+:mod:`repro.h2h.parallel` for why simulation rather than threads) under
+the settings of Exp-1 (Fig. 2r: small batches) and Exp-2 (Fig. 2s:
+large batches) and reports the speedup relative to one core for
+1..16 cores, as the paper does on US.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.datasets import build_h2h, build_network
+from repro.experiments.harness import ExperimentResult, Series
+from repro.h2h.inch2h import inch2h_decrease, inch2h_increase
+from repro.h2h.parallel import build_report
+from repro.workloads.updates import increase_batch, restore_batch, sample_edges
+
+__all__ = ["run", "DEFAULT_CORES"]
+
+DEFAULT_CORES = (1, 2, 4, 8, 16)
+
+
+def run(
+    network: str = "US",
+    cores: Sequence[int] = DEFAULT_CORES,
+    small_fractions: Sequence[float] = (0.0004, 0.0018),
+    large_fractions: Sequence[float] = (0.002, 0.0052),
+    profile: str = "default",
+) -> ExperimentResult:
+    """Figures 2r-2s: ParIncH2H speedup vs #cores, Exp-1/Exp-2 settings."""
+    result = ExperimentResult(
+        exp_id="exp6",
+        title="Fig. 2r-2s: ParIncH2H speedup vs number of cores",
+    )
+    graph = build_network(network, profile)
+    index = build_h2h(network, profile)
+    for figure, fractions in (("2r", small_fractions), ("2s", large_fractions)):
+        for fraction in fractions:
+            count = max(1, round(fraction * graph.m))
+            edges = sample_edges(graph, count, seed=6000 + count)
+            work_log: list = []
+            inch2h_increase(
+                index, increase_batch(edges, 2.0), work_log=work_log
+            )
+            report = build_report(work_log)
+            inch2h_decrease(index, restore_batch(edges))
+            result.series.append(
+                Series(
+                    f"{network}/{figure}/|dG|={count}",
+                    list(cores),
+                    [report.speedup(p) for p in cores],
+                    "cores",
+                    "speedup vs 1 core",
+                )
+            )
+    result.notes.append(
+        "Expected shape: near-linear speedup, better for larger |dG| "
+        "(more super-shortcuts per level to balance across processors)."
+    )
+    return result

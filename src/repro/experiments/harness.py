@@ -1,0 +1,99 @@
+"""Shared result types and formatting for the experiment harness.
+
+Every experiment returns an :class:`ExperimentResult` — a set of named
+:class:`Series` (one per curve of the paper's figure, or one per column
+of the table) plus free-form notes.  ``format_result`` renders the rows
+the paper reports so EXPERIMENTS.md and the CLI output read the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Series", "ExperimentResult", "format_table", "format_result"]
+
+
+@dataclass
+class Series:
+    """One curve: aligned x/y vectors plus labeling."""
+
+    name: str
+    x: List[float]
+    y: List[float]
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.x)} x values vs "
+                f"{len(self.y)} y values"
+            )
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run."""
+
+    exp_id: str  #: e.g. "exp1" or "table2"
+    title: str  #: the paper artifact, e.g. "Fig. 2a-2f"
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: Optional row-oriented tables: name -> (headers, rows).
+    tables: Dict[str, tuple] = field(default_factory=dict)
+
+    def series_by_name(self, name: str) -> Series:
+        """Look up a series; raises KeyError with the known names."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(
+            f"no series {name!r}; known: {[s.name for s in self.series]}"
+        )
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], width: int = 14
+) -> str:
+    """Fixed-width text table (monospace-friendly)."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                text = "0"
+            elif abs(cell) >= 1000 or abs(cell) < 0.001:
+                text = f"{cell:.3e}"
+            else:
+                text = f"{cell:.4g}"
+        else:
+            text = str(cell)
+        return text[:width].rjust(width)
+
+    lines = ["".join(fmt(h) for h in headers)]
+    lines.append("-" * (width * len(headers)))
+    lines.extend("".join(fmt(c) for c in row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_result(result: ExperimentResult, x_digits: Optional[int] = None) -> str:
+    """Render an :class:`ExperimentResult` as the paper-style rows."""
+    blocks = [f"== {result.exp_id}: {result.title} =="]
+    # Group series sharing the same x vector into one table.
+    grouped: Dict[tuple, List[Series]] = {}
+    for s in result.series:
+        key = tuple(s.x)
+        grouped.setdefault(key, []).append(s)
+    for x_key, group in grouped.items():
+        headers = [group[0].x_label] + [s.name for s in group]
+        rows = []
+        for i, x in enumerate(x_key):
+            x_val = round(x, x_digits) if x_digits is not None else x
+            rows.append([x_val] + [s.y[i] for s in group])
+        blocks.append(format_table(headers, rows))
+    for name, (headers, rows) in result.tables.items():
+        blocks.append(f"-- {name} --")
+        blocks.append(format_table(headers, rows))
+    for note in result.notes:
+        blocks.append(f"note: {note}")
+    return "\n\n".join(blocks)

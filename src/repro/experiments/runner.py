@@ -1,0 +1,93 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments --exp exp1 [--profile small] [--out DIR]
+    python -m repro.experiments --exp all --profile small
+
+Each experiment prints its paper-style rows to stdout; with ``--out``
+the same text is also written to ``DIR/<exp>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablation,
+    exp1,
+    exp2,
+    exp3,
+    exp4,
+    exp6,
+    exp7,
+    figure3,
+    tables,
+)
+from repro.experiments.harness import ExperimentResult, format_result
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Experiment name -> zero-config callable (profile keyword supported).
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table2": tables.table2,
+    "exp1": exp1.run,
+    "fig2f": lambda profile="default": exp1.run_fig2f(),
+    "exp2": exp2.run,
+    "exp3": exp3.run,
+    "exp4": exp4.run,
+    "figure3": figure3.run,
+    "exp6": exp6.run,
+    "exp7": exp7.run,
+    # Table 3 is produced by exp7 as well; the standalone entry uses a
+    # reduced sweep so "--exp all" does not pay for the sweep twice.
+    "table3": lambda profile="default": tables.table3(
+        sizes=(2, 8, 32), profile=profile
+    ),
+    "ablation": ablation.run,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--exp",
+        required=True,
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run ('all' for every one)",
+    )
+    parser.add_argument(
+        "--profile",
+        default="default",
+        choices=("default", "small"),
+        help="dataset scale (small = CI-friendly)",
+    )
+    parser.add_argument("--out", default=None, help="directory for .txt outputs")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.exp == "all" else [args.exp]
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    for name in names:
+        runner = EXPERIMENTS[name]
+        result = runner(profile=args.profile)
+        text = format_result(result)
+        print(text)
+        print()
+        if args.out:
+            path = os.path.join(args.out, f"{name}.txt")
+            with open(path, "w") as handle:
+                handle.write(text + "\n")
+            print(f"[written to {path}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Table 2 (dataset statistics) and Table 3 (proportion updated).
+
+Table 2 reports, for every registry network, the vertex and edge counts
+and the number of shortcuts (CH) and super-shortcuts (H2H) — the scaled
+counterpart of the paper's Table 2.  Table 3 is produced alongside
+Exp-7 (:mod:`repro.experiments.exp7`) and re-exported here for the
+benchmark that regenerates it stand-alone.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.datasets import DATASETS, build_ch, build_h2h, build_network
+from repro.experiments.harness import ExperimentResult
+from repro.experiments import exp7
+
+__all__ = ["table2", "table3"]
+
+
+def table2(
+    networks: Sequence[str] = tuple(DATASETS),
+    profile: str = "default",
+) -> ExperimentResult:
+    """Table 2: |V|, |E|, # of SCs and # of SSCs per network."""
+    result = ExperimentResult(exp_id="table2", title="Table 2: dataset statistics")
+    rows = []
+    for name in networks:
+        graph = build_network(name, profile)
+        ch_index = build_ch(name, profile)
+        h2h_index = build_h2h(name, profile)
+        rows.append(
+            [
+                name,
+                DATASETS[name].description,
+                graph.n,
+                graph.m,
+                ch_index.num_shortcuts,
+                h2h_index.num_super_shortcuts(),
+            ]
+        )
+    result.tables["Table 2"] = (
+        ["name", "description", "|V|", "|E|", "# of SCs", "# of SSCs"],
+        rows,
+    )
+    result.notes.append(
+        "Scaled analogues of the paper's networks (same names, same size "
+        "ordering; see DESIGN.md substitutions)."
+    )
+    return result
+
+
+def table3(
+    network: str = "US",
+    sizes: Sequence[int] = exp7.DEFAULT_SIZES,
+    profile: str = "default",
+) -> ExperimentResult:
+    """Table 3: proportion of super-shortcuts updated w.r.t. |Delta G|."""
+    result = exp7.run(network=network, sizes=sizes, profile=profile)
+    result.exp_id = "table3"
+    result.title = "Table 3: proportion updated w.r.t. |Delta G|"
+    return result

@@ -1,0 +1,25 @@
+"""Road-network substrate: graph type, file formats, generators, traffic."""
+
+from repro.graph.generators import (
+    grid_network,
+    random_connected_network,
+    road_network,
+)
+from repro.graph.graph import INFINITY, RoadNetwork, WeightUpdate
+from repro.graph.io import read_dimacs, read_edge_list, write_dimacs, write_edge_list
+from repro.graph.traffic import TrafficModel, TrafficObservation
+
+__all__ = [
+    "INFINITY",
+    "RoadNetwork",
+    "TrafficModel",
+    "TrafficObservation",
+    "WeightUpdate",
+    "grid_network",
+    "random_connected_network",
+    "read_dimacs",
+    "read_edge_list",
+    "road_network",
+    "write_dimacs",
+    "write_edge_list",
+]

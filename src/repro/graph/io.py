@@ -1,0 +1,115 @@
+"""Road-network file formats.
+
+The paper's datasets come from the DIMACS 9th implementation challenge
+(``.gr`` files) and Geofabrik extracts.  This module reads and writes the
+DIMACS shortest-path format so that users with real DIMACS networks can
+load them directly, plus a minimal whitespace-separated edge-list format
+for small hand-made inputs.
+
+DIMACS ``.gr`` format::
+
+    c comment lines
+    p sp <n> <m>
+    a <u> <v> <w>        (1-based vertex ids; one line per directed arc)
+
+The paper treats all networks as undirected; the reader therefore merges
+arc pairs ``(u, v)`` / ``(v, u)`` and keeps the smaller weight when the two
+directions disagree.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple, Union
+
+from repro.errors import GraphError
+from repro.graph.graph import RoadNetwork
+
+__all__ = ["read_dimacs", "write_dimacs", "read_edge_list", "write_edge_list"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def read_dimacs(path: PathLike) -> RoadNetwork:
+    """Read a DIMACS ``.gr`` file into a :class:`RoadNetwork`.
+
+    Raises
+    ------
+    GraphError
+        If the file is malformed (missing problem line, bad arc counts,
+        out-of-range vertices).
+    """
+    n = -1
+    declared_arcs = -1
+    best: Dict[Tuple[int, int], float] = {}
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            fields = line.split()
+            if fields[0] == "p":
+                if len(fields) != 4 or fields[1] != "sp":
+                    raise GraphError(f"{path}:{lineno}: bad problem line {line!r}")
+                n, declared_arcs = int(fields[2]), int(fields[3])
+            elif fields[0] == "a":
+                if len(fields) != 4:
+                    raise GraphError(f"{path}:{lineno}: bad arc line {line!r}")
+                if n < 0:
+                    raise GraphError(f"{path}: arc line before problem line")
+                u, v = int(fields[1]) - 1, int(fields[2]) - 1
+                w = float(fields[3])
+                if not (0 <= u < n and 0 <= v < n):
+                    raise GraphError(f"{path}:{lineno}: vertex out of range")
+                if u == v:
+                    continue
+                key = (u, v) if u < v else (v, u)
+                if key not in best or w < best[key]:
+                    best[key] = w
+            else:
+                raise GraphError(f"{path}:{lineno}: unknown line type {fields[0]!r}")
+    if n < 0:
+        raise GraphError(f"{path}: missing problem line")
+    del declared_arcs  # informational only; undirected merge changes the count
+    graph = RoadNetwork(n)
+    for (u, v), w in best.items():
+        graph.add_edge(u, v, w)
+    return graph
+
+
+def write_dimacs(graph: RoadNetwork, path: PathLike, comment: str = "") -> None:
+    """Write *graph* as a DIMACS ``.gr`` file (both arc directions)."""
+    with open(path, "w") as handle:
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"c {line}\n")
+        handle.write(f"p sp {graph.n} {2 * graph.m}\n")
+        for u, v, w in graph.edges():
+            weight = int(w) if float(w).is_integer() else w
+            handle.write(f"a {u + 1} {v + 1} {weight}\n")
+            handle.write(f"a {v + 1} {u + 1} {weight}\n")
+
+
+def read_edge_list(path: PathLike) -> RoadNetwork:
+    """Read a ``u v w`` whitespace edge list (0-based ids, ``#`` comments)."""
+    triples = []
+    max_vertex = -1
+    with open(path) as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) != 3:
+                raise GraphError(f"{path}:{lineno}: expected 'u v w', got {line!r}")
+            u, v, w = int(fields[0]), int(fields[1]), float(fields[2])
+            triples.append((u, v, w))
+            max_vertex = max(max_vertex, u, v)
+    return RoadNetwork.from_edges(max_vertex + 1, triples)
+
+
+def write_edge_list(graph: RoadNetwork, path: PathLike) -> None:
+    """Write *graph* as a ``u v w`` edge list (one canonical line per edge)."""
+    with open(path, "w") as handle:
+        for u, v, w in graph.edges():
+            handle.write(f"{u} {v} {w}\n")

@@ -1,0 +1,107 @@
+"""Edge insertion and deletion for H2H (Section 7 of the paper).
+
+* **Deletion**: raise the edge weight to infinity and reuse IncH2H+ —
+  the structure (shortcuts, tree) is untouched.
+* **Insertion**: first update the shortcut graph with the CH edge-
+  insertion routine (Section 7 defers to [39]); the shortcut set — and
+  therefore the tree decomposition — may change.  Following the paper:
+  let ``S1`` be the vertices whose parent or incident shortcuts changed,
+  and ``S2 ⊆ S1`` the members with no proper ancestor in ``S1``; the
+  distance arrays of all descendants of ``S2`` are rebuilt top-down
+  exactly as in H2HIndexing, while every other row is carried over
+  unchanged (its root path, upward neighborhood, and all their weights
+  are untouched, so Equation (*) yields the same values).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.errors import UpdateError
+from repro.ch.edge_updates import insert_edge as ch_insert_edge
+from repro.h2h.inch2h import inch2h_increase
+from repro.h2h.index import H2HIndex
+from repro.h2h.indexing import fill_row
+from repro.h2h.tree import TreeDecomposition
+from repro.utils.counters import OpCounter, resolve_counter
+
+__all__ = ["h2h_insert_edge", "h2h_delete_edge"]
+
+
+def h2h_delete_edge(
+    index: H2HIndex,
+    u: int,
+    v: int,
+    counter: Optional[OpCounter] = None,
+) -> None:
+    """Delete edge ``(u, v)``: its weight becomes infinite (Section 7)."""
+    if not index.sc.is_graph_edge(u, v):
+        raise UpdateError(f"({u}, {v}) is not an edge of G")
+    inch2h_increase(index, [((u, v), math.inf)], counter)
+
+
+def h2h_insert_edge(
+    index: H2HIndex,
+    u: int,
+    v: int,
+    weight: float,
+    counter: Optional[OpCounter] = None,
+) -> H2HIndex:
+    """Insert edge ``(u, v)`` into the H2H index (Section 7).
+
+    Returns a new :class:`H2HIndex` (the tree decomposition, and hence
+    the matrix shapes, may change); the underlying shortcut graph object
+    is updated in place and shared with the result.
+    """
+    ops = resolve_counter(counter)
+    sc = index.sc
+    old_tree = index.tree
+    old_parent = list(old_tree.parent)
+    old_dis, old_sup = index.dis, index.sup
+    old_depth = old_tree.depth
+
+    new_shortcuts, changed = ch_insert_edge(sc, u, v, weight, counter)
+
+    # Rebuild the (weight-independent) tree bookkeeping on the new
+    # structure; rows of vertices outside the affected subtrees will be
+    # copied over rather than recomputed.
+    new_tree = TreeDecomposition(sc)
+
+    # S1: parents changed, incident shortcuts appeared, or incident
+    # shortcut weights changed.
+    s1: Set[int] = {
+        w for w in range(sc.n) if new_tree.parent[w] != old_parent[w]
+    }
+    for a, b in new_shortcuts:
+        s1.add(a)
+        s1.add(b)
+    for (a, b), _old, _new in changed:
+        s1.add(a)
+        s1.add(b)
+    s1.add(u)
+    s1.add(v)
+
+    n = new_tree.n
+    height = new_tree.height
+    dis = np.full((n, height), np.inf, dtype=np.float64)
+    sup = np.zeros((n, height), dtype=np.int32)
+
+    # A vertex needs a rebuild iff some member of S1 lies on its root
+    # path (including itself); mark top-down so the test is O(1)/vertex.
+    needs_rebuild = np.zeros(n, dtype=bool)
+    for w in new_tree.top_down_order:
+        p = new_tree.parent[w]
+        needs_rebuild[w] = (w in s1) or (p >= 0 and needs_rebuild[p])
+        if needs_rebuild[w]:
+            ops.add("h2h_row_rebuild")
+            fill_row(sc, new_tree, dis, sup, w)
+        else:
+            # Untouched root path and upward neighborhood: copy the row.
+            dw = int(old_depth[w])
+            dis[w, : dw + 1] = old_dis[w, : dw + 1]
+            sup[w, : dw + 1] = old_sup[w, : dw + 1]
+
+    return H2HIndex(sc, new_tree, dis, sup)

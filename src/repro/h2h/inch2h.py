@@ -1,0 +1,283 @@
+"""IncH2H — the paper's new incremental H2H algorithms (Section 5).
+
+``inch2h_increase`` is Algorithm 4 (IncH2H+) and ``inch2h_decrease`` is
+Algorithm 5 (IncH2H-).  Theorem 5.1 proves IncH2H+ *subbounded relative
+to* H2HIndexing (``O(||AFF|| log ||AFF||)``) and IncH2H- additionally
+*bounded relative to* H2HIndexing (``O(|DIFF| log |DIFF|)``).
+
+Both algorithms first update the shortcut graph with DCH (line 2) —
+IncH2H belongs to the INC_H2H class of Section 3.3, which maintains
+``sc(G)`` as a subtask — and then propagate through super-shortcuts:
+
+* a priority queue processes affected super-shortcuts ``<<u, a>>`` in
+  non-ascending rank of the *descendant* endpoint ``u``, so that every
+  Equation (*) dependency (which always points to higher-ranked
+  vertices) is final before an entry is consumed;
+* the dependents of an entry ``(u, a)`` are found without scanning the
+  whole index: they are exactly the entries ``(v, a)`` for
+  ``v in nbr-(u)`` (lines 15-18) and ``(v, u)`` for
+  ``v in nbr-(a) ∩ des(u)`` (lines 19-22), the latter enumerated as a
+  contiguous range of ``nbr-(a)`` via ``first(<<u, a>>)``.
+
+As in DCH-, the decrease pass maintains exact ``sup`` values on the fly
+(the paper's "without affecting the complexity" note at the end of
+Section 5.2): every changed candidate is re-evaluated exactly once with
+final values — the pop order guarantees finality, and a per-seed memo
+(``seed_rows``) prevents the one case where a seed evaluation and a
+dependent-entry pop would apply the same candidate twice.
+
+A ``work_log`` hook records ``(depth(u), u, cost)`` per processed entry
+for the ParIncH2H scheduling simulation (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ch.dch import dch_decrease, dch_increase
+from repro.graph.graph import WeightUpdate
+from repro.h2h.index import H2HIndex
+from repro.utils.counters import OpCounter, resolve_counter
+from repro.utils.heap import AddressableHeap
+
+__all__ = ["inch2h_increase", "inch2h_decrease", "ChangedSuperShortcut"]
+
+#: A changed super-shortcut: ((descendant u, depth of ancestor a), old, new).
+ChangedSuperShortcut = Tuple[Tuple[int, int], float, float]
+
+_INF = math.inf
+
+
+def _ancestor_scan_increase(index, changed_shortcuts, queue, ops) -> None:
+    """Lines 3-12 of Algorithm 4: per changed shortcut <u, v>, test every
+    super-shortcut <<u, a>> for support loss using *original* weights.
+
+    The per-ancestor candidate vector is evaluated with the vectorized
+    Equation (*) kernel; the op count is unchanged (one ``anc_scan`` per
+    ancestor), only the interpreter overhead moves into numpy.
+    """
+    rank = index.sc.ordering.rank
+    depth = index.tree.depth
+    dis = index.dis
+    sup = index.sup
+    for (a_end, b_end), old_w, _new_w in changed_shortcuts:
+        u, v = (a_end, b_end) if rank[a_end] < rank[b_end] else (b_end, a_end)
+        du = int(depth[u])
+        ops.add("anc_scan", du)
+        if du == 0 or math.isinf(old_w):
+            continue
+        tmp = index.candidate_row(u, v, old_w)
+        hits = np.nonzero((tmp == dis[u, :du]) & ~np.isinf(tmp))[0]
+        for da in hits:
+            da = int(da)
+            sup[u, da] -= 1
+            if sup[u, da] == 0:
+                queue.push((u, da), (-rank[u], da))
+                ops.add("queue_push")
+
+
+def inch2h_increase(
+    index: H2HIndex,
+    updates: Sequence[WeightUpdate],
+    counter: Optional[OpCounter] = None,
+    work_log: Optional[list] = None,
+) -> List[ChangedSuperShortcut]:
+    """IncH2H+ (Algorithm 4): apply weight *increases* to the H2H index.
+
+    Parameters
+    ----------
+    index:
+        The H2H index (including its shortcut graph); mutated in place.
+    updates:
+        ``((u, v), new_weight)`` pairs, each >= the current weight.
+    counter:
+        Optional instrumentation; channels include ``anc_scan``,
+        ``down_inspect``, ``desc_inspect``, ``star_term``, ``queue_*``.
+    work_log:
+        Optional list; receives ``(depth(u), u, cost)`` per processed
+        super-shortcut for the ParIncH2H simulation.
+
+    Returns
+    -------
+    list of ((u, depth_a), old_value, new_value)
+        The super-shortcuts whose distance value changed (AFF_3).
+    """
+    ops = resolve_counter(counter)
+    # Line 2: update sc(G); C = shortcuts changed, with original weights.
+    changed_shortcuts = dch_increase(index.sc, updates, counter)
+
+    rank = index.sc.ordering.rank
+    depth = index.tree.depth
+    tree = index.tree
+    sc = index.sc
+    dis = index.dis
+    sup = index.sup
+    queue: AddressableHeap[Tuple[int, int]] = AddressableHeap()
+
+    _ancestor_scan_increase(index, changed_shortcuts, queue, ops)
+
+    changed: List[ChangedSuperShortcut] = []
+    # Lines 13-23: process in non-ascending rank of the descendant u.
+    while queue:
+        (u, da), _ = queue.pop()
+        ops.add("queue_pop")
+        a = int(tree.anc[u][da])
+        du = int(depth[u])
+        old_val = float(dis[u, da])
+        cost = len(sc.upward(u))
+        if not math.isinf(old_val):
+            adj = sc._adj
+            dis_col = dis[:, da]
+            # Lines 15-18: entries (v, a) for downward neighbors v of u.
+            # Infinite shortcut legs (deleted roads) support nothing, so
+            # an inf == inf match must not decrement (dis inf => sup 0).
+            for v in sc.downward(u):
+                cost += 1
+                candidate = adj[v][u] + old_val
+                if candidate != _INF and candidate == dis_col[v]:
+                    sup[v, da] -= 1
+                    if sup[v, da] == 0:
+                        queue.push((v, da), (-rank[v], da))
+                        ops.add("queue_push")
+            dis_col_u = dis[:, du]
+            # Lines 19-22: entries (v, u) for v in nbr-(a) ∩ des(u).
+            for v in tree.down_in_descendants(a, u):
+                cost += 1
+                candidate = adj[v][a] + old_val
+                if candidate != _INF and candidate == dis_col_u[v]:
+                    sup[v, du] -= 1
+                    if sup[v, du] == 0:
+                        queue.push((v, du), (-rank[v], du))
+                        ops.add("queue_push")
+        ops.add("dependent_inspect", cost - len(sc.upward(u)))
+        # Line 23: recompute from Equation (*).
+        new_val = index.recompute_entry(u, da, ops)
+        if new_val != old_val:
+            changed.append(((u, da), old_val, new_val))
+        if work_log is not None:
+            work_log.append((du, u, cost))
+    return changed
+
+
+def inch2h_decrease(
+    index: H2HIndex,
+    updates: Sequence[WeightUpdate],
+    counter: Optional[OpCounter] = None,
+    work_log: Optional[list] = None,
+) -> List[ChangedSuperShortcut]:
+    """IncH2H- (Algorithm 5): apply weight *decreases* to the H2H index.
+
+    Mirrors :func:`inch2h_increase`; relaxes instead of recomputing and
+    keeps every support counter exact on the fly.
+
+    Returns
+    -------
+    list of ((u, depth_a), old_value, new_value)
+        The super-shortcuts whose distance value changed (AFF_3).
+    """
+    ops = resolve_counter(counter)
+    # Line 2: update sc(G); C = shortcuts changed, with final weights.
+    changed_shortcuts = dch_decrease(index.sc, updates, counter)
+
+    rank = index.sc.ordering.rank
+    depth = index.tree.depth
+    tree = index.tree
+    sc = index.sc
+    dis = index.dis
+    queue: AddressableHeap[Tuple[int, int]] = AddressableHeap()
+    original: dict = {}
+    sup = index.sup
+
+    # Lines 3-12: seed relaxations from the changed shortcuts.  Supports
+    # are maintained exactly on the fly: every seed candidate strictly
+    # decreased (its shortcut changed), so a tie means one new supporting
+    # term and an improvement resets the support to that term alone; any
+    # stale tie recorded against a not-yet-final sd value is erased later
+    # by the relaxation that finalizes the entry (which resets support).
+    # seed_rows remembers each seed's evaluated candidates so the pop
+    # loops can tell whether a seed already applied a candidate at its
+    # final value (the candidate's sd entry may have been finalized by an
+    # earlier seed) and must not apply it twice.
+    seed_rows: dict = {}
+    for (a_end, b_end), _old_w, new_w in changed_shortcuts:
+        u, v = (a_end, b_end) if rank[a_end] < rank[b_end] else (b_end, a_end)
+        du = int(depth[u])
+        ops.add("anc_scan", du)
+        if du == 0:
+            continue
+        tmp = index.candidate_row(u, v, new_w)
+        seed_rows[(u, v)] = tmp
+        row = dis[u, :du]
+        better = np.nonzero(tmp < row)[0]
+        ties = np.nonzero((tmp == row) & ~np.isinf(tmp))[0]
+        if len(ties):
+            sup[u, ties] += 1
+        for da in better:
+            da = int(da)
+            original.setdefault((u, da), float(dis[u, da]))
+            dis[u, da] = tmp[da]
+            sup[u, da] = 1
+            if (u, da) not in queue:
+                queue.push((u, da), (-rank[u], da))
+                ops.add("queue_push")
+
+    # Lines 13-22: propagate relaxations downward.
+    # Lines 13-22: propagate relaxations downward.  A popped entry is
+    # final (its dependencies all rank higher and popped first), so each
+    # dependent candidate is evaluated here exactly once with final
+    # values: improvements reset the dependent's support, ties add one.
+    adj = sc._adj
+    while queue:
+        (u, da), _ = queue.pop()
+        ops.add("queue_pop")
+        a = int(tree.anc[u][da])
+        du = int(depth[u])
+        val = float(dis[u, da])
+        cost = 0
+        if not math.isinf(val):
+            dis_col = dis[:, da]
+            for v in sc.downward(u):
+                cost += 1
+                candidate = adj[v][u] + val
+                seed_row = seed_rows.get((v, u))
+                if seed_row is not None and seed_row[da] == candidate:
+                    continue  # the seed already applied this candidate
+                current = dis_col[v]
+                if candidate < current:
+                    original.setdefault((v, da), float(current))
+                    dis_col[v] = candidate
+                    sup[v, da] = 1
+                    if (v, da) not in queue:
+                        queue.push((v, da), (-rank[v], da))
+                        ops.add("queue_push")
+                elif candidate == current and candidate != _INF:
+                    sup[v, da] += 1
+            dis_col_u = dis[:, du]
+            for v in tree.down_in_descendants(a, u):
+                cost += 1
+                candidate = adj[v][a] + val
+                seed_row = seed_rows.get((v, a))
+                if seed_row is not None and seed_row[du] == candidate:
+                    continue  # the seed already applied this candidate
+                current = dis_col_u[v]
+                if candidate < current:
+                    original.setdefault((v, du), float(current))
+                    dis_col_u[v] = candidate
+                    sup[v, du] = 1
+                    if (v, du) not in queue:
+                        queue.push((v, du), (-rank[v], du))
+                        ops.add("queue_push")
+                elif candidate == current and candidate != _INF:
+                    sup[v, du] += 1
+        ops.add("dependent_inspect", cost)
+        if work_log is not None:
+            work_log.append((du, u, cost))
+
+    return [
+        (key, old, float(dis[key[0], key[1]]))
+        for key, old in original.items()
+        if dis[key[0], key[1]] != old
+    ]

@@ -1,0 +1,14 @@
+"""k-nearest-neighbor search over dynamic road networks.
+
+The paper motivates IncH2H partly as "a necessary routine to maintain
+indices that are built on H2H, e.g., the state-of-the-art TEN index for
+the task of nearest neighbor search" (Sections 1 and 6.2).  This
+subpackage provides that downstream application: a POI (point of
+interest) index layered on a dynamic distance oracle, answering
+"k nearest restaurants from here, under current traffic" queries and
+staying correct as IncH2H absorbs weight updates underneath it.
+"""
+
+from repro.knn.poi import POIIndex, POIResult
+
+__all__ = ["POIIndex", "POIResult"]

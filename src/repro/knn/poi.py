@@ -1,0 +1,187 @@
+"""POI k-nearest-neighbor queries over a dynamic distance oracle.
+
+:class:`POIIndex` registers points of interest (vertices tagged with a
+category, e.g. ``"fuel"``) and answers *k*-nearest queries under the
+network's **current** weights.  Two exact strategies are provided and
+chosen adaptively:
+
+* ``"oracle"`` — evaluate the distance oracle once per candidate POI
+  and keep the k best.  With H2H underneath, one query costs
+  microseconds, so this wins when the category is small.
+* ``"search"`` — run Dijkstra from the query vertex, stopping once
+  ``k`` POIs are settled.  This wins when POIs are dense (the search
+  stops early) or the category is huge.
+
+Both are exact, so the property tests can check them against each
+other; the adaptive default switches on category size relative to the
+network.  Because distances are always read from the live oracle /
+graph, a POI index needs **no maintenance of its own** when traffic
+changes — precisely the layering the paper describes for TEN: keep the
+H2H index fresh with IncH2H and every kNN answer stays correct.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.core.oracle import DistanceOracle
+from repro.errors import QueryError
+
+__all__ = ["POIIndex", "POIResult"]
+
+
+@dataclass(frozen=True, order=True)
+class POIResult:
+    """One kNN answer: distance first so results sort naturally."""
+
+    distance: float
+    vertex: int
+    category: str
+
+
+class POIIndex:
+    """Points of interest over a (dynamic) distance oracle.
+
+    Parameters
+    ----------
+    oracle:
+        Any :class:`~repro.core.oracle.DistanceOracle`; its graph and
+        answers are always consulted live, so updating the oracle
+        updates every kNN answer automatically.
+
+    Example
+    -------
+    >>> from repro import DynamicH2H, road_network
+    >>> oracle = DynamicH2H(road_network(100, seed=1))
+    >>> pois = POIIndex(oracle)
+    >>> pois.add(5, "fuel"); pois.add(50, "fuel")
+    >>> [r.vertex for r in pois.nearest(0, "fuel", k=1)] in ([5], [50])
+    True
+    """
+
+    def __init__(self, oracle: DistanceOracle) -> None:
+        self.oracle = oracle
+        self._by_category: Dict[str, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self.oracle.graph.n:
+            raise QueryError(
+                f"vertex {vertex} out of range [0, {self.oracle.graph.n})"
+            )
+
+    def add(self, vertex: int, category: str) -> None:
+        """Register *vertex* as a POI of *category* (idempotent)."""
+        self._check_vertex(vertex)
+        self._by_category.setdefault(category, set()).add(vertex)
+
+    def remove(self, vertex: int, category: str) -> None:
+        """Unregister a POI.
+
+        Raises
+        ------
+        QueryError
+            If the POI was not registered.
+        """
+        members = self._by_category.get(category, set())
+        if vertex not in members:
+            raise QueryError(f"vertex {vertex} is not a {category!r} POI")
+        members.remove(vertex)
+        if not members:
+            del self._by_category[category]
+
+    def categories(self) -> List[str]:
+        """All registered categories, sorted."""
+        return sorted(self._by_category)
+
+    def members(self, category: str) -> Set[int]:
+        """The POIs of *category* (a copy)."""
+        return set(self._by_category.get(category, set()))
+
+    def __len__(self) -> int:
+        return sum(len(m) for m in self._by_category.values())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nearest(
+        self,
+        source: int,
+        category: str,
+        k: int = 1,
+        strategy: Optional[str] = None,
+    ) -> List[POIResult]:
+        """The *k* nearest POIs of *category* from *source*, ascending.
+
+        Unreachable POIs are excluded; fewer than *k* results may be
+        returned.  Ties are broken by vertex id for determinism.
+
+        Parameters
+        ----------
+        strategy:
+            ``"oracle"``, ``"search"``, or ``None`` for adaptive.
+        """
+        self._check_vertex(source)
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        members = self._by_category.get(category)
+        if not members:
+            return []
+        if strategy is None:
+            # Oracle scanning costs |P| oracle queries; the search costs
+            # roughly the volume of the ball holding k POIs.  Scan small
+            # categories, search dense ones.
+            strategy = (
+                "oracle" if len(members) <= max(8, self.oracle.graph.n // 50)
+                else "search"
+            )
+        if strategy == "oracle":
+            results = self._nearest_by_oracle(source, category, members, k)
+        elif strategy == "search":
+            results = self._nearest_by_search(source, category, members, k)
+        else:
+            raise QueryError(f"unknown strategy {strategy!r}")
+        return results
+
+    def _nearest_by_oracle(
+        self, source: int, category: str, members: Set[int], k: int
+    ) -> List[POIResult]:
+        distances = [
+            POIResult(self.oracle.distance(source, poi), poi, category)
+            for poi in members
+        ]
+        reachable = [r for r in distances if not math.isinf(r.distance)]
+        reachable.sort()
+        return reachable[:k]
+
+    def _nearest_by_search(
+        self, source: int, category: str, members: Set[int], k: int
+    ) -> List[POIResult]:
+        graph = self.oracle.graph
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[tuple] = [(0.0, source)]
+        settled: Set[int] = set()
+        found: List[POIResult] = []
+        while heap and len(found) < k:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            if u in members:
+                found.append(POIResult(d, u, category))
+            for v, w in graph.neighbor_items(u):
+                nd = d + w
+                if nd < dist.get(v, math.inf):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return found
+
+    def __repr__(self) -> str:
+        return (
+            f"POIIndex(categories={len(self._by_category)}, pois={len(self)})"
+        )

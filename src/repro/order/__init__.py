@@ -1,0 +1,11 @@
+"""Vertex orderings (contraction orders) for CH and H2H."""
+
+from repro.order.min_degree import minimum_degree_ordering
+from repro.order.ordering import Ordering, degree_ordering, random_ordering
+
+__all__ = [
+    "Ordering",
+    "degree_ordering",
+    "minimum_degree_ordering",
+    "random_ordering",
+]

@@ -1,0 +1,146 @@
+"""Index persistence: save/load CH and H2H indexes to a single file.
+
+Building H2H on a large network is the expensive step (Fig. 3a);
+shipping the built index and maintaining it incrementally is exactly
+the deployment story the paper targets.  This module serializes both
+index types to compressed ``.npz`` archives:
+
+* **CH**: the ordering, the shortcut triples ``(u, v, phi(u,v))``, the
+  graph's edge weights, and the ``sup``/``via`` auxiliaries;
+* **H2H**: the underlying CH payload plus the ``dis``/``sup`` matrices
+  (the tree decomposition is weight independent and is rebuilt
+  deterministically from the shortcut structure on load).
+
+Round-trips are exact: loading produces an index that compares equal,
+entry for entry, to the saved one, and can be maintained further with
+DCH / IncH2H.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.ch.shortcut_graph import ShortcutGraph
+from repro.errors import ReproError
+from repro.h2h.index import H2HIndex
+from repro.h2h.tree import TreeDecomposition
+from repro.order.ordering import Ordering
+
+__all__ = ["save_ch", "load_ch", "save_h2h", "load_h2h"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_CH_FORMAT = 1
+_H2H_FORMAT = 1
+
+
+def _ch_payload(index: ShortcutGraph) -> Dict[str, np.ndarray]:
+    shortcuts = list(index.shortcuts())
+    us = np.array([u for u, _ in shortcuts], dtype=np.int64)
+    vs = np.array([v for _, v in shortcuts], dtype=np.int64)
+    weights = np.array([index.weight(u, v) for u, v in shortcuts])
+    sups = np.array([index.support(u, v) for u, v in shortcuts],
+                    dtype=np.int64)
+    vias = np.array(
+        [-1 if index.via(u, v) is None else index.via(u, v)
+         for u, v in shortcuts],
+        dtype=np.int64,
+    )
+    edge_items = sorted(index._edge_w.items())
+    edge_us = np.array([u for (u, _), _ in edge_items], dtype=np.int64)
+    edge_vs = np.array([v for (_, v), _ in edge_items], dtype=np.int64)
+    edge_ws = np.array([w for _, w in edge_items])
+    return {
+        "ch_format": np.array([_CH_FORMAT]),
+        "order": np.array(index.ordering.order, dtype=np.int64),
+        "sc_u": us,
+        "sc_v": vs,
+        "sc_w": weights,
+        "sc_sup": sups,
+        "sc_via": vias,
+        "edge_u": edge_us,
+        "edge_v": edge_vs,
+        "edge_w": edge_ws,
+    }
+
+
+def save_ch(index: ShortcutGraph, path: PathLike) -> None:
+    """Serialize a CH index to a compressed ``.npz`` archive."""
+    np.savez_compressed(path, **_ch_payload(index))
+
+
+def _ch_from_payload(data) -> ShortcutGraph:
+    if int(data["ch_format"][0]) != _CH_FORMAT:
+        raise ReproError(
+            f"unsupported CH archive format {int(data['ch_format'][0])}"
+        )
+    ordering = Ordering([int(x) for x in data["order"]])
+    n = len(ordering)
+    adj: List[Dict[int, float]] = [{} for _ in range(n)]
+    for u, v, w in zip(data["sc_u"], data["sc_v"], data["sc_w"]):
+        adj[int(u)][int(v)] = float(w)
+        adj[int(v)][int(u)] = float(w)
+    edge_weights = {
+        (int(u), int(v)): float(w)
+        for u, v, w in zip(data["edge_u"], data["edge_v"], data["edge_w"])
+    }
+    index = ShortcutGraph(ordering, adj, edge_weights)
+    for u, v, sup, via in zip(
+        data["sc_u"], data["sc_v"], data["sc_sup"], data["sc_via"]
+    ):
+        key = (int(u), int(v))
+        index._sup[key] = int(sup)
+        index._via[key] = None if int(via) < 0 else int(via)
+    return index
+
+
+def load_ch(path: PathLike) -> ShortcutGraph:
+    """Load a CH index saved with :func:`save_ch`.
+
+    Raises
+    ------
+    ReproError
+        If the archive is not a CH archive (or a newer format).
+    """
+    with np.load(path) as data:
+        if "ch_format" not in data:
+            raise ReproError(f"{path} is not a repro CH archive")
+        return _ch_from_payload(data)
+
+
+def save_h2h(index: H2HIndex, path: PathLike) -> None:
+    """Serialize an H2H index (including its CH) to one ``.npz`` archive."""
+    payload = _ch_payload(index.sc)
+    payload["h2h_format"] = np.array([_H2H_FORMAT])
+    payload["dis"] = index.dis
+    payload["sup_matrix"] = index.sup
+    np.savez_compressed(path, **payload)
+
+
+def load_h2h(path: PathLike) -> H2HIndex:
+    """Load an H2H index saved with :func:`save_h2h`.
+
+    The tree decomposition (ancestor/position arrays, DFS times, LCA
+    tables) is rebuilt from the loaded shortcut structure; it is weight
+    independent, so the rebuild is deterministic and exact.
+    """
+    with np.load(path) as data:
+        if "h2h_format" not in data:
+            raise ReproError(f"{path} is not a repro H2H archive")
+        if int(data["h2h_format"][0]) != _H2H_FORMAT:
+            raise ReproError(
+                f"unsupported H2H archive format {int(data['h2h_format'][0])}"
+            )
+        sc = _ch_from_payload(data)
+        dis = np.array(data["dis"], dtype=np.float64)
+        sup = np.array(data["sup_matrix"], dtype=np.int32)
+    tree = TreeDecomposition(sc)
+    if dis.shape != (tree.n, tree.height):
+        raise ReproError(
+            f"distance matrix shape {dis.shape} does not match the "
+            f"decomposition ({tree.n} x {tree.height})"
+        )
+    return H2HIndex(sc, tree, dis, sup)

@@ -1,0 +1,8 @@
+"""Shared low-level utilities: heaps, LCA, operation counters, timing."""
+
+from repro.utils.counters import OpCounter
+from repro.utils.heap import AddressableHeap
+from repro.utils.lca import LCAOracle
+from repro.utils.timer import Timer
+
+__all__ = ["AddressableHeap", "LCAOracle", "OpCounter", "Timer"]

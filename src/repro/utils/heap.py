@@ -1,0 +1,114 @@
+"""Addressable binary heap with lazy deletion.
+
+All priority-queue-driven algorithms in this library (Dijkstra, DCH,
+IncH2H, ...) share the same needs:
+
+* push an item with a priority,
+* pop the item with the smallest priority,
+* test membership (``if e not in Q`` in Algorithms 2-5 of the paper),
+* change the priority of an item already in the queue.
+
+:class:`AddressableHeap` provides all of these on top of :mod:`heapq` with
+the classic lazy-deletion technique: a ``(priority, tiebreak, item)`` entry
+stays in the underlying list after the item is removed or re-prioritized
+and is discarded when it surfaces.  Every operation is ``O(log n)``
+amortized, matching the log factor that relative subboundedness budgets
+for auxiliary structures (Section 4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+__all__ = ["AddressableHeap"]
+
+
+class AddressableHeap(Generic[T]):
+    """Min-heap keyed by an orderable priority, addressable by item.
+
+    Items must be hashable and unique within the heap; pushing an item that
+    is already present updates its priority instead.
+
+    Example
+    -------
+    >>> heap = AddressableHeap()
+    >>> heap.push("a", 3)
+    >>> heap.push("b", 1)
+    >>> heap.push("a", 0)      # decrease "a" to priority 0
+    >>> heap.pop()
+    ('a', 0)
+    >>> "b" in heap
+    True
+    """
+
+    def __init__(self) -> None:
+        self._entries: list = []
+        self._priority: dict = {}
+        self._tiebreak = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._priority)
+
+    def __bool__(self) -> bool:
+        return bool(self._priority)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._priority
+
+    def __iter__(self) -> Iterator[T]:
+        """Iterate over live items in no particular order."""
+        return iter(self._priority)
+
+    def priority(self, item: T):
+        """Return the current priority of *item*.
+
+        Raises
+        ------
+        KeyError
+            If *item* is not in the heap.
+        """
+        return self._priority[item]
+
+    def push(self, item: T, priority) -> None:
+        """Insert *item*, or update its priority if already present."""
+        if item in self._priority and self._priority[item] == priority:
+            return
+        self._priority[item] = priority
+        heapq.heappush(self._entries, (priority, next(self._tiebreak), item))
+
+    def discard(self, item: T) -> None:
+        """Remove *item* if present; no-op otherwise (lazy)."""
+        self._priority.pop(item, None)
+
+    def pop(self) -> Tuple[T, object]:
+        """Remove and return ``(item, priority)`` with the smallest priority.
+
+        Raises
+        ------
+        IndexError
+            If the heap is empty.
+        """
+        while self._entries:
+            priority, _, item = heapq.heappop(self._entries)
+            if self._priority.get(item) == priority:
+                del self._priority[item]
+                return item, priority
+        raise IndexError("pop from empty AddressableHeap")
+
+    def peek(self) -> Optional[Tuple[T, object]]:
+        """Return ``(item, priority)`` with the smallest priority, or ``None``."""
+        while self._entries:
+            priority, _, item = self._entries[0]
+            if self._priority.get(item) == priority:
+                return item, priority
+            heapq.heappop(self._entries)
+        return None
+
+    def clear(self) -> None:
+        """Remove all items."""
+        self._entries.clear()
+        self._priority.clear()

@@ -1,0 +1,132 @@
+"""Constant-time lowest-common-ancestor queries.
+
+H2H answers a distance query ``(s, t)`` by taking the lowest common
+ancestor ``a`` of ``s`` and ``t`` in the tree decomposition and minimizing
+``dis(s)[i] + dis(t)[i]`` over ``i in pos(a)`` (Section 2 of the paper).
+The LCA step must be O(1) for H2H's query time to be dominated by the
+``|pos(a)|``-length scan, so we use the classic Euler tour + sparse-table
+range-minimum reduction: O(n log n) preprocessing, O(1) per query.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["LCAOracle"]
+
+
+class LCAOracle:
+    """Sparse-table LCA over a rooted forest given as a parent array.
+
+    Parameters
+    ----------
+    parent:
+        ``parent[v]`` is the parent of vertex ``v``, or ``-1`` for a root.
+        Vertices are dense integers ``0 .. n-1``.
+
+    Notes
+    -----
+    The construction performs an iterative DFS (recursion-free, so deep
+    road-network decompositions cannot blow the Python stack), records the
+    Euler tour of depths, and builds a sparse table of argmin positions.
+    """
+
+    def __init__(self, parent: Sequence[int]) -> None:
+        n = len(parent)
+        self._n = n
+        children: List[List[int]] = [[] for _ in range(n)]
+        roots: List[int] = []
+        for v, p in enumerate(parent):
+            if p < 0:
+                roots.append(v)
+            else:
+                children[p].append(v)
+
+        # Euler tour: vertex visited once per entry and once after each child.
+        tour: List[int] = []
+        depth_at: List[int] = []
+        first_seen = [-1] * n
+        depth = [0] * n
+        for root in roots:
+            stack: List[tuple] = [(root, iter(children[root]))]
+            first_seen[root] = len(tour)
+            tour.append(root)
+            depth_at.append(0)
+            while stack:
+                v, it = stack[-1]
+                child = next(it, None)
+                if child is None:
+                    stack.pop()
+                    if stack:
+                        parent_v = stack[-1][0]
+                        tour.append(parent_v)
+                        depth_at.append(depth[parent_v])
+                    continue
+                depth[child] = depth[v] + 1
+                first_seen[child] = len(tour)
+                tour.append(child)
+                depth_at.append(depth[child])
+                stack.append((child, iter(children[child])))
+
+        self._depth = depth
+        self._first = first_seen
+        self._tour = np.asarray(tour, dtype=np.int64)
+        self._build_sparse_table(np.asarray(depth_at, dtype=np.int64))
+
+    def _build_sparse_table(self, depths: np.ndarray) -> None:
+        m = len(depths)
+        levels = max(1, m.bit_length())
+        # table[k] holds, for each i, the tour index of the min-depth entry
+        # in the window [i, i + 2^k).
+        table = [np.arange(m, dtype=np.int64)]
+        for k in range(1, levels):
+            half = 1 << (k - 1)
+            prev = table[-1]
+            if half >= m:
+                break
+            left = prev[: m - 2 * half + 1] if m - 2 * half + 1 > 0 else prev[:0]
+            right = prev[half : half + len(left)]
+            if len(left) == 0:
+                break
+            choose_right = depths[right] < depths[left]
+            table.append(np.where(choose_right, right, left))
+        self._table = table
+        self._depths_at = depths
+
+    def depth(self, v: int) -> int:
+        """Depth of *v* (roots have depth 0)."""
+        return self._depth[v]
+
+    def lca(self, u: int, v: int) -> int:
+        """The lowest common ancestor of *u* and *v*.
+
+        Raises
+        ------
+        IndexError
+            If either vertex id is out of range.
+        ValueError
+            If *u* and *v* lie in different trees of the forest.
+        """
+        if u == v:
+            return u
+        lo, hi = self._first[u], self._first[v]
+        if lo > hi:
+            lo, hi = hi, lo
+        span = hi - lo + 1
+        k = span.bit_length() - 1
+        if k >= len(self._table):
+            raise ValueError(f"vertices {u} and {v} are not in the same tree")
+        left = self._table[k][lo]
+        right = self._table[k][hi - (1 << k) + 1]
+        depths = self._depths_at
+        best = right if depths[right] < depths[left] else left
+        answer = int(self._tour[best])
+        if self._depth[answer] > min(self._depth[u], self._depth[v]):
+            raise ValueError(f"vertices {u} and {v} are not in the same tree")
+        return answer
+
+    def is_ancestor(self, a: int, v: int) -> bool:
+        """True if *a* is an ancestor of *v* (or equal to it)."""
+        return self.lca(a, v) == a

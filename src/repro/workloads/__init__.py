@@ -1,0 +1,18 @@
+"""Update and query workload generators matching the paper's protocols."""
+
+from repro.workloads.queries import estimate_max_distance, query_groups
+from repro.workloads.updates import (
+    increase_batch,
+    mixed_batch,
+    restore_batch,
+    sample_edges,
+)
+
+__all__ = [
+    "estimate_max_distance",
+    "increase_batch",
+    "mixed_batch",
+    "query_groups",
+    "restore_batch",
+    "sample_edges",
+]

@@ -1,0 +1,94 @@
+"""Distance-stratified query workloads (Exp-3).
+
+Following [49] (and the paper's Exp-3): estimate the network's maximum
+pairwise distance ``d_max``, then build query groups ``Q_1 .. Q_10``
+such that the pairs in ``Q_i`` have distances in
+``[2^(i-11) * d_max, 2^(i-10) * d_max)`` — each group twice as far apart
+as the previous one.  CH query time grows with distance (its two upward
+searches meet higher in the hierarchy); H2H's does not, which is the
+point of Figures 2l-2n.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.baselines.dijkstra import dijkstra
+from repro.errors import QueryError
+from repro.graph.graph import RoadNetwork
+
+__all__ = ["estimate_max_distance", "query_groups"]
+
+
+def estimate_max_distance(
+    graph: RoadNetwork, seed: int = 0, probes: int = 4
+) -> float:
+    """Estimate ``d_max`` by repeated farthest-vertex sweeps.
+
+    The classic double-sweep lower bound: run Dijkstra from a random
+    vertex, jump to the farthest vertex found, repeat.  Exact diameters
+    are unnecessary here — the groups only need a consistent yardstick.
+    """
+    if graph.n == 0:
+        raise QueryError("cannot estimate distances on an empty graph")
+    rng = random.Random(seed)
+    start = rng.randrange(graph.n)
+    best = 0.0
+    for _ in range(probes):
+        dist = dijkstra(graph, start)
+        far = max(
+            (v for v in range(graph.n) if dist[v] != float("inf")),
+            key=dist.__getitem__,
+        )
+        if dist[far] <= best:
+            break
+        best = dist[far]
+        start = far
+    return best
+
+
+def query_groups(
+    graph: RoadNetwork,
+    queries_per_group: int = 100,
+    seed: int = 0,
+    groups: int = 10,
+    max_attempts_factor: int = 400,
+) -> Dict[int, List[Tuple[int, int]]]:
+    """Build the stratified groups ``Q_1 .. Q_groups``.
+
+    Sampling strategy: run single-source Dijkstra from random sources
+    and bin the (source, target) pairs by distance range until every
+    group is full (or the attempt budget runs out — tiny networks may
+    not have enough very-distant pairs, in which case distant groups
+    come back short; callers should skip empty groups).
+
+    Returns
+    -------
+    dict group index (1-based) -> list of (s, t) pairs.
+    """
+    d_max = estimate_max_distance(graph, seed)
+    rng = random.Random(seed + 1)
+    buckets: Dict[int, List[Tuple[int, int]]] = {i: [] for i in range(1, groups + 1)}
+    lo_bounds = {i: 2.0 ** (i - groups - 1) * d_max for i in buckets}
+    hi_bounds = {i: 2.0 ** (i - groups) * d_max for i in buckets}
+
+    attempts = 0
+    max_attempts = max_attempts_factor
+    while attempts < max_attempts and any(
+        len(pairs) < queries_per_group for pairs in buckets.values()
+    ):
+        attempts += 1
+        s = rng.randrange(graph.n)
+        dist = dijkstra(graph, s)
+        order = list(range(graph.n))
+        rng.shuffle(order)
+        for t in order:
+            d = dist[t]
+            if t == s or d == float("inf"):
+                continue
+            for i in buckets:
+                if len(buckets[i]) < queries_per_group and lo_bounds[i] <= d < hi_bounds[i]:
+                    buckets[i].append((s, t))
+                    break
+    return buckets

@@ -1,0 +1,69 @@
+"""Weight-update workload generators (Exp-1, Exp-2, Exp-4, Exp-7).
+
+The paper's update protocol: sample edges uniformly at random, multiply
+their weights by a factor (2.0 in Exp-1/2/7; ``i + 1`` for group ``i``
+in Exp-4) to simulate the onset of congestion, then *restore* the
+original weights to simulate recovery.  The increase batch exercises
+DCH+/IncH2H+, the restore batch DCH-/IncH2H-.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.errors import UpdateError
+from repro.graph.graph import RoadNetwork, WeightUpdate
+
+__all__ = ["sample_edges", "increase_batch", "restore_batch", "mixed_batch"]
+
+Edge = Tuple[int, int, float]
+
+
+def sample_edges(graph: RoadNetwork, count: int, seed: int = 0) -> List[Edge]:
+    """Uniformly sample *count* distinct edges as ``(u, v, weight)``.
+
+    Raises
+    ------
+    UpdateError
+        If *count* exceeds the number of edges.
+    """
+    edges = list(graph.edges())
+    if count > len(edges):
+        raise UpdateError(
+            f"cannot sample {count} edges from a graph with {len(edges)}"
+        )
+    return random.Random(seed).sample(edges, count)
+
+
+def increase_batch(edges: Sequence[Edge], factor: float = 2.0) -> List[WeightUpdate]:
+    """The congestion batch: each sampled edge's weight times *factor*.
+
+    Raises
+    ------
+    UpdateError
+        If *factor* < 1 (that would be a decrease).
+    """
+    if factor < 1.0:
+        raise UpdateError(f"increase factor must be >= 1, got {factor}")
+    return [((u, v), w * factor) for u, v, w in edges]
+
+
+def restore_batch(edges: Sequence[Edge]) -> List[WeightUpdate]:
+    """The recovery batch: each sampled edge back to its original weight."""
+    return [((u, v), float(w)) for u, v, w in edges]
+
+
+def mixed_batch(
+    graph: RoadNetwork,
+    count: int,
+    seed: int = 0,
+    factor_up: float = 2.0,
+    factor_down: float = 0.5,
+) -> List[WeightUpdate]:
+    """A half-increase / half-decrease batch (stress tests, examples)."""
+    edges = sample_edges(graph, count, seed)
+    half = len(edges) // 2
+    batch = increase_batch(edges[:half], factor_up)
+    batch += [((u, v), w * factor_down) for u, v, w in edges[half:]]
+    return batch

@@ -1,0 +1,156 @@
+"""Unit tests for CHIndexing (Algorithm 1)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra
+from repro.ch.indexing import ch_indexing
+from repro.ch.query import ch_distance
+from repro.errors import OrderingError
+from repro.graph.generators import grid_network
+from repro.graph.graph import RoadNetwork
+from repro.order.ordering import Ordering
+from repro.utils.counters import OpCounter
+
+from conftest import random_pairs
+
+
+def brute_force_valley_weight(graph: RoadNetwork, rank, u, v):
+    """Shortest valley path between u and v by exhaustive enumeration.
+
+    Only feasible on tiny graphs; enumerates all simple paths whose
+    interior vertices rank below both endpoints.
+    """
+    import math
+
+    limit = min(rank[u], rank[v])
+    best = math.inf
+    low = [x for x in range(graph.n) if rank[x] < limit]
+    for r in range(len(low) + 1):
+        for interior in itertools.permutations(low, r):
+            path = [u, *interior, v]
+            weight = 0.0
+            ok = True
+            for a, b in zip(path, path[1:]):
+                if not graph.has_edge(a, b):
+                    ok = False
+                    break
+                weight += graph.weight(a, b)
+            if ok:
+                best = min(best, weight)
+    return best
+
+
+class TestAgainstBruteForce:
+    def test_all_shortcut_weights_are_shortest_valley_paths(self, paper_graph,
+                                                            paper_ordering):
+        sc = ch_indexing(paper_graph, paper_ordering)
+        rank = paper_ordering.rank
+        for a, b in sc.shortcuts():
+            expected = brute_force_valley_weight(paper_graph, rank, a, b)
+            assert sc.weight(a, b) == expected
+
+    def test_shortcut_set_is_exactly_valley_connected_pairs(self, paper_graph,
+                                                            paper_ordering):
+        import math
+
+        sc = ch_indexing(paper_graph, paper_ordering)
+        rank = paper_ordering.rank
+        for a in range(9):
+            for b in range(a + 1, 9):
+                expected = brute_force_valley_weight(paper_graph, rank, a, b)
+                assert sc.has_shortcut(a, b) == (not math.isinf(expected))
+
+
+class TestGeneralProperties:
+    def test_every_edge_is_a_shortcut(self, medium_road):
+        sc = ch_indexing(medium_road)
+        for u, w, _ in medium_road.edges():
+            assert sc.has_shortcut(u, w)
+
+    def test_shortcut_weight_at_most_edge_weight(self, medium_road):
+        sc = ch_indexing(medium_road)
+        for u, w, weight in medium_road.edges():
+            assert sc.weight(u, w) <= weight
+
+    def test_shortcut_weight_at_least_distance(self, medium_road):
+        sc = ch_indexing(medium_road)
+        dist_cache = {}
+        for a, b in list(sc.shortcuts())[:80]:
+            if a not in dist_cache:
+                dist_cache[a] = dijkstra(medium_road, a)
+            assert sc.weight(a, b) >= dist_cache[a][b]
+
+    def test_second_highest_vertex_shortcut_is_exact(self, medium_road):
+        """The shortcut between the two top-ranked vertices admits every
+        other vertex as a valley interior, so its weight is the true
+        shortest distance."""
+        sc = ch_indexing(medium_road)
+        top = sc.ordering.top()
+        second = sc.ordering.order[-2]
+        if sc.has_shortcut(top, second):
+            assert sc.weight(top, second) == dijkstra(medium_road, top)[second]
+
+    def test_queries_match_dijkstra(self, medium_road):
+        sc = ch_indexing(medium_road)
+        for s, t in random_pairs(medium_road.n, 30, seed=8):
+            assert ch_distance(sc, s, t) == dijkstra(medium_road, s)[t]
+
+    def test_counter_counts_contractions(self, small_grid):
+        ops = OpCounter()
+        ch_indexing(small_grid, counter=ops)
+        assert ops["contract_pair"] > 0
+
+    def test_without_support_skips_equation_pass(self, small_grid):
+        ops = OpCounter()
+        ch_indexing(small_grid, counter=ops, with_support=False)
+        assert ops["scp_minus_inspect"] == 0
+
+
+class TestValidation:
+    def test_mismatched_ordering_length(self, small_grid):
+        with pytest.raises(OrderingError):
+            ch_indexing(small_grid, Ordering([0, 1, 2]))
+
+    def test_default_ordering_is_min_degree(self, small_grid):
+        from repro.order.min_degree import minimum_degree_ordering
+
+        sc = ch_indexing(small_grid)
+        assert sc.ordering == minimum_degree_ordering(small_grid)
+
+    def test_ordering_choice_changes_index_not_answers(self, small_grid):
+        pi_rev = Ordering(list(reversed(range(small_grid.n))))
+        sc_default = ch_indexing(small_grid)
+        sc_rev = ch_indexing(small_grid, pi_rev)
+        for s, t in random_pairs(small_grid.n, 20, seed=2):
+            assert ch_distance(sc_default, s, t) == ch_distance(sc_rev, s, t)
+
+    def test_single_vertex_graph(self):
+        sc = ch_indexing(RoadNetwork(1), Ordering([0]))
+        assert sc.num_shortcuts == 0
+
+    def test_two_vertex_graph(self):
+        g = RoadNetwork.from_edges(2, [(0, 1, 5.0)])
+        sc = ch_indexing(g)
+        assert sc.num_shortcuts == 1
+        assert ch_distance(sc, 0, 1) == 5.0
+
+
+class TestWeightIndependenceOfStructure:
+    def test_same_shortcut_set_for_different_weights(self, small_grid):
+        pi = Ordering(list(range(small_grid.n)))
+        sc1 = ch_indexing(small_grid, pi)
+        g2 = small_grid.copy()
+        for u, w, weight in list(g2.edges()):
+            g2.set_weight(u, w, weight * 7 + 3)
+        sc2 = ch_indexing(g2, pi)
+        assert set(sc1.shortcuts()) == set(sc2.shortcuts())
+
+    def test_grid_treewidth_scale(self):
+        """Shortcut count stays near-linear on grids (sanity bound)."""
+        g = grid_network(12, 12, seed=0)
+        sc = ch_indexing(g)
+        assert sc.num_shortcuts < 20 * g.n

@@ -1,0 +1,120 @@
+"""Unit tests for CH distance and path queries."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra
+from repro.ch.indexing import ch_indexing
+from repro.ch.query import ch_distance, ch_path, upward_search
+from repro.errors import QueryError
+from repro.graph.graph import RoadNetwork
+from repro.utils.counters import OpCounter
+
+from conftest import random_pairs
+
+
+class TestDistance:
+    def test_matches_dijkstra_everywhere_on_paper_graph(self, paper_sc,
+                                                        paper_graph):
+        for s in range(9):
+            dist = dijkstra(paper_graph, s)
+            for t in range(9):
+                assert ch_distance(paper_sc, s, t) == dist[t]
+
+    def test_same_vertex(self, paper_sc):
+        assert ch_distance(paper_sc, 3, 3) == 0.0
+
+    def test_out_of_range(self, paper_sc):
+        with pytest.raises(QueryError):
+            ch_distance(paper_sc, 0, 99)
+        with pytest.raises(QueryError):
+            ch_distance(paper_sc, -1, 0)
+
+    def test_symmetry(self, medium_road):
+        sc = ch_indexing(medium_road)
+        for s, t in random_pairs(medium_road.n, 25, seed=1):
+            assert ch_distance(sc, s, t) == ch_distance(sc, t, s)
+
+    def test_counter_counts_relaxations(self, paper_sc):
+        ops = OpCounter()
+        ch_distance(paper_sc, 0, 8, ops)
+        assert ops["query_relax"] > 0
+
+    def test_search_space_smaller_than_graph(self, medium_road):
+        """Upward searches must not explore the whole graph."""
+        sc = ch_indexing(medium_road)
+        dist, _ = upward_search(sc, 0)
+        assert len(dist) < medium_road.n
+
+
+class TestUpwardSearch:
+    def test_distances_upper_bound_true_distances(self, medium_road):
+        sc = ch_indexing(medium_road)
+        truth = dijkstra(medium_road, 5)
+        dist, _ = upward_search(sc, 5)
+        for vtx, d in dist.items():
+            assert d >= truth[vtx]
+
+    def test_contains_source(self, paper_sc):
+        dist, parent = upward_search(paper_sc, 0)
+        assert dist[0] == 0.0
+        assert parent[0] == -1
+
+    def test_parents_form_tree_to_source(self, medium_road):
+        sc = ch_indexing(medium_road)
+        dist, parent = upward_search(sc, 3)
+        for vtx in dist:
+            hops = 0
+            w = vtx
+            while w != 3:
+                w = parent[w]
+                hops += 1
+                assert hops <= len(dist)
+
+
+class TestPath:
+    def test_endpoints(self, paper_sc):
+        path = ch_path(paper_sc, 0, 8)
+        assert path[0] == 0 and path[-1] == 8
+
+    def test_weight_matches_distance(self, medium_road):
+        sc = ch_indexing(medium_road)
+        for s, t in random_pairs(medium_road.n, 30, seed=4):
+            path = ch_path(sc, s, t)
+            total = sum(
+                medium_road.weight(a, b) for a, b in zip(path, path[1:])
+            )
+            assert total == ch_distance(sc, s, t)
+
+    def test_edges_exist_in_graph(self, medium_road):
+        sc = ch_indexing(medium_road)
+        path = ch_path(sc, 0, medium_road.n - 1)
+        for a, b in zip(path, path[1:]):
+            assert medium_road.has_edge(a, b)
+
+    def test_trivial_path(self, paper_sc):
+        assert ch_path(paper_sc, 4, 4) == [4]
+
+    def test_unreachable_returns_none(self):
+        g = RoadNetwork(3)
+        g.add_edge(0, 1, 1.0)
+        from repro.order.ordering import Ordering
+
+        sc = ch_indexing(g, Ordering([0, 1, 2]))
+        assert ch_path(sc, 0, 2) is None
+        assert math.isinf(ch_distance(sc, 0, 2))
+
+    def test_path_valid_after_update(self, paper_sc, paper_graph):
+        from repro.ch.dch import dch_increase
+
+        dch_increase(paper_sc, [((2, 4), 3.0)])  # (v3, v5) 2 -> 3
+        paper_graph.set_weight(2, 4, 3.0)
+        for s, t in random_pairs(9, 20, seed=6):
+            path = ch_path(paper_sc, s, t)
+            total = sum(
+                paper_graph.weight(a, b) for a, b in zip(path, path[1:])
+            )
+            assert total == dijkstra(paper_graph, s)[t]

@@ -1,0 +1,156 @@
+"""Unit tests for the CHANGED/AFF/DIFF metrics and boundedness checks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.ch.dch import dch_decrease, dch_increase
+from repro.ch.indexing import ch_indexing
+from repro.core.bounds import (
+    BoundednessReport,
+    linearithmic,
+    ratios_bounded,
+    subboundedness_ratio,
+)
+from repro.core.changed import ch_change_metrics, h2h_change_metrics
+from repro.h2h.inch2h import inch2h_increase
+from repro.h2h.indexing import h2h_indexing
+from repro.utils.counters import OpCounter
+from repro.workloads.updates import increase_batch, restore_batch, sample_edges
+
+
+class TestChMetrics:
+    def test_paper_example_increase(self, paper_sc):
+        changed = dch_increase(paper_sc, [((2, 4), 3.0)])
+        metrics = ch_change_metrics(paper_sc, 1, changed)
+        assert metrics.delta_size == 1
+        assert metrics.aff2 == 3  # <v3,v5>, <v5,v7>, <v7,v8>
+        assert metrics.changed == 4
+        assert metrics.aff_norm >= metrics.diff  # ||AFF|| >= |DIFF|
+
+    def test_diff_le_aff(self, medium_road):
+        """Section 4.1: |DIFF| <= ||AFF|| for CHIndexing."""
+        sc = ch_indexing(medium_road)
+        edges = sample_edges(medium_road, 10, seed=1)
+        changed = dch_increase(sc, increase_batch(edges, 2.0))
+        metrics = ch_change_metrics(sc, len(edges), changed)
+        assert metrics.diff <= metrics.aff_norm
+
+    def test_empty_change(self, paper_sc):
+        metrics = ch_change_metrics(paper_sc, 0, [])
+        assert metrics.changed == 0
+        assert metrics.aff_norm == 0
+        assert metrics.diff == 0
+
+
+class TestH2HMetrics:
+    def test_components_accumulate(self, medium_road):
+        index = h2h_indexing(medium_road)
+        edges = sample_edges(medium_road, 8, seed=2)
+        ops = OpCounter()
+        changed_ssc = inch2h_increase(index, increase_batch(edges, 2.0), ops)
+        changed_sc = [
+            (key, 0.0, 0.0) for key in set()
+        ]  # shortcut list reconstructed below
+        # Re-derive the changed shortcuts by restoring and re-running.
+        from repro.h2h.inch2h import inch2h_decrease
+
+        inch2h_decrease(index, restore_batch(edges))
+        sc_changed = dch_increase(index.sc, increase_batch(edges, 2.0))
+        metrics = h2h_change_metrics(index, len(edges), sc_changed, changed_ssc)
+        assert metrics.aff3 == len(changed_ssc)
+        assert metrics.changed == metrics.ch.changed + metrics.aff3
+        assert metrics.diff <= metrics.aff_norm + metrics.changed
+        assert metrics.aff_norm >= metrics.aff3
+        # Clean up: restore the sc side too.
+        dch_decrease(index.sc, restore_batch(edges))
+
+    def test_k_anc_counts_ancestor_lengths(self, paper_h2h):
+        changed_sc = dch_increase(paper_h2h.sc, [((5, 8), 3.0)])
+        metrics = h2h_change_metrics(paper_h2h, 1, changed_sc, [])
+        # Only <v6, v9> changes; |anc(v6)| = 3.
+        assert metrics.k_anc == 3
+
+
+class TestLinearithmic:
+    def test_zero(self):
+        assert linearithmic(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            linearithmic(-1)
+
+    def test_growth(self):
+        assert linearithmic(1000) > 1000
+        assert linearithmic(1000) < 1000 * 12
+
+    def test_ratio_small_measure_clamped(self):
+        assert subboundedness_ratio(10, 0) > 0
+        assert math.isfinite(subboundedness_ratio(10, 0))
+
+
+class TestBoundednessReport:
+    def test_ratios(self):
+        report = BoundednessReport("x", measured_ops=100, aff_norm=50, diff=20)
+        assert report.ratio_vs_aff == pytest.approx(
+            100 / linearithmic(50)
+        )
+        assert report.ratio_vs_diff > report.ratio_vs_aff
+
+    def test_str_mentions_numbers(self):
+        report = BoundednessReport("w", 10, 5, 3)
+        assert "w" in str(report) and "10" in str(report)
+
+    def test_ratios_bounded_flat(self):
+        reports = [
+            BoundednessReport(f"r{i}", measured_ops=10 * n, aff_norm=n, diff=n)
+            for i, n in enumerate((10, 100, 1000, 10000))
+        ]
+        assert ratios_bounded(reports)
+
+    def test_ratios_bounded_detects_growth(self):
+        reports = [
+            BoundednessReport(f"r{i}", measured_ops=n * n, aff_norm=n, diff=n)
+            for i, n in enumerate((10, 100, 1000, 10000))
+        ]
+        assert not ratios_bounded(reports)
+
+    def test_single_report_trivially_bounded(self):
+        assert ratios_bounded([BoundednessReport("only", 1, 1, 1)])
+
+
+class TestEmpiricalSubboundedness:
+    """The headline theorems, checked on real workloads."""
+
+    def test_dch_increase_ops_within_aff_budget(self, medium_road):
+        reports = []
+        for size in (2, 5, 10, 20, 40):
+            sc = ch_indexing(medium_road)
+            edges = sample_edges(medium_road, size, seed=size)
+            ops = OpCounter()
+            changed = dch_increase(sc, increase_batch(edges, 2.0), ops)
+            metrics = ch_change_metrics(sc, size, changed)
+            reports.append(
+                BoundednessReport(
+                    f"dG={size}", ops.total(), metrics.aff_norm, metrics.diff
+                )
+            )
+        assert ratios_bounded(reports, "ratio_vs_aff")
+
+    def test_dch_decrease_ops_within_diff_budget(self, medium_road):
+        reports = []
+        for size in (2, 5, 10, 20, 40):
+            sc = ch_indexing(medium_road)
+            edges = sample_edges(medium_road, size, seed=size)
+            dch_increase(sc, increase_batch(edges, 2.0))
+            ops = OpCounter()
+            changed = dch_decrease(sc, restore_batch(edges), ops)
+            metrics = ch_change_metrics(sc, size, changed)
+            reports.append(
+                BoundednessReport(
+                    f"dG={size}", ops.total(), metrics.aff_norm, metrics.diff
+                )
+            )
+        assert ratios_bounded(reports, "ratio_vs_diff")

@@ -1,0 +1,122 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.baselines.dijkstra import distance as dijkstra_distance
+from repro.graph.io import read_dimacs
+
+
+@pytest.fixture
+def city(tmp_path):
+    path = tmp_path / "city.gr"
+    code = main(["generate", "--vertices", "150", "--seed", "4",
+                 "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_readable_network(self, city):
+        graph = read_dimacs(city)
+        assert graph.n >= 140
+        assert graph.is_connected()
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.gr", tmp_path / "b.gr"
+        main(["generate", "--vertices", "100", "--seed", "9", "--out", str(a)])
+        main(["generate", "--vertices", "100", "--seed", "9", "--out", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestBuildQueryUpdate:
+    @pytest.mark.parametrize("oracle", ["ch", "h2h"])
+    def test_full_workflow(self, city, tmp_path, capsys, oracle):
+        index_path = tmp_path / f"city.{oracle}.npz"
+        assert main(["build", "--network", str(city), "--oracle", oracle,
+                     "--out", str(index_path)]) == 0
+
+        graph = read_dimacs(city)
+        s, t = 0, graph.n - 1
+        truth = dijkstra_distance(graph, s, t)
+
+        capsys.readouterr()
+        assert main(["query", "--index", str(index_path),
+                     "--pairs", f"{s} {t}"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().split()[:3] == [str(s), str(t), str(truth)]
+
+        # Double the weight of one edge, query again.
+        u, v, w = next(iter(graph.edges()))
+        assert main(["update", "--index", str(index_path),
+                     "--set", f"{u} {v} {w * 2}"]) == 0
+        graph.set_weight(u, v, w * 2)
+        truth2 = dijkstra_distance(graph, s, t)
+        capsys.readouterr()
+        assert main(["query", "--index", str(index_path),
+                     "--pairs", f"{s} {t}"]) == 0
+        out = capsys.readouterr().out
+        assert float(out.strip().split()[2]) == truth2
+
+    def test_query_pairs_file(self, city, tmp_path, capsys):
+        index_path = tmp_path / "idx.npz"
+        main(["build", "--network", str(city), "--oracle", "ch",
+              "--out", str(index_path)])
+        pairs_file = tmp_path / "pairs.txt"
+        pairs_file.write_text("0 5\n1 7\n")
+        capsys.readouterr()
+        assert main(["query", "--index", str(index_path),
+                     "--pairs-file", str(pairs_file)]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_update_from_file(self, city, tmp_path):
+        index_path = tmp_path / "idx.npz"
+        main(["build", "--network", str(city), "--oracle", "h2h",
+              "--out", str(index_path)])
+        graph = read_dimacs(city)
+        u, v, w = next(iter(graph.edges()))
+        updates = tmp_path / "updates.txt"
+        updates.write_text(f"# congestion\n{u} {v} {w * 3}\n")
+        out_path = tmp_path / "idx2.npz"
+        assert main(["update", "--index", str(index_path),
+                     "--updates-file", str(updates),
+                     "--out", str(out_path)]) == 0
+        assert out_path.exists()
+
+    def test_query_without_pairs_errors(self, city, tmp_path):
+        index_path = tmp_path / "idx.npz"
+        main(["build", "--network", str(city), "--oracle", "ch",
+              "--out", str(index_path)])
+        assert main(["query", "--index", str(index_path)]) == 2
+
+    def test_update_without_updates_errors(self, city, tmp_path):
+        index_path = tmp_path / "idx.npz"
+        main(["build", "--network", str(city), "--oracle", "ch",
+              "--out", str(index_path)])
+        assert main(["update", "--index", str(index_path)]) == 2
+
+    def test_malformed_pair_reports_error(self, city, tmp_path):
+        index_path = tmp_path / "idx.npz"
+        main(["build", "--network", str(city), "--oracle", "ch",
+              "--out", str(index_path)])
+        assert main(["query", "--index", str(index_path),
+                     "--pairs", "0-5"]) == 1
+
+
+class TestStats:
+    def test_network_stats(self, city, capsys):
+        assert main(["stats", "--network", str(city)]) == 0
+        assert "connected" in capsys.readouterr().out
+
+    def test_index_stats(self, city, tmp_path, capsys):
+        index_path = tmp_path / "idx.npz"
+        main(["build", "--network", str(city), "--oracle", "h2h",
+              "--out", str(index_path)])
+        capsys.readouterr()
+        assert main(["stats", "--index", str(index_path)]) == 0
+        assert "super-shortcuts" in capsys.readouterr().out
+
+    def test_no_arguments_errors(self):
+        assert main(["stats"]) == 2

@@ -1,0 +1,99 @@
+"""Unit tests for OpCounter / NullCounter and the Timer helpers."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.counters import NULL_COUNTER, NullCounter, OpCounter, resolve_counter
+from repro.utils.timer import Timer, timed
+
+
+class TestOpCounter:
+    def test_starts_empty(self):
+        ops = OpCounter()
+        assert ops.total() == 0
+        assert len(ops) == 0
+
+    def test_add_default_amount(self):
+        ops = OpCounter()
+        ops.add("relax")
+        assert ops["relax"] == 1
+
+    def test_add_explicit_amount(self):
+        ops = OpCounter()
+        ops.add("relax", 5)
+        ops.add("relax", 2)
+        assert ops["relax"] == 7
+
+    def test_missing_channel_reads_zero(self):
+        assert OpCounter()["nothing"] == 0
+
+    def test_total_sums_channels(self):
+        ops = OpCounter()
+        ops.add("a", 3)
+        ops.add("b", 4)
+        assert ops.total() == 7
+
+    def test_as_dict_is_a_copy(self):
+        ops = OpCounter()
+        ops.add("a")
+        snapshot = ops.as_dict()
+        snapshot["a"] = 99
+        assert ops["a"] == 1
+
+    def test_clear(self):
+        ops = OpCounter()
+        ops.add("a")
+        ops.clear()
+        assert ops.total() == 0
+
+    def test_merge(self):
+        a, b = OpCounter(), OpCounter()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a["x"] == 3
+        assert a["y"] == 3
+
+    def test_iteration(self):
+        ops = OpCounter()
+        ops.add("a")
+        ops.add("b")
+        assert sorted(ops) == ["a", "b"]
+
+    def test_repr_mentions_channels(self):
+        ops = OpCounter()
+        ops.add("relax", 2)
+        assert "relax=2" in repr(ops)
+
+
+class TestNullCounter:
+    def test_add_is_noop(self):
+        ops = NullCounter()
+        ops.add("anything", 100)
+        assert ops.total() == 0
+
+    def test_resolve_none_gives_shared_null(self):
+        assert resolve_counter(None) is NULL_COUNTER
+
+    def test_resolve_passthrough(self):
+        ops = OpCounter()
+        assert resolve_counter(ops) is ops
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_elapsed_ms(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed_ms >= 9.0
+
+    def test_timed_returns_result_and_seconds(self):
+        result, seconds = timed(sum, range(100))
+        assert result == 4950
+        assert seconds >= 0.0

@@ -1,0 +1,115 @@
+"""Unit tests for the Dijkstra ground-truth module."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import (
+    bidirectional_distance,
+    dijkstra,
+    distance,
+    shortest_path,
+)
+from repro.errors import QueryError
+from repro.graph.graph import RoadNetwork
+
+from conftest import random_pairs
+
+
+@pytest.fixture
+def diamond():
+    #  0 -1- 1 -1- 3
+    #   \-3- 2 -1-/
+    return RoadNetwork.from_edges(
+        4, [(0, 1, 1.0), (1, 3, 1.0), (0, 2, 3.0), (2, 3, 1.0)]
+    )
+
+
+class TestDijkstra:
+    def test_source_distance_zero(self, diamond):
+        assert dijkstra(diamond, 0)[0] == 0.0
+
+    def test_distances(self, diamond):
+        dist = dijkstra(diamond, 0)
+        assert dist == [0.0, 1.0, 3.0, 2.0]
+
+    def test_unreachable_is_inf(self):
+        g = RoadNetwork(2)
+        assert math.isinf(dijkstra(g, 0)[1])
+
+    def test_invalid_source(self, diamond):
+        with pytest.raises(QueryError):
+            dijkstra(diamond, 9)
+
+    def test_early_exit_with_targets(self, diamond):
+        dist = dijkstra(diamond, 0, targets=[1])
+        assert dist[1] == 1.0
+
+    def test_zero_weight_edges(self):
+        g = RoadNetwork.from_edges(3, [(0, 1, 0.0), (1, 2, 0.0)])
+        assert dijkstra(g, 0) == [0.0, 0.0, 0.0]
+
+
+class TestPointToPoint:
+    def test_distance(self, diamond):
+        assert distance(diamond, 0, 3) == 2.0
+
+    def test_same_vertex(self, diamond):
+        assert distance(diamond, 2, 2) == 0.0
+
+    def test_same_vertex_out_of_range(self, diamond):
+        with pytest.raises(QueryError):
+            distance(diamond, 9, 9)
+
+
+class TestBidirectional:
+    def test_matches_unidirectional(self, medium_road):
+        for s, t in random_pairs(medium_road.n, 40, seed=3):
+            assert bidirectional_distance(medium_road, s, t) == distance(
+                medium_road, s, t
+            )
+
+    def test_same_vertex(self, diamond):
+        assert bidirectional_distance(diamond, 1, 1) == 0.0
+
+    def test_disconnected(self):
+        g = RoadNetwork(2)
+        assert math.isinf(bidirectional_distance(g, 0, 1))
+
+    def test_invalid_vertices(self, diamond):
+        with pytest.raises(QueryError):
+            bidirectional_distance(diamond, -1, 0)
+        with pytest.raises(QueryError):
+            bidirectional_distance(diamond, 0, 4)
+
+
+class TestShortestPath:
+    def test_path_endpoints(self, diamond):
+        path = shortest_path(diamond, 0, 3)
+        assert path[0] == 0 and path[-1] == 3
+
+    def test_path_weight_matches_distance(self, medium_road):
+        for s, t in random_pairs(medium_road.n, 25, seed=5):
+            path = shortest_path(medium_road, s, t)
+            total = sum(
+                medium_road.weight(a, b) for a, b in zip(path, path[1:])
+            )
+            assert total == distance(medium_road, s, t)
+
+    def test_path_edges_exist(self, medium_road):
+        path = shortest_path(medium_road, 0, medium_road.n - 1)
+        for a, b in zip(path, path[1:]):
+            assert medium_road.has_edge(a, b)
+
+    def test_trivial_path(self, diamond):
+        assert shortest_path(diamond, 2, 2) == [2]
+
+    def test_unreachable_returns_none(self):
+        g = RoadNetwork(2)
+        assert shortest_path(g, 0, 1) is None
+
+    def test_invalid_vertices(self, diamond):
+        with pytest.raises(QueryError):
+            shortest_path(diamond, 0, 99)

@@ -1,0 +1,243 @@
+"""Tests for the directed extension (Section 2's directed-case note)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.directed.ch import directed_ch_distance, directed_ch_indexing
+from repro.directed.dch import directed_dch_decrease, directed_dch_increase
+from repro.directed.dijkstra import directed_dijkstra, directed_distance
+from repro.directed.graph import DiRoadNetwork
+from repro.errors import GraphError, QueryError, UpdateError
+from repro.graph.generators import road_network
+
+
+@pytest.fixture
+def one_way_city():
+    """A road network where 30% of streets are one-way."""
+    base = road_network(120, seed=13)
+    rng = random.Random(3)
+    digraph = DiRoadNetwork(base.n)
+    for u, v, w in base.edges():
+        roll = rng.random()
+        if roll < 0.15:
+            digraph.add_arc(u, v, w)
+        elif roll < 0.30:
+            digraph.add_arc(v, u, w)
+        else:
+            digraph.add_arc(u, v, w)
+            digraph.add_arc(v, u, w * rng.choice([1.0, 1.5, 2.0]))
+    return digraph
+
+
+class TestDiRoadNetwork:
+    def test_one_way_arc(self):
+        g = DiRoadNetwork(2)
+        g.add_arc(0, 1, 3.0)
+        assert g.has_arc(0, 1) and not g.has_arc(1, 0)
+
+    def test_duplicate_arc_rejected(self):
+        g = DiRoadNetwork(2)
+        g.add_arc(0, 1, 3.0)
+        with pytest.raises(GraphError):
+            g.add_arc(0, 1, 4.0)
+
+    def test_opposite_arcs_independent(self):
+        g = DiRoadNetwork(2)
+        g.add_arc(0, 1, 3.0)
+        g.add_arc(1, 0, 7.0)
+        assert g.weight(0, 1) == 3.0 and g.weight(1, 0) == 7.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            DiRoadNetwork(2).add_arc(1, 1, 1.0)
+
+    def test_missing_weight_raises(self):
+        with pytest.raises(GraphError):
+            DiRoadNetwork(3).weight(0, 1)
+
+    def test_set_weight(self):
+        g = DiRoadNetwork(2)
+        g.add_arc(0, 1, 3.0)
+        assert g.set_weight(0, 1, 9.0) == 3.0
+        assert g.weight(0, 1) == 9.0
+        assert dict(g.predecessors(1)) == {0: 9.0}
+
+    def test_from_undirected_asymmetry(self, medium_road):
+        g = DiRoadNetwork.from_undirected(medium_road, asymmetry=2.0)
+        u, v, w = next(iter(medium_road.edges()))
+        assert g.weight(u, v) == w
+        assert g.weight(v, u) == 2.0 * w
+
+    def test_symmetrized_takes_min(self):
+        g = DiRoadNetwork(2)
+        g.add_arc(0, 1, 5.0)
+        g.add_arc(1, 0, 3.0)
+        assert g.symmetrized().weight(0, 1) == 3.0
+
+    def test_strong_connectivity(self):
+        g = DiRoadNetwork(3)
+        g.add_arc(0, 1, 1.0)
+        g.add_arc(1, 2, 1.0)
+        assert not g.is_strongly_connected()
+        g.add_arc(2, 0, 1.0)
+        assert g.is_strongly_connected()
+
+    def test_copy_independent(self, one_way_city):
+        clone = one_way_city.copy()
+        u, v, _ = next(iter(one_way_city.arcs()))
+        clone.set_weight(u, v, 999.0)
+        assert one_way_city.weight(u, v) != 999.0
+
+
+class TestDirectedDijkstra:
+    def test_asymmetric_distances(self):
+        g = DiRoadNetwork(3)
+        g.add_arc(0, 1, 1.0)
+        g.add_arc(1, 2, 1.0)
+        g.add_arc(2, 0, 10.0)
+        assert directed_distance(g, 0, 2) == 2.0
+        assert directed_distance(g, 2, 0) == 10.0
+
+    def test_reverse_search(self, one_way_city):
+        t = 5
+        into_t = directed_dijkstra(one_way_city, t, reverse=True)
+        for s in range(0, one_way_city.n, 17):
+            assert into_t[s] == directed_distance(one_way_city, s, t)
+
+    def test_invalid_source(self, one_way_city):
+        with pytest.raises(QueryError):
+            directed_dijkstra(one_way_city, -1)
+
+
+class TestDirectedCH:
+    def test_queries_match_dijkstra(self, one_way_city):
+        index = directed_ch_indexing(one_way_city)
+        rng = random.Random(1)
+        for _ in range(60):
+            s, t = rng.randrange(one_way_city.n), rng.randrange(one_way_city.n)
+            assert directed_ch_distance(index, s, t) == directed_distance(
+                one_way_city, s, t
+            )
+
+    def test_asymmetric_shortcut_weights(self):
+        g = DiRoadNetwork(3)
+        g.add_arc(0, 1, 1.0)
+        g.add_arc(1, 0, 5.0)
+        g.add_arc(1, 2, 1.0)
+        g.add_arc(2, 1, 5.0)
+        from repro.order.ordering import Ordering
+
+        index = directed_ch_indexing(g, Ordering([1, 0, 2]))
+        # Contracting v1 creates the shortcut {0, 2} with both weights.
+        assert index.weight(0, 2) == 2.0
+        assert index.weight(2, 0) == 10.0
+
+    def test_one_way_gives_infinite_reverse(self):
+        g = DiRoadNetwork(2)
+        g.add_arc(0, 1, 4.0)
+        index = directed_ch_indexing(g)
+        assert directed_ch_distance(index, 0, 1) == 4.0
+        assert math.isinf(directed_ch_distance(index, 1, 0))
+
+    def test_validates(self, one_way_city):
+        directed_ch_indexing(one_way_city).validate()
+
+    def test_matches_undirected_on_symmetric_input(self, medium_road):
+        from repro.ch.indexing import ch_indexing
+        from repro.ch.query import ch_distance
+
+        digraph = DiRoadNetwork.from_undirected(medium_road)
+        directed = directed_ch_indexing(digraph)
+        undirected = ch_indexing(medium_road, directed.ordering)
+        rng = random.Random(2)
+        for _ in range(25):
+            s, t = rng.randrange(medium_road.n), rng.randrange(medium_road.n)
+            assert directed_ch_distance(directed, s, t) == ch_distance(
+                undirected, s, t
+            )
+
+
+class TestDirectedDCH:
+    def _assert_equals_rebuild(self, index, graph):
+        fresh = directed_ch_indexing(graph, index.ordering)
+        for u, v in index.shortcut_arcs():
+            assert index.weight(u, v) == fresh.weight(u, v), (u, v)
+            assert index.support(u, v) == fresh.support(u, v), (u, v)
+
+    def test_increase_equals_rebuild(self, one_way_city):
+        index = directed_ch_indexing(one_way_city)
+        rng = random.Random(4)
+        arcs = list(one_way_city.arcs())
+        batch = [((u, v), w * 2.0) for u, v, w in rng.sample(arcs, 10)]
+        directed_dch_increase(index, batch)
+        for (u, v), w in batch:
+            one_way_city.set_weight(u, v, w)
+        self._assert_equals_rebuild(index, one_way_city)
+
+    def test_decrease_equals_rebuild(self, one_way_city):
+        index = directed_ch_indexing(one_way_city)
+        rng = random.Random(5)
+        arcs = list(one_way_city.arcs())
+        batch = [((u, v), w * 0.5) for u, v, w in rng.sample(arcs, 10)]
+        directed_dch_decrease(index, batch)
+        for (u, v), w in batch:
+            one_way_city.set_weight(u, v, w)
+        self._assert_equals_rebuild(index, one_way_city)
+
+    def test_single_direction_update_leaves_reverse(self, one_way_city):
+        index = directed_ch_indexing(one_way_city)
+        two_way = next(
+            (u, v, w) for u, v, w in one_way_city.arcs()
+            if one_way_city.has_arc(v, u)
+        )
+        u, v, w = two_way
+        reverse_before = index.weight(v, u)
+        directed_dch_increase(index, [((u, v), w * 3.0)])
+        one_way_city.set_weight(u, v, w * 3.0)
+        # The reverse shortcut can only have changed if some directed
+        # valley path through (u -> v) served v -> u, which it cannot.
+        assert index.weight(v, u) == reverse_before
+        index.validate()
+
+    def test_roundtrip_restores(self, one_way_city):
+        index = directed_ch_indexing(one_way_city)
+        rng = random.Random(6)
+        arcs = list(one_way_city.arcs())
+        sample = rng.sample(arcs, 12)
+        directed_dch_increase(index, [((u, v), w * 2.0) for u, v, w in sample])
+        directed_dch_decrease(index, [((u, v), float(w)) for u, v, w in sample])
+        self._assert_equals_rebuild(index, one_way_city)
+
+    def test_queries_after_updates(self, one_way_city):
+        index = directed_ch_indexing(one_way_city)
+        rng = random.Random(7)
+        arcs = list(one_way_city.arcs())
+        for round_id in range(3):
+            sample = rng.sample(arcs, 6)
+            factor = [2.0, 4.0, 1.5][round_id]
+            batch = [((u, v), one_way_city.weight(u, v) * factor)
+                     for u, v, _ in sample]
+            directed_dch_increase(index, batch)
+            for (u, v), w in batch:
+                one_way_city.set_weight(u, v, w)
+            index.validate()
+            for _ in range(15):
+                s, t = (rng.randrange(one_way_city.n),
+                        rng.randrange(one_way_city.n))
+                assert directed_ch_distance(index, s, t) == directed_distance(
+                    one_way_city, s, t
+                )
+
+    def test_validation_errors(self, one_way_city):
+        index = directed_ch_indexing(one_way_city)
+        with pytest.raises(UpdateError):
+            directed_dch_increase(index, [((0, 10**6), 1.0)])
+        u, v, w = next(iter(one_way_city.arcs()))
+        with pytest.raises(UpdateError):
+            directed_dch_increase(index, [((u, v), w * 0.5)])
+        with pytest.raises(UpdateError):
+            directed_dch_decrease(index, [((u, v), w * 2.0)])

@@ -1,0 +1,95 @@
+"""Tests for the directed dynamic oracle facades."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.directed.dijkstra import directed_distance
+from repro.directed.dynamic import DynamicDiCH, DynamicDiH2H
+from repro.directed.graph import DiRoadNetwork
+from repro.errors import UpdateError
+from repro.graph.generators import road_network
+
+
+@pytest.fixture
+def city():
+    base = road_network(90, seed=23)
+    rng = random.Random(7)
+    digraph = DiRoadNetwork(base.n)
+    for u, v, w in base.edges():
+        digraph.add_arc(u, v, w)
+        if rng.random() < 0.7:
+            digraph.add_arc(v, u, w * rng.choice([1.0, 2.0]))
+    return digraph
+
+
+@pytest.fixture(params=["ch", "h2h"])
+def oracle(request, city):
+    cls = DynamicDiCH if request.param == "ch" else DynamicDiH2H
+    return cls(city.copy())
+
+
+class TestFacades:
+    def test_static_queries(self, oracle, city):
+        rng = random.Random(1)
+        for _ in range(25):
+            s, t = rng.randrange(city.n), rng.randrange(city.n)
+            assert oracle.distance(s, t) == directed_distance(city, s, t)
+
+    def test_mixed_batch_apply(self, oracle, city):
+        rng = random.Random(2)
+        arcs = list(city.arcs())
+        sample = rng.sample(arcs, 8)
+        batch = [((u, v), w * rng.choice([0.5, 2.0])) for u, v, w in sample]
+        report = oracle.apply(batch)
+        assert report.increases + report.decreases == len(batch)
+        reference = city.copy()
+        for (u, v), w in batch:
+            reference.set_weight(u, v, w)
+        for _ in range(20):
+            s, t = rng.randrange(city.n), rng.randrange(city.n)
+            assert oracle.distance(s, t) == directed_distance(reference, s, t)
+
+    def test_duplicate_arc_rejected(self, oracle, city):
+        u, v, w = next(iter(city.arcs()))
+        with pytest.raises(UpdateError):
+            oracle.apply([((u, v), w * 2), ((u, v), w * 3)])
+
+    def test_noop_batch(self, oracle, city):
+        u, v, w = next(iter(city.arcs()))
+        report = oracle.apply([((u, v), w)])
+        assert report.increases == 0 and report.decreases == 0
+
+    def test_rebuild_preserves_answers(self, oracle, city):
+        rng = random.Random(3)
+        pairs = [(rng.randrange(city.n), rng.randrange(city.n))
+                 for _ in range(10)]
+        before = [oracle.distance(s, t) for s, t in pairs]
+        oracle.rebuild()
+        assert [oracle.distance(s, t) for s, t in pairs] == before
+
+    def test_graph_kept_in_sync(self, oracle, city):
+        u, v, w = next(iter(city.arcs()))
+        oracle.apply([((u, v), w * 2)])
+        assert oracle.graph.weight(u, v) == w * 2
+
+    def test_counter_accumulates(self, oracle, city):
+        base_ops = oracle.counter.total()
+        u, v, w = next(iter(city.arcs()))
+        oracle.apply([((u, v), w * 2)])
+        assert oracle.counter.total() > base_ops
+
+    def test_indexes_stay_valid_over_rounds(self, oracle, city):
+        rng = random.Random(4)
+        arcs = list(city.arcs())
+        for _ in range(3):
+            sample = rng.sample(arcs, 5)
+            ups = [((u, v), oracle.graph.weight(u, v) * 2.0)
+                   for u, v, _ in sample]
+            oracle.apply(ups)
+            downs = [((u, v), oracle.graph.weight(u, v) / 2.0)
+                     for (u, v), _ in ups]
+            oracle.apply(downs)
+        oracle.index.validate()

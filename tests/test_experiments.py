@@ -1,0 +1,244 @@
+"""Tests for the dataset registry, harness types, and experiment runners.
+
+Experiments run here on tiny configurations (the ``small`` profile and
+minimal parameter lists); the benchmark suite exercises the full scaled
+settings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import datasets
+from repro.experiments.harness import (
+    ExperimentResult,
+    Series,
+    format_result,
+    format_table,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _clear_cache_afterwards():
+    yield
+    datasets.clear_cache()
+
+
+class TestDatasets:
+    def test_registry_has_nine_networks(self):
+        assert len(datasets.DATASETS) == 9
+        assert set(datasets.DATASETS) == {
+            "NY", "COL", "FLA", "CAL", "ENG", "EUS", "WUS", "CUS", "US",
+        }
+
+    def test_size_ordering_matches_paper(self):
+        names = ["NY", "COL", "FLA", "CAL", "EUS", "WUS", "CUS", "US"]
+        sizes = [datasets.DATASETS[n].n_default for n in names]
+        assert sizes == sorted(sizes)
+
+    def test_build_network_cached(self):
+        a = datasets.build_network("NY", "small")
+        b = datasets.build_network("NY", "small")
+        assert a is b
+
+    def test_fresh_copy_is_independent(self):
+        a = datasets.build_network("NY", "small")
+        b = datasets.fresh_copy("NY", "small")
+        assert a == b and a is not b
+
+    def test_networks_connected(self):
+        assert datasets.build_network("COL", "small").is_connected()
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            datasets.build_network("MARS")
+
+    def test_unknown_profile(self):
+        with pytest.raises(ReproError):
+            datasets.build_network("NY", "huge")
+
+    def test_build_ch_and_h2h_cached(self):
+        assert datasets.build_ch("NY", "small") is datasets.build_ch("NY", "small")
+        assert datasets.build_h2h("NY", "small") is datasets.build_h2h(
+            "NY", "small"
+        )
+
+    def test_ch_and_h2h_do_not_share_state(self):
+        ch = datasets.build_ch("NY", "small")
+        h2h = datasets.build_h2h("NY", "small")
+        assert ch is not h2h.sc
+
+    def test_clear_cache(self):
+        a = datasets.build_network("NY", "small")
+        datasets.clear_cache()
+        assert datasets.build_network("NY", "small") is not a
+
+
+class TestHarnessTypes:
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", [1, 2], [1.0])
+
+    def test_series_by_name(self):
+        result = ExperimentResult("x", "t", series=[Series("a", [1], [2.0])])
+        assert result.series_by_name("a").y == [2.0]
+        with pytest.raises(KeyError):
+            result.series_by_name("b")
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "b"], [[1, 2.5], [3, 4.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(lines[0]) == len(lines[2])
+
+    def test_format_result_groups_by_x(self):
+        result = ExperimentResult(
+            "id",
+            "title",
+            series=[
+                Series("s1", [1, 2], [1.0, 2.0]),
+                Series("s2", [1, 2], [3.0, 4.0]),
+                Series("s3", [9], [5.0]),
+            ],
+            notes=["hello"],
+        )
+        text = format_result(result)
+        assert "s1" in text and "s2" in text and "s3" in text
+        assert "note: hello" in text
+
+
+class TestExperimentRuns:
+    def test_exp1_small(self):
+        from repro.experiments import exp1
+
+        result = exp1.run(
+            networks=("NY",), fractions=(0.002, 0.004), profile="small"
+        )
+        inc = result.series_by_name("NY/IncH2H+")
+        dec = result.series_by_name("NY/IncH2H-")
+        assert len(inc.y) == 2
+        assert all(t > 0 for t in inc.y + dec.y)
+        affected = result.series_by_name("NY/affected")
+        assert all(0 <= a <= 1 for a in affected.y)
+
+    def test_fig2f(self):
+        from repro.experiments import exp1
+
+        result = exp1.run_fig2f(thresholds=(2.0,), n_roads=20, days=2)
+        series = result.series_by_name("c=2.0")
+        assert len(series.x) == 24
+
+    def test_exp2_small(self):
+        from repro.experiments import exp2
+
+        result = exp2.run(networks=("NY",), fractions=(0.02, 0.05),
+                          profile="small")
+        assert result.series_by_name("NY/DCH+").y
+        assert result.series_by_name("NY/affected").y
+
+    def test_exp3_small(self):
+        from repro.experiments import exp3
+
+        result = exp3.run(networks=("NY",), queries_per_group=3,
+                          profile="small")
+        ch = result.series_by_name("NY/CH")
+        h2h = result.series_by_name("NY/H2H")
+        assert len(ch.y) == len(h2h.y) > 0
+        assert not any("MISMATCH" in note for note in result.notes)
+
+    def test_exp4_small(self):
+        from repro.experiments import exp4
+
+        result = exp4.run(
+            networks=("NY",), factors=(2, 3), updates_per_group=3,
+            profile="small",
+        )
+        assert result.series_by_name("NY/DCH+").y
+        assert result.series_by_name("NY/IncH2H-").y
+        assert result.series_by_name("NY/DTDHL+").y
+        assert result.series_by_name("NY/UE+").y
+
+    def test_exp6_small(self):
+        from repro.experiments import exp6
+
+        result = exp6.run(
+            network="NY", cores=(1, 2, 4), small_fractions=(0.01,),
+            large_fractions=(0.05,), profile="small",
+        )
+        for series in result.series:
+            assert series.y[0] == pytest.approx(1.0)
+            assert series.y[-1] >= 1.0
+
+    def test_exp7_small(self):
+        from repro.experiments import exp7
+
+        result = exp7.run(network="NY", sizes=(2, 8), profile="small")
+        assert "Table 3" in result.tables
+        proportions = result.series_by_name("NY/proportion").y
+        assert proportions == sorted(proportions)
+
+    def test_figure3_small(self):
+        from repro.experiments import figure3
+
+        result = figure3.run(networks=("NY", "COL"), profile="small")
+        ch_space = result.series_by_name("CH space").y
+        h2h_space = result.series_by_name("H2H space").y
+        assert all(h > c for c, h in zip(ch_space, h2h_space))
+        h2h_static = result.series_by_name("H2H space (static)").y
+        assert all(s < f for s, f in zip(h2h_static, h2h_space))
+
+    def test_table2_small(self):
+        from repro.experiments import tables
+
+        result = tables.table2(networks=("NY",), profile="small")
+        headers, rows = result.tables["Table 2"]
+        assert headers[0] == "name"
+        assert rows[0][0] == "NY"
+
+    def test_ablation_ordering_small(self):
+        from repro.experiments import ablation
+
+        result = ablation.run_ordering(network="NY", profile="small")
+        headers, rows = result.tables["orderings"]
+        counts = {row[0]: row[1] for row in rows}
+        assert counts["min_degree"] <= counts["degree"]
+        assert counts["min_degree"] <= counts["random"]
+
+    def test_ablation_support_counters_small(self):
+        from repro.experiments import ablation
+
+        result = ablation.run_support_counters(
+            network="NY", profile="small", batch_size=8
+        )
+        headers, rows = result.tables["term evaluations"]
+        by_alg = {row[0]: row[1] for row in rows}
+        assert by_alg["UE"] > by_alg["DCH+"]
+        assert by_alg["DTDHL+"] > by_alg["IncH2H+"]
+
+    def test_ablation_batching_small(self):
+        from repro.experiments import ablation
+
+        result = ablation.run_batching(
+            network="NY", profile="small", sizes=(1, 8)
+        )
+        batched = result.series_by_name("batched").y
+        single = result.series_by_name("one-by-one").y
+        assert len(batched) == len(single) == 2
+
+
+class TestRunnerCli:
+    def test_cli_runs_table2(self, capsys, tmp_path):
+        from repro.experiments.runner import main
+
+        code = main(["--exp", "table2", "--profile", "small",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "table2.txt").exists()
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_experiment(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["--exp", "nonsense"])

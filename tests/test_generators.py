@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic road-network generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    grid_network,
+    random_connected_network,
+    road_network,
+)
+
+
+class TestGridNetwork:
+    def test_vertex_and_edge_counts(self):
+        g = grid_network(3, 4)
+        assert g.n == 12
+        # 3 rows x 3 horizontal + 2 x 4 vertical = 9 + 8.
+        assert g.m == 17
+
+    def test_single_cell(self):
+        g = grid_network(1, 1)
+        assert g.n == 1
+        assert g.m == 0
+
+    def test_row_graph(self):
+        g = grid_network(1, 5)
+        assert g.m == 4
+
+    def test_connected(self):
+        assert grid_network(6, 7, seed=3).is_connected()
+
+    def test_deterministic_by_seed(self):
+        assert grid_network(4, 4, seed=1) == grid_network(4, 4, seed=1)
+
+    def test_different_seeds_differ(self):
+        assert grid_network(4, 4, seed=1) != grid_network(4, 4, seed=2)
+
+    def test_weights_in_range(self):
+        g = grid_network(5, 5, seed=0, min_weight=3, max_weight=9)
+        assert all(3 <= w <= 9 for _, _, w in g.edges())
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(GraphError):
+            grid_network(0, 5)
+
+
+class TestRoadNetwork:
+    def test_size_close_to_target(self):
+        g = road_network(400, seed=1)
+        assert 380 <= g.n <= 450
+
+    def test_connected(self):
+        for seed in range(5):
+            assert road_network(150, seed=seed).is_connected()
+
+    def test_deterministic(self):
+        assert road_network(120, seed=9) == road_network(120, seed=9)
+
+    def test_sparse(self):
+        g = road_network(500, seed=2)
+        assert g.m < 3 * g.n
+
+    def test_has_highways(self):
+        """The overlay adds edges spanning more than one grid step."""
+        g = road_network(400, seed=3)
+        import math
+
+        cols = max(2, (400 + int(math.sqrt(400)) - 1) // int(math.sqrt(400)))
+        long_range = [
+            (u, v)
+            for u, v, _ in g.edges()
+            if abs(u - v) not in (1, cols, cols + 1, cols - 1)
+        ]
+        assert long_range, "expected at least one highway edge"
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            road_network(3)
+
+    def test_no_deletions_keeps_grid(self):
+        g = road_network(100, seed=0, deletion_rate=0.0, diagonal_rate=0.0,
+                         highway_rate=0.0)
+        assert g.is_connected()
+
+
+class TestRandomConnectedNetwork:
+    def test_connected(self):
+        for seed in range(5):
+            assert random_connected_network(50, 30, seed=seed).is_connected()
+
+    def test_edge_count(self):
+        g = random_connected_network(50, 30, seed=1)
+        assert g.m >= 49  # spanning tree
+        assert g.m <= 49 + 30
+
+    def test_single_vertex(self):
+        g = random_connected_network(1, 0)
+        assert g.n == 1 and g.m == 0
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            random_connected_network(0, 0)
+
+    def test_deterministic(self):
+        a = random_connected_network(40, 20, seed=5)
+        b = random_connected_network(40, 20, seed=5)
+        assert a == b

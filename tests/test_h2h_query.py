@@ -1,0 +1,82 @@
+"""Unit tests for H2H distance queries."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import dijkstra
+from repro.ch.query import ch_distance
+from repro.errors import QueryError
+from repro.h2h.indexing import h2h_indexing
+from repro.h2h.query import h2h_distance
+from repro.utils.counters import OpCounter
+
+from conftest import random_pairs
+
+
+class TestCorrectness:
+    def test_all_pairs_on_paper_graph(self, paper_h2h, paper_graph):
+        for s in range(9):
+            dist = dijkstra(paper_graph, s)
+            for t in range(9):
+                assert h2h_distance(paper_h2h, s, t) == dist[t]
+
+    def test_matches_ch_on_medium_network(self, medium_road):
+        h2h = h2h_indexing(medium_road)
+        from repro.ch.indexing import ch_indexing
+
+        ch = ch_indexing(medium_road)
+        for s, t in random_pairs(medium_road.n, 50, seed=1):
+            assert h2h_distance(h2h, s, t) == ch_distance(ch, s, t)
+
+    def test_random_graph(self, random_net):
+        h2h = h2h_indexing(random_net)
+        for s, t in random_pairs(random_net.n, 40, seed=2):
+            assert h2h_distance(h2h, s, t) == dijkstra(random_net, s)[t]
+
+    def test_same_vertex(self, paper_h2h):
+        assert h2h_distance(paper_h2h, 4, 4) == 0.0
+
+    def test_symmetry(self, medium_road):
+        h2h = h2h_indexing(medium_road)
+        for s, t in random_pairs(medium_road.n, 25, seed=3):
+            assert h2h_distance(h2h, s, t) == h2h_distance(h2h, t, s)
+
+    def test_ancestor_descendant_query(self, paper_h2h):
+        # v2's ancestor v8: the LCA is v8 itself.
+        assert paper_h2h.tree.lca(1, 7) == 7
+        assert h2h_distance(paper_h2h, 1, 7) == 9.0
+
+
+class TestErrors:
+    def test_out_of_range(self, paper_h2h):
+        with pytest.raises(QueryError):
+            h2h_distance(paper_h2h, 0, 99)
+        with pytest.raises(QueryError):
+            h2h_distance(paper_h2h, -1, 0)
+
+
+class TestCost:
+    def test_scan_length_is_pos_of_lca(self, paper_h2h):
+        ops = OpCounter()
+        h2h_distance(paper_h2h, 1, 5, ops)  # LCA(v2, v6) = v8
+        assert ops["pos_scan"] == len(paper_h2h.tree.pos[7])
+
+    def test_no_search_is_performed(self, medium_road):
+        """H2H touches only pos/dis arrays: op count stays tiny."""
+        h2h = h2h_indexing(medium_road)
+        ops = OpCounter()
+        for s, t in random_pairs(medium_road.n, 20, seed=4):
+            h2h_distance(h2h, s, t, ops)
+        assert ops.total() < 20 * h2h.height
+
+
+class TestAfterDeletion:
+    def test_infinite_distance_for_cut_vertex(self, paper_h2h):
+        from repro.h2h.inch2h import inch2h_increase
+
+        inch2h_increase(paper_h2h, [((0, 5), math.inf)])
+        assert math.isinf(h2h_distance(paper_h2h, 0, 3))
+        assert h2h_distance(paper_h2h, 1, 3) < math.inf

@@ -1,0 +1,148 @@
+"""Unit tests for the addressable lazy-deletion heap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.utils.heap import AddressableHeap
+
+
+class TestBasics:
+    def test_empty_heap_is_falsy(self):
+        assert not AddressableHeap()
+
+    def test_len_counts_live_items(self):
+        heap = AddressableHeap()
+        heap.push("a", 1)
+        heap.push("b", 2)
+        assert len(heap) == 2
+
+    def test_pop_returns_minimum(self):
+        heap = AddressableHeap()
+        heap.push("a", 3)
+        heap.push("b", 1)
+        heap.push("c", 2)
+        assert heap.pop() == ("b", 1)
+        assert heap.pop() == ("c", 2)
+        assert heap.pop() == ("a", 3)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().pop()
+
+    def test_membership(self):
+        heap = AddressableHeap()
+        heap.push("x", 5)
+        assert "x" in heap
+        assert "y" not in heap
+
+    def test_membership_after_pop(self):
+        heap = AddressableHeap()
+        heap.push("x", 5)
+        heap.pop()
+        assert "x" not in heap
+
+    def test_peek_does_not_remove(self):
+        heap = AddressableHeap()
+        heap.push("x", 5)
+        assert heap.peek() == ("x", 5)
+        assert "x" in heap
+
+    def test_peek_empty_returns_none(self):
+        assert AddressableHeap().peek() is None
+
+    def test_iteration_yields_live_items(self):
+        heap = AddressableHeap()
+        heap.push("a", 1)
+        heap.push("b", 2)
+        heap.discard("a")
+        assert list(heap) == ["b"]
+
+
+class TestReprioritize:
+    def test_decrease_priority(self):
+        heap = AddressableHeap()
+        heap.push("a", 5)
+        heap.push("b", 3)
+        heap.push("a", 1)
+        assert heap.pop() == ("a", 1)
+
+    def test_increase_priority(self):
+        heap = AddressableHeap()
+        heap.push("a", 1)
+        heap.push("b", 3)
+        heap.push("a", 5)
+        assert heap.pop() == ("b", 3)
+        assert heap.pop() == ("a", 5)
+
+    def test_same_priority_push_is_noop(self):
+        heap = AddressableHeap()
+        heap.push("a", 1)
+        heap.push("a", 1)
+        assert len(heap) == 1
+        heap.pop()
+        assert not heap
+
+    def test_priority_lookup(self):
+        heap = AddressableHeap()
+        heap.push("a", 9)
+        assert heap.priority("a") == 9
+        with pytest.raises(KeyError):
+            heap.priority("missing")
+
+
+class TestDiscardAndClear:
+    def test_discard_removes(self):
+        heap = AddressableHeap()
+        heap.push("a", 1)
+        heap.push("b", 2)
+        heap.discard("a")
+        assert heap.pop() == ("b", 2)
+
+    def test_discard_missing_is_noop(self):
+        heap = AddressableHeap()
+        heap.discard("nothing")
+        assert not heap
+
+    def test_clear(self):
+        heap = AddressableHeap()
+        heap.push("a", 1)
+        heap.clear()
+        assert not heap
+        assert heap.peek() is None
+
+
+class TestAgainstSortedReference:
+    def test_random_workload_matches_sorting(self):
+        rng = random.Random(5)
+        heap = AddressableHeap()
+        live = {}
+        for step in range(500):
+            op = rng.random()
+            if op < 0.6 or not live:
+                item = rng.randrange(100)
+                priority = rng.randrange(1000)
+                heap.push(item, priority)
+                live[item] = priority
+            elif op < 0.8:
+                item, priority = heap.pop()
+                expected_item = min(live, key=lambda k: (live[k],))
+                assert priority == live[expected_item]
+                del live[item]
+            else:
+                item = rng.choice(list(live))
+                heap.discard(item)
+                del live[item]
+        drained = []
+        while heap:
+            drained.append(heap.pop()[1])
+        assert drained == sorted(drained)
+
+    def test_tuple_priorities(self):
+        heap = AddressableHeap()
+        heap.push("a", (1, 9))
+        heap.push("b", (1, 2))
+        heap.push("c", (0, 100))
+        assert [heap.pop()[0] for _ in range(3)] == ["c", "b", "a"]

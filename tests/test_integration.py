@@ -1,0 +1,151 @@
+"""Integration tests: long mixed scenarios across the whole stack."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.dynamic import DynamicCH, DynamicH2H
+from repro.graph.generators import road_network
+from repro.graph.traffic import TrafficModel
+from repro.h2h.edge_updates import h2h_insert_edge
+from repro.workloads.updates import sample_edges
+
+
+class TestDayOfTrafficScenario:
+    """Drive both oracles through a simulated day of congestion events."""
+
+    def test_oracles_track_live_traffic(self):
+        graph = road_network(150, seed=77)
+        monitored = sample_edges(graph, 12, seed=1)
+        model = TrafficModel(n_roads=len(monitored), days=1, seed=5)
+
+        ch = DynamicCH(graph.copy())
+        h2h = DynamicH2H(graph.copy())
+        reference = graph.copy()
+
+        # Collect per-road congestion events, merge into a time line.
+        events = []
+        for road_id, (u, v, w) in enumerate(monitored):
+            omega = model.reference_weight(road_id)
+            for minute, new_weight in model.congestion_updates(road_id, 2.0):
+                scaled = w * new_weight / omega
+                events.append((minute, (u, v), scaled))
+        events.sort(key=lambda e: e[0])
+        assert events, "traffic model produced no events"
+
+        rng = random.Random(9)
+        for i, (_minute, edge, weight) in enumerate(events[:60]):
+            batch = [(edge, weight)]
+            ch.apply(batch)
+            h2h.apply(batch)
+            reference.apply_batch(batch)
+            if i % 10 == 0:
+                for _ in range(5):
+                    s, t = rng.randrange(graph.n), rng.randrange(graph.n)
+                    truth = dijkstra(reference, s)[t]
+                    assert ch.distance(s, t) == truth
+                    assert h2h.distance(s, t) == truth
+        ch.index.validate()
+        h2h.index.validate()
+
+
+class TestRoadworksScenario:
+    """Close roads (weight -> inf), build detours (insert edges), reopen."""
+
+    def test_full_lifecycle(self):
+        graph = road_network(120, seed=31)
+        h2h = DynamicH2H(graph.copy())
+        reference = graph.copy()
+        rng = random.Random(2)
+
+        closed = sample_edges(graph, 4, seed=3)
+        h2h.apply([((u, v), math.inf) for u, v, _ in closed])
+        reference.apply_batch([((u, v), math.inf) for u, v, _ in closed])
+
+        # Build one detour edge between previously non-adjacent vertices.
+        while True:
+            a, b = rng.randrange(graph.n), rng.randrange(graph.n)
+            if a != b and not reference.has_edge(a, b):
+                break
+        h2h.index = h2h_insert_edge(h2h.index, a, b, 3.0)
+        h2h.graph.add_edge(a, b, 3.0)
+        reference.add_edge(a, b, 3.0)
+
+        for _ in range(20):
+            s, t = rng.randrange(graph.n), rng.randrange(graph.n)
+            assert h2h.distance(s, t) == dijkstra(reference, s)[t]
+
+        # Reopen the closed roads at their original weights.
+        h2h.apply([((u, v), w) for u, v, w in closed])
+        reference.apply_batch([((u, v), w) for u, v, w in closed])
+        for _ in range(20):
+            s, t = rng.randrange(graph.n), rng.randrange(graph.n)
+            assert h2h.distance(s, t) == dijkstra(reference, s)[t]
+        h2h.index.validate()
+
+
+class TestCrossOracleConsistency:
+    """CH, H2H and Dijkstra must agree after any shared update history."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_histories(self, seed):
+        graph = road_network(100, seed=seed)
+        ch = DynamicCH(graph.copy())
+        h2h = DynamicH2H(graph.copy())
+        reference = graph.copy()
+        rng = random.Random(seed)
+        for round_id in range(4):
+            edges = sample_edges(reference, 6, seed=round_id * 17 + seed)
+            batch = []
+            for u, v, w in edges:
+                # Dyadic factors keep all sums exactly representable, so
+                # equality with Dijkstra is exact (paper weights are ints).
+                factor = rng.choice([0.25, 0.5, 1.5, 2.5, 6.0])
+                batch.append(((u, v), w * factor))
+            ch.apply(batch)
+            h2h.apply(batch)
+            reference.apply_batch(batch)
+            for _ in range(8):
+                s, t = rng.randrange(graph.n), rng.randrange(graph.n)
+                truth = dijkstra(reference, s)[t]
+                assert ch.distance(s, t) == truth
+                assert h2h.distance(s, t) == truth
+
+
+class TestFrequentSmallUpdates:
+    """One-edge batches (the paper's Exp-4 protocol) in volume."""
+
+    def test_one_by_one_updates(self):
+        graph = road_network(80, seed=55)
+        h2h = DynamicH2H(graph.copy())
+        reference = graph.copy()
+        rng = random.Random(4)
+        edges = list(reference.edges())
+        for step in range(40):
+            u, v, _ = edges[rng.randrange(len(edges))]
+            new_weight = float(rng.randint(1, 120))
+            h2h.apply([((u, v), new_weight)])
+            reference.set_weight(u, v, new_weight)
+        for _ in range(25):
+            s, t = rng.randrange(graph.n), rng.randrange(graph.n)
+            assert h2h.distance(s, t) == dijkstra(reference, s)[t]
+        h2h.index.validate()
+
+    def test_index_state_identical_to_fresh_build(self):
+        graph = road_network(80, seed=56)
+        h2h = DynamicH2H(graph.copy())
+        rng = random.Random(5)
+        edges = list(graph.edges())
+        for step in range(25):
+            u, v, _ = edges[rng.randrange(len(edges))]
+            h2h.apply([((u, v), float(rng.randint(1, 60)))])
+        from repro.h2h.indexing import h2h_indexing
+
+        fresh = h2h_indexing(h2h.graph, h2h.index.sc.ordering)
+        assert np.array_equal(h2h.index.dis, fresh.dis)
+        assert np.array_equal(h2h.index.sup, fresh.sup)

@@ -1,0 +1,106 @@
+"""Unit tests for DIMACS and edge-list readers/writers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import RoadNetwork
+from repro.graph.io import read_dimacs, read_edge_list, write_dimacs, write_edge_list
+
+
+@pytest.fixture
+def sample(tmp_path):
+    graph = RoadNetwork.from_edges(4, [(0, 1, 3.0), (1, 2, 4.0), (2, 3, 5.0)])
+    return graph, tmp_path
+
+
+class TestDimacsRoundTrip:
+    def test_round_trip_preserves_graph(self, sample):
+        graph, tmp = sample
+        path = tmp / "net.gr"
+        write_dimacs(graph, path, comment="test network")
+        assert read_dimacs(path) == graph
+
+    def test_comment_written(self, sample):
+        graph, tmp = sample
+        path = tmp / "net.gr"
+        write_dimacs(graph, path, comment="hello\nworld")
+        text = path.read_text()
+        assert text.startswith("c hello\nc world\n")
+
+    def test_integer_weights_written_without_decimal(self, sample):
+        graph, tmp = sample
+        path = tmp / "net.gr"
+        write_dimacs(graph, path)
+        assert "a 1 2 3\n" in path.read_text()
+
+
+class TestDimacsReader:
+    def test_reads_basic_file(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("c comment\np sp 3 4\na 1 2 5\na 2 1 5\na 2 3 7\na 3 2 7\n")
+        graph = read_dimacs(path)
+        assert graph.n == 3
+        assert graph.weight(0, 1) == 5.0
+        assert graph.weight(1, 2) == 7.0
+
+    def test_asymmetric_arcs_keep_minimum(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 2\na 1 2 9\na 2 1 4\n")
+        assert read_dimacs(path).weight(0, 1) == 4.0
+
+    def test_self_loops_ignored(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 2\na 1 1 9\na 1 2 4\n")
+        assert read_dimacs(path).m == 1
+
+    def test_missing_problem_line(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("a 1 2 3\n")
+        with pytest.raises(GraphError):
+            read_dimacs(path)
+
+    def test_vertex_out_of_range(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 1\na 1 5 3\n")
+        with pytest.raises(GraphError):
+            read_dimacs(path)
+
+    def test_unknown_line_type(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 1\nz 1 2 3\n")
+        with pytest.raises(GraphError):
+            read_dimacs(path)
+
+    def test_malformed_arc(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 1\na 1 2\n")
+        with pytest.raises(GraphError):
+            read_dimacs(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("\np sp 2 1\n\na 1 2 3\n")
+        assert read_dimacs(path).m == 1
+
+
+class TestEdgeList:
+    def test_round_trip(self, sample):
+        graph, tmp = sample
+        path = tmp / "net.txt"
+        write_edge_list(graph, path)
+        assert read_edge_list(path) == graph
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n0 1 2.5\n\n1 2 3.5  # inline\n")
+        graph = read_edge_list(path)
+        assert graph.weight(0, 1) == 2.5
+        assert graph.weight(1, 2) == 3.5
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)

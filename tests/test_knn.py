@@ -1,0 +1,161 @@
+"""Unit tests for the POI k-nearest-neighbor layer."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.dynamic import DynamicH2H
+from repro.core.oracle import DijkstraOracle
+from repro.errors import QueryError
+from repro.graph.graph import RoadNetwork
+from repro.knn.poi import POIIndex, POIResult
+
+
+@pytest.fixture
+def poi_index(medium_road):
+    oracle = DynamicH2H(medium_road.copy())
+    index = POIIndex(oracle)
+    rng = random.Random(1)
+    for _ in range(12):
+        index.add(rng.randrange(medium_road.n), "fuel")
+    for _ in range(4):
+        index.add(rng.randrange(medium_road.n), "hospital")
+    return index
+
+
+class TestRegistration:
+    def test_add_and_len(self, poi_index):
+        assert len(poi_index) >= 14  # rng may duplicate a couple
+
+    def test_add_idempotent(self, poi_index):
+        before = len(poi_index)
+        member = next(iter(poi_index.members("fuel")))
+        poi_index.add(member, "fuel")
+        assert len(poi_index) == before
+
+    def test_add_out_of_range(self, poi_index):
+        with pytest.raises(QueryError):
+            poi_index.add(10**6, "fuel")
+
+    def test_remove(self, poi_index):
+        member = next(iter(poi_index.members("fuel")))
+        poi_index.remove(member, "fuel")
+        assert member not in poi_index.members("fuel")
+
+    def test_remove_unknown(self, poi_index):
+        with pytest.raises(QueryError):
+            poi_index.remove(0, "spaceport")
+
+    def test_remove_last_member_drops_category(self, medium_road):
+        index = POIIndex(DijkstraOracle(medium_road.copy()))
+        index.add(3, "cafe")
+        index.remove(3, "cafe")
+        assert index.categories() == []
+
+    def test_categories_sorted(self, poi_index):
+        assert poi_index.categories() == ["fuel", "hospital"]
+
+    def test_same_vertex_multiple_categories(self, medium_road):
+        index = POIIndex(DijkstraOracle(medium_road.copy()))
+        index.add(5, "cafe")
+        index.add(5, "fuel")
+        assert len(index) == 2
+
+    def test_repr(self, poi_index):
+        assert "POIIndex" in repr(poi_index)
+
+
+class TestQueries:
+    def test_strategies_agree(self, poi_index, medium_road):
+        for source in (0, 7, medium_road.n - 1):
+            by_oracle = poi_index.nearest(source, "fuel", k=5,
+                                          strategy="oracle")
+            by_search = poi_index.nearest(source, "fuel", k=5,
+                                          strategy="search")
+            assert by_oracle == by_search
+
+    def test_results_sorted(self, poi_index):
+        results = poi_index.nearest(0, "fuel", k=6)
+        distances = [r.distance for r in results]
+        assert distances == sorted(distances)
+
+    def test_k_one(self, poi_index, medium_road):
+        result = poi_index.nearest(3, "fuel", k=1)
+        assert len(result) == 1
+        # The answer is the minimum over all registered POIs.
+        from repro.baselines.dijkstra import dijkstra
+
+        dist = dijkstra(medium_road, 3)
+        expected = min(dist[p] for p in poi_index.members("fuel"))
+        assert result[0].distance == expected
+
+    def test_k_exceeds_members(self, poi_index):
+        members = poi_index.members("hospital")
+        results = poi_index.nearest(0, "hospital", k=50)
+        assert len(results) == len(members)
+
+    def test_unknown_category_empty(self, poi_index):
+        assert poi_index.nearest(0, "spaceport", k=3) == []
+
+    def test_source_is_poi(self, poi_index):
+        member = next(iter(poi_index.members("fuel")))
+        results = poi_index.nearest(member, "fuel", k=1)
+        assert results[0] == POIResult(0.0, member, "fuel")
+
+    def test_invalid_k(self, poi_index):
+        with pytest.raises(QueryError):
+            poi_index.nearest(0, "fuel", k=0)
+
+    def test_invalid_strategy(self, poi_index):
+        with pytest.raises(QueryError):
+            poi_index.nearest(0, "fuel", k=1, strategy="telepathy")
+
+    def test_invalid_source(self, poi_index):
+        with pytest.raises(QueryError):
+            poi_index.nearest(-1, "fuel")
+
+    def test_unreachable_pois_excluded(self):
+        g = RoadNetwork(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        index = POIIndex(DijkstraOracle(g))
+        index.add(1, "fuel")
+        index.add(3, "fuel")
+        results = index.nearest(0, "fuel", k=5, strategy="oracle")
+        assert [r.vertex for r in results] == [1]
+
+
+class TestDynamicUnderTraffic:
+    """The paper's TEN motivation: kNN stays exact through IncH2H."""
+
+    def test_answers_track_weight_updates(self, medium_road):
+        oracle = DynamicH2H(medium_road.copy())
+        index = POIIndex(oracle)
+        rng = random.Random(2)
+        for _ in range(10):
+            index.add(rng.randrange(medium_road.n), "fuel")
+
+        reference = medium_road.copy()
+        from repro.baselines.dijkstra import dijkstra
+        from repro.workloads.updates import sample_edges
+
+        for round_id in range(3):
+            edges = sample_edges(reference, 6, seed=round_id)
+            factor = [2.0, 0.5, 3.0][round_id]
+            batch = [((u, v), w * factor) for u, v, w in edges]
+            oracle.apply(batch)
+            reference.apply_batch(batch)
+            for source in (0, 11, 57):
+                dist = dijkstra(reference, source)
+                expected = sorted(
+                    (dist[p], p) for p in index.members("fuel")
+                    if not math.isinf(dist[p])
+                )[:3]
+                got = [
+                    (r.distance, r.vertex)
+                    for r in index.nearest(source, "fuel", k=3)
+                ]
+                assert got == expected

@@ -1,0 +1,206 @@
+"""The paper's Figure 1 running example, checked fact by fact.
+
+Every assertion here is a number printed in the paper (Examples 2.1-2.4,
+4.3, 5.1-5.2 and the Section 4.2 support values); together they pin the
+implementation to the paper's semantics far more tightly than randomized
+oracle tests can.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.ch.dch import dch_increase
+from repro.ch.query import ch_distance
+from repro.h2h.inch2h import inch2h_increase
+from repro.h2h.query import h2h_distance
+
+from conftest import v
+
+
+class TestFigure1bShortcutGraph:
+    """Example 2.1 and the Figure 1b shortcut graph."""
+
+    def test_shortcut_v7_v8_exists(self, paper_sc):
+        assert paper_sc.has_shortcut(v(7), v(8))
+
+    def test_shortcut_v7_v8_weight_is_8(self, paper_sc):
+        assert paper_sc.weight(v(7), v(8)) == 8
+
+    def test_upward_neighbors_of_v7(self, paper_sc):
+        assert sorted(paper_sc.upward(v(7))) == [v(8), v(9)]
+
+    def test_downward_neighbors_of_v7(self, paper_sc):
+        assert sorted(paper_sc.downward(v(7))) == [v(2), v(3), v(4), v(5)]
+
+    def test_scp_minus_of_v7_v8_is_only_v5(self, paper_sc):
+        assert list(paper_sc.scp_minus(v(7), v(8))) == [v(5)]
+
+    def test_scp_plus_of_v7_v8_is_only_via_v9(self, paper_sc):
+        assert list(paper_sc.scp_plus(v(7), v(8))) == [(v(7), v(9), v(8))]
+
+    def test_total_shortcut_count(self, paper_sc):
+        # 11 original edges + <v5,v7>, <v7,v9>, <v7,v8>.
+        assert paper_sc.num_shortcuts == 14
+
+    def test_derived_shortcut_weights(self, paper_sc):
+        assert paper_sc.weight(v(5), v(7)) == 4
+        assert paper_sc.weight(v(7), v(9)) == 4
+
+    def test_section_4_2_support_values(self, paper_sc):
+        """sup(<v5,v7>) = sup(<v3,v5>) = sup(<v7,v8>) = 1 (Section 4.2)."""
+        assert paper_sc.support(v(5), v(7)) == 1
+        assert paper_sc.support(v(3), v(5)) == 1
+        assert paper_sc.support(v(7), v(8)) == 1
+
+    def test_index_validates(self, paper_sc):
+        paper_sc.validate()
+
+
+class TestExample22ChQuery:
+    """Example 2.2: sd(v6, v7) = 6 via the meeting vertex v9."""
+
+    def test_distance(self, paper_sc):
+        assert ch_distance(paper_sc, v(6), v(7)) == 6
+
+    def test_component_weights(self, paper_sc):
+        assert paper_sc.weight(v(6), v(9)) == 2
+        assert paper_sc.weight(v(7), v(9)) == 4
+
+
+class TestFigure1cTreeDecomposition:
+    """Example 2.3: parents, anc, dis and pos arrays."""
+
+    def test_parent_of_v2_is_v5(self, paper_h2h):
+        assert paper_h2h.tree.parent[v(2)] == v(5)
+
+    def test_root_is_v9(self, paper_h2h):
+        assert paper_h2h.tree.root == v(9)
+
+    def test_anc_of_v2(self, paper_h2h):
+        expected = [v(9), v(8), v(7), v(5), v(2)]
+        assert list(paper_h2h.tree.anc[v(2)]) == expected
+
+    def test_dis_of_v2(self, paper_h2h):
+        assert list(paper_h2h.distance_row(v(2))) == [5, 9, 1, 5, 0]
+
+    def test_pos_of_v2(self, paper_h2h):
+        # Paper (1-based): {3, 4, 5}; 0-based here.
+        assert list(paper_h2h.tree.pos[v(2)]) == [2, 3, 4]
+
+    def test_dis_of_v6(self, paper_h2h):
+        assert list(paper_h2h.distance_row(v(6))) == [2, 6, 0]
+
+    def test_tree_validates(self, paper_h2h):
+        paper_h2h.tree.validate()
+        paper_h2h.validate()
+
+
+class TestExample24H2HQuery:
+    """Example 2.4: sd(v2, v6) = 7 via LCA v8."""
+
+    def test_lca(self, paper_h2h):
+        assert paper_h2h.tree.lca(v(2), v(6)) == v(8)
+
+    def test_pos_of_v8(self, paper_h2h):
+        # X(v8) = {v8, v9}: paper depths {1, 2}; 0-based {0, 1}.
+        assert list(paper_h2h.tree.pos[v(8)]) == [0, 1]
+
+    def test_distance(self, paper_h2h):
+        assert h2h_distance(paper_h2h, v(2), v(6)) == 7
+
+
+class TestExample43DchIncrease:
+    """Example 4.3: increasing (v3, v5) from 2 to 3."""
+
+    def test_propagation(self, paper_sc):
+        changed = dch_increase(paper_sc, [((v(3), v(5)), 3.0)])
+        changed_keys = {key for key, _, _ in changed}
+        # The chain <v3,v5> -> <v5,v7> -> <v7,v8>: each has support 1
+        # (Section 4.2), so the increase cascades through all three.
+        assert changed_keys == {(v(3), v(5)), (v(5), v(7)), (v(7), v(8))}
+        assert paper_sc.weight(v(7), v(8)) == 9
+
+    def test_new_weight_and_support(self, paper_sc):
+        dch_increase(paper_sc, [((v(3), v(5)), 3.0)])
+        assert paper_sc.weight(v(3), v(5)) == 3
+        assert paper_sc.support(v(3), v(5)) == 1
+        paper_sc.validate()
+
+    def test_v5_v7_recomputed(self, paper_sc):
+        dch_increase(paper_sc, [((v(3), v(5)), 3.0)])
+        # New shortest valley path between v5 and v7: via v3 = 3+2 = 5.
+        assert paper_sc.weight(v(5), v(7)) == 5
+
+
+class TestExample51Auxiliaries:
+    """Example 5.1: discovery-time order, first(.), sup(<<v6,v9>>)."""
+
+    def test_down_by_disc_of_v9(self, paper_h2h):
+        assert paper_h2h.tree.down_by_disc[v(9)] == [v(8), v(6), v(7), v(4)]
+
+    def test_first_of_v6_v9(self, paper_h2h):
+        # Paper (1-based): 3; 0-based here: index 2 (= v7).
+        assert paper_h2h.tree.first(v(6), v(9)) == 2
+
+    def test_sup_of_v6_v9(self, paper_h2h):
+        assert paper_h2h.sup[v(6), 0] == 1  # ancestor v9 at depth 0
+
+    def test_example_terms(self, paper_h2h):
+        sc = paper_h2h.sc
+        assert sc.weight(v(6), v(9)) == 2
+        assert sc.weight(v(6), v(8)) == 7
+        assert paper_h2h.dis[v(8), 0] == 4  # sd(v8, v9)
+
+
+class TestExample52IncH2HIncrease:
+    """Example 5.2: increasing (v6, v9) from 2 to 3."""
+
+    def test_only_shortcut_v6_v9_changes(self, paper_h2h):
+        from repro.ch.dch import dch_increase as dchi
+
+        changed = dchi(paper_h2h.sc, [((v(6), v(9)), 3.0)])
+        assert [key for key, _, _ in changed] == [(v(6), v(9))]
+
+    def test_super_shortcut_propagation(self, paper_h2h):
+        changed = inch2h_increase(paper_h2h, [((v(6), v(9)), 3.0)])
+        changed_keys = {key for key, _, _ in changed}
+        # <<v6,v9>>, <<v6,v8>> and <<v1,v9>> are the affected ones.
+        assert (v(6), 0) in changed_keys
+        assert (v(1), 0) in changed_keys
+        # dis(v6)[depth(v9)] becomes 3 (direct edge).
+        assert paper_h2h.dis[v(6), 0] == 3
+
+    def test_nbr_minus_v9_inter_des_v6_empty(self, paper_h2h):
+        assert list(paper_h2h.tree.down_in_descendants(v(9), v(6))) == []
+
+    def test_index_valid_after_update(self, paper_h2h):
+        inch2h_increase(paper_h2h, [((v(6), v(9)), 3.0)])
+        paper_h2h.validate()
+
+    def test_queries_after_update(self, paper_h2h, paper_graph):
+        inch2h_increase(paper_h2h, [((v(6), v(9)), 3.0)])
+        paper_graph.set_weight(v(6), v(9), 3.0)
+        from repro.baselines.dijkstra import dijkstra
+
+        for s in range(9):
+            dist = dijkstra(paper_graph, s)
+            for t in range(9):
+                assert h2h_distance(paper_h2h, s, t) == dist[t]
+
+
+class TestInfinityHandling:
+    """Deleted roads (weight = inf) keep the example indexes coherent."""
+
+    def test_delete_edge_via_infinite_weight(self, paper_sc):
+        dch_increase(paper_sc, [((v(8), v(9)), math.inf)])
+        paper_sc.validate()
+        # sd(v8, v9) now runs v8-v5-...? CH query still answers.
+        assert ch_distance(paper_sc, v(8), v(9)) < math.inf
+
+    def test_h2h_delete_edge(self, paper_h2h, paper_graph):
+        inch2h_increase(paper_h2h, [((v(1), v(6)), math.inf)])
+        # v1's only edge removed: v1 becomes unreachable.
+        assert h2h_distance(paper_h2h, v(1), v(9)) == math.inf

@@ -1,0 +1,169 @@
+"""Property-based tests: oracles vs Dijkstra on arbitrary graphs.
+
+Hypothesis generates random connected weighted graphs and checks that
+CH and H2H (static and after arbitrary update sequences) agree with
+fresh Dijkstra searches on every queried pair, and that all index
+invariants (Equation (<>) / Equation (*) / supports) hold.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dijkstra import dijkstra
+from repro.ch.indexing import ch_indexing
+from repro.ch.query import ch_distance, ch_path
+from repro.graph.graph import RoadNetwork
+from repro.h2h.indexing import h2h_indexing
+from repro.h2h.query import h2h_distance
+
+
+@st.composite
+def connected_graphs(draw, max_vertices=24):
+    """A connected graph: random tree plus random extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    weights = st.integers(min_value=1, max_value=12)
+    edges = {}
+    for i in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        edges[(parent, i)] = float(draw(weights))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 2))
+        v = draw(st.integers(min_value=u + 1, max_value=n - 1))
+        if (u, v) not in edges:
+            edges[(u, v)] = float(draw(weights))
+    graph = RoadNetwork(n)
+    for (u, v), w in edges.items():
+        graph.add_edge(u, v, w)
+    return graph
+
+
+@st.composite
+def graphs_with_updates(draw):
+    """A graph plus a random sequence of weight-update batches."""
+    graph = draw(connected_graphs())
+    edges = list(graph.edges())
+    batches = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        k = draw(st.integers(min_value=1, max_value=min(4, len(edges))))
+        indices = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(edges) - 1),
+                min_size=k, max_size=k, unique=True,
+            )
+        )
+        batch = []
+        for idx in indices:
+            u, v, _ = edges[idx]
+            batch.append(((u, v), float(draw(st.integers(1, 25)))))
+        batches.append(batch)
+    return graph, batches
+
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestStaticOracles:
+    @common_settings
+    @given(connected_graphs())
+    def test_ch_matches_dijkstra(self, graph):
+        sc = ch_indexing(graph)
+        for s in range(0, graph.n, max(1, graph.n // 5)):
+            dist = dijkstra(graph, s)
+            for t in range(graph.n):
+                assert ch_distance(sc, s, t) == dist[t]
+
+    @common_settings
+    @given(connected_graphs())
+    def test_h2h_matches_dijkstra(self, graph):
+        index = h2h_indexing(graph)
+        for s in range(0, graph.n, max(1, graph.n // 5)):
+            dist = dijkstra(graph, s)
+            for t in range(graph.n):
+                assert h2h_distance(index, s, t) == dist[t]
+
+    @common_settings
+    @given(connected_graphs())
+    def test_indexes_validate(self, graph):
+        sc = ch_indexing(graph)
+        sc.validate()
+        index = h2h_indexing(graph)
+        index.validate()
+        index.tree.validate()
+
+    @common_settings
+    @given(connected_graphs(max_vertices=14))
+    def test_ch_paths_are_real_shortest_paths(self, graph):
+        sc = ch_indexing(graph)
+        for s in range(graph.n):
+            dist = dijkstra(graph, s)
+            for t in range(graph.n):
+                path = ch_path(sc, s, t)
+                if math.isinf(dist[t]):
+                    assert path is None
+                    continue
+                assert path[0] == s and path[-1] == t
+                total = sum(
+                    graph.weight(a, b) for a, b in zip(path, path[1:])
+                )
+                assert total == dist[t]
+
+
+class TestDynamicOracles:
+    @common_settings
+    @given(graphs_with_updates())
+    def test_mixed_update_sequences_stay_exact(self, data):
+        graph, batches = data
+        from repro.core.dynamic import DynamicCH, DynamicH2H
+
+        ch = DynamicCH(graph.copy())
+        h2h = DynamicH2H(graph.copy())
+        reference = graph.copy()
+        for batch in batches:
+            # Deduplicate edges within a batch (facade requires it).
+            seen = set()
+            cleaned = []
+            for (u, v), w in batch:
+                key = (min(u, v), max(u, v))
+                if key not in seen:
+                    seen.add(key)
+                    cleaned.append(((u, v), w))
+            ch.apply(cleaned)
+            h2h.apply(cleaned)
+            reference.apply_batch(cleaned)
+            ch.index.validate()
+            h2h.index.validate()
+            for s in range(0, graph.n, max(1, graph.n // 4)):
+                dist = dijkstra(reference, s)
+                for t in range(graph.n):
+                    assert ch.distance(s, t) == dist[t]
+                    assert h2h.distance(s, t) == dist[t]
+
+    @common_settings
+    @given(graphs_with_updates())
+    def test_incremental_equals_rebuild(self, data):
+        graph, batches = data
+        from repro.core.dynamic import DynamicH2H
+        import numpy as np
+
+        oracle = DynamicH2H(graph.copy())
+        for batch in batches:
+            seen = set()
+            cleaned = []
+            for (u, v), w in batch:
+                key = (min(u, v), max(u, v))
+                if key not in seen:
+                    seen.add(key)
+                    cleaned.append(((u, v), w))
+            oracle.apply(cleaned)
+        fresh = h2h_indexing(oracle.graph, oracle.index.sc.ordering)
+        assert np.array_equal(oracle.index.dis, fresh.dis)
+        assert np.array_equal(oracle.index.sup, fresh.sup)

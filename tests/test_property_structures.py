@@ -1,0 +1,148 @@
+"""Property-based tests for core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ch.indexing import ch_indexing
+from repro.graph.graph import RoadNetwork
+from repro.h2h.tree import TreeDecomposition
+from repro.order.min_degree import eliminate
+from repro.utils.heap import AddressableHeap
+from repro.utils.lca import LCAOracle
+
+from test_property_oracles import connected_graphs
+
+common_settings = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestHeapProperties:
+    @common_settings
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 100)),
+            max_size=60,
+        )
+    )
+    def test_pops_are_sorted(self, pushes):
+        heap = AddressableHeap()
+        expected = {}
+        for item, priority in pushes:
+            heap.push(item, priority)
+            expected[item] = priority
+        popped = []
+        while heap:
+            item, priority = heap.pop()
+            assert expected.pop(item) == priority
+            popped.append(priority)
+        assert popped == sorted(popped)
+        assert not expected
+
+    @common_settings
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.integers(0, 20)),
+            min_size=1, max_size=40,
+        ),
+        st.integers(0, 10),
+    )
+    def test_discard_removes_exactly_one(self, pushes, victim):
+        heap = AddressableHeap()
+        for item, priority in pushes:
+            heap.push(item, priority)
+        size = len(heap)
+        present = victim in heap
+        heap.discard(victim)
+        assert len(heap) == size - (1 if present else 0)
+        assert victim not in heap
+
+
+class TestLcaProperties:
+    @st.composite
+    @staticmethod
+    def parent_arrays(draw):
+        n = draw(st.integers(min_value=1, max_value=60))
+        return [-1] + [draw(st.integers(0, i - 1)) for i in range(1, n)]
+
+    @common_settings
+    @given(parent_arrays())
+    def test_lca_axioms(self, parent):
+        oracle = LCAOracle(parent)
+        n = len(parent)
+        for u in range(0, n, max(1, n // 6)):
+            for v in range(0, n, max(1, n // 6)):
+                a = oracle.lca(u, v)
+                assert oracle.is_ancestor(a, u)
+                assert oracle.is_ancestor(a, v)
+                assert oracle.lca(u, v) == oracle.lca(v, u)
+                assert oracle.lca(u, u) == u
+
+
+class TestEliminationProperties:
+    @common_settings
+    @given(connected_graphs(max_vertices=20))
+    def test_fill_makes_ordering_perfect(self, graph):
+        """After adding the fill, every vertex's higher neighbors form a
+        clique — the defining property of a perfect elimination order."""
+        ordering, fill = eliminate(graph)
+        adjacency = [set(graph.neighbors(x)) for x in range(graph.n)]
+        for u, v in fill:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        rank = ordering.rank
+        for u in range(graph.n):
+            higher = [x for x in adjacency[u] if rank[x] > rank[u]]
+            for i, a in enumerate(higher):
+                for b in higher[i + 1 :]:
+                    assert b in adjacency[a]
+
+    @common_settings
+    @given(connected_graphs(max_vertices=20))
+    def test_fill_equals_shortcut_set(self, graph):
+        """CHIndexing's shortcut set == original edges + elimination fill."""
+        ordering, fill = eliminate(graph)
+        sc = ch_indexing(graph, ordering)
+        expected = {(u, v) for u, v, _ in graph.edges()} | set(fill)
+        assert set(sc.shortcuts()) == expected
+
+
+class TestTreeDecompositionProperties:
+    @common_settings
+    @given(connected_graphs(max_vertices=20))
+    def test_x_sets_are_separators(self, graph):
+        """Property (1) of Section 2: every shortest s-t path crosses
+        X(lca(s, t)) — verified by checking the H2H answer equals the
+        minimum over X(a) of sd(s, x) + sd(x, t)."""
+        from repro.baselines.dijkstra import dijkstra
+
+        sc = ch_indexing(graph)
+        tree = TreeDecomposition(sc)
+        from repro.h2h.indexing import fill_distance_arrays
+
+        index = fill_distance_arrays(sc, tree)
+        for s in range(0, graph.n, max(1, graph.n // 4)):
+            dist_s = dijkstra(graph, s)
+            for t in range(graph.n):
+                if s == t:
+                    continue
+                a = tree.lca(s, t)
+                x_set = list(sc.upward(a)) + [a]
+                dist_t = dijkstra(graph, t)
+                via_x = min(dist_s[x] + dist_t[x] for x in x_set)
+                assert via_x == dist_s[t]
+
+    @common_settings
+    @given(connected_graphs(max_vertices=24))
+    def test_structural_invariants(self, graph):
+        sc = ch_indexing(graph)
+        tree = TreeDecomposition(sc)
+        tree.validate()
+        # DFS interval nesting agrees with the LCA oracle.
+        for u in range(0, graph.n, max(1, graph.n // 5)):
+            for v in range(graph.n):
+                assert tree.is_ancestor(u, v) == (tree.lca(u, v) == u)

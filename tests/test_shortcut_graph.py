@@ -1,0 +1,159 @@
+"""Unit tests for the ShortcutGraph data structure and Equation (<>)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.ch.indexing import ch_indexing
+from repro.ch.shortcut_graph import ShortcutGraph
+from repro.errors import IndexError_
+from repro.order.min_degree import minimum_degree_ordering
+from repro.utils.counters import OpCounter
+
+from conftest import v
+
+
+class TestStructure:
+    def test_upward_downward_partition(self, paper_sc):
+        for u in range(paper_sc.n):
+            up = set(paper_sc.upward(u))
+            down = set(paper_sc.downward(u))
+            assert up | down == set(paper_sc.neighbors(u))
+            assert not up & down
+
+    def test_upward_sorted_by_rank(self, paper_sc):
+        rank = paper_sc.ordering.rank
+        for u in range(paper_sc.n):
+            ranks = [rank[x] for x in paper_sc.upward(u)]
+            assert ranks == sorted(ranks)
+            assert all(r > rank[u] for r in ranks)
+
+    def test_key_canonical(self):
+        assert ShortcutGraph.key(5, 2) == (2, 5)
+
+    def test_lower_endpoint(self, paper_sc):
+        assert paper_sc.lower_endpoint(v(7), v(5)) == v(5)
+
+    def test_shortcuts_iterator_canonical(self, paper_sc):
+        keys = list(paper_sc.shortcuts())
+        assert len(keys) == paper_sc.num_shortcuts
+        assert all(a < b for a, b in keys)
+
+    def test_degree(self, paper_sc):
+        assert paper_sc.degree(v(7)) == 6
+
+
+class TestWeights:
+    def test_missing_shortcut_raises(self, paper_sc):
+        with pytest.raises(IndexError_):
+            paper_sc.weight(v(1), v(9))
+
+    def test_set_weight_symmetric(self, paper_sc):
+        paper_sc.set_weight(v(7), v(8), 99.0)
+        assert paper_sc.weight(v(8), v(7)) == 99.0
+
+    def test_set_weight_missing_raises(self, paper_sc):
+        with pytest.raises(IndexError_):
+            paper_sc.set_weight(v(1), v(9), 1.0)
+
+    def test_edge_weight_of_non_edge_is_inf(self, paper_sc):
+        # <v5, v7> is a pure shortcut, not a graph edge.
+        assert math.isinf(paper_sc.edge_weight(v(5), v(7)))
+
+    def test_edge_weight_of_edge(self, paper_sc):
+        assert paper_sc.edge_weight(v(3), v(5)) == 2.0
+
+    def test_set_edge_weight_rejects_non_edges(self, paper_sc):
+        with pytest.raises(IndexError_):
+            paper_sc.set_edge_weight(v(5), v(7), 1.0)
+
+    def test_is_graph_edge(self, paper_sc):
+        assert paper_sc.is_graph_edge(v(3), v(5))
+        assert not paper_sc.is_graph_edge(v(5), v(7))
+
+
+class TestEquationEvaluation:
+    def test_evaluate_matches_stored(self, paper_sc):
+        for a, b in paper_sc.shortcuts():
+            result = paper_sc.evaluate_equation(a, b)
+            assert result.weight == paper_sc.weight(a, b)
+            assert result.support == paper_sc.support(a, b)
+
+    def test_via_of_edge_backed_shortcut_is_none(self, paper_sc):
+        assert paper_sc.via(v(3), v(5)) is None
+
+    def test_via_of_derived_shortcut(self, paper_sc):
+        assert paper_sc.via(v(7), v(8)) == v(5)
+        assert paper_sc.via(v(5), v(7)) == v(3)
+
+    def test_counter_tallies_scp_minus(self, paper_sc):
+        ops = OpCounter()
+        paper_sc.evaluate_equation(v(5), v(7), ops)
+        # scp-(<v5,v7>) = {v2, v3}.
+        assert ops["scp_minus_inspect"] == 2
+
+    def test_recompute_overwrites(self, paper_sc):
+        paper_sc.set_weight(v(5), v(7), 999.0)
+        assert paper_sc.recompute(v(5), v(7)) == 4.0
+        paper_sc.validate()
+
+    def test_validate_catches_corruption(self, paper_sc):
+        paper_sc.set_weight(v(5), v(7), 123.0)
+        with pytest.raises(IndexError_):
+            paper_sc.validate()
+
+    def test_validate_catches_bad_support(self, paper_sc):
+        paper_sc.set_support(v(5), v(7), 7)
+        with pytest.raises(IndexError_):
+            paper_sc.validate()
+
+
+class TestScpEnumeration:
+    def test_scp_minus_symmetric_in_arguments(self, paper_sc):
+        a = sorted(paper_sc.scp_minus(v(7), v(8)))
+        b = sorted(paper_sc.scp_minus(v(8), v(7)))
+        assert a == b
+
+    def test_scp_plus_orients_by_rank(self, paper_sc):
+        for x, w_mid, y in paper_sc.scp_plus(v(8), v(7)):
+            assert x == v(7)  # the lower-ranked endpoint
+            assert paper_sc.has_shortcut(w_mid, y)
+
+    def test_scp_pairs_are_duals(self, medium_road):
+        """(e, e') is a downward pair of e'' iff scp_plus reports e''."""
+        sc = ch_indexing(medium_road)
+        for a, b in list(sc.shortcuts())[:50]:
+            for x, w_mid, y in sc.scp_plus(a, b):
+                assert x in list(sc.scp_minus(w_mid, y))
+
+
+class TestSizeAccounting:
+    def test_incremental_larger_than_static(self, paper_sc):
+        assert paper_sc.size_in_bytes(True) > paper_sc.size_in_bytes(False)
+
+    def test_scales_with_shortcuts(self, medium_road):
+        sc = ch_indexing(medium_road)
+        assert sc.size_in_bytes() > 8 * sc.num_shortcuts
+
+
+class TestWeightSnapshot:
+    def test_snapshot_is_copy(self, paper_sc):
+        snap = paper_sc.weight_snapshot()
+        paper_sc.set_weight(v(7), v(8), 1.0)
+        assert snap[(v(7), v(8))] == 8.0
+
+    def test_support_snapshot(self, paper_sc):
+        snap = paper_sc.support_snapshot()
+        assert snap[(v(5), v(7))] == 1
+
+    def test_repr(self, paper_sc):
+        assert "shortcuts=14" in repr(paper_sc)
+
+
+class TestOrderingInteraction:
+    def test_min_degree_ordering_builds_valid_index(self, medium_road):
+        pi = minimum_degree_ordering(medium_road)
+        sc = ch_indexing(medium_road, pi)
+        sc.validate()

@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic diurnal traffic model (Fig. 2f substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.traffic import MINUTES_PER_DAY, TrafficModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TrafficModel(n_roads=20, days=3, seed=4)
+
+
+class TestSeries:
+    def test_length(self, model):
+        assert len(model.series(0)) == 3 * MINUTES_PER_DAY
+
+    def test_positive(self, model):
+        assert (model.series(1) > 0).all()
+
+    def test_cached(self, model):
+        assert model.series(2) is model.series(2)
+
+    def test_out_of_range_road(self, model):
+        with pytest.raises(GraphError):
+            model.series(99)
+
+    def test_deterministic_across_instances(self):
+        a = TrafficModel(n_roads=5, days=1, seed=7).series(3)
+        b = TrafficModel(n_roads=5, days=1, seed=7).series(3)
+        assert np.array_equal(a, b)
+
+    def test_rush_hours_slower_than_night(self, model):
+        series = model.series(0)[:MINUTES_PER_DAY]
+        night = series[120:240].mean()      # 2am-4am
+        morning = series[450:570].mean()    # 7:30am-9:30am
+        assert morning > night
+
+
+class TestReferenceWeight:
+    def test_is_low_percentile(self, model):
+        series = model.series(0)
+        omega = model.reference_weight(0)
+        assert (series >= omega).mean() >= 0.89
+
+    def test_monotone_in_percentile(self, model):
+        assert model.reference_weight(0, 5.0) <= model.reference_weight(0, 50.0)
+
+
+class TestUpdateCounting:
+    def test_threshold_must_exceed_one(self, model):
+        with pytest.raises(GraphError):
+            model.count_updates(0, 1.0)
+
+    def test_counts_transitions(self, model):
+        assert model.count_updates(0, 1.5) >= 0
+
+    def test_higher_threshold_fewer_or_equal_updates_on_average(self, model):
+        low = sum(model.count_updates(r, 1.3) for r in range(model.n_roads))
+        high = sum(model.count_updates(r, 4.0) for r in range(model.n_roads))
+        assert high <= low
+
+    def test_average_rate_is_small(self, model):
+        # The paper's point: update rates are far below 1/min/road.
+        assert model.average_update_rate(2.0) < 0.1
+
+
+class TestFig2fSeries:
+    def test_bucket_validation(self, model):
+        with pytest.raises(GraphError):
+            model.update_rate_by_minute(2.0, bucket_minutes=7)
+
+    def test_series_shape(self, model):
+        obs = model.update_rate_by_minute(2.0, bucket_minutes=60)
+        assert len(obs) == 24
+        assert obs[0].minute_of_day == 0
+        assert obs[-1].minute_of_day == 23 * 60
+
+    def test_rush_hour_peaks(self):
+        model = TrafficModel(n_roads=100, days=5, seed=11)
+        obs = model.update_rate_by_minute(2.0, bucket_minutes=60)
+        rates = [o.updates_per_minute_per_road for o in obs]
+        night = np.mean(rates[1:5])
+        morning = np.max(rates[6:10])
+        assert morning > 2 * night
+
+    def test_totals_consistent(self, model):
+        obs = model.update_rate_by_minute(2.0, bucket_minutes=1440)
+        total_from_buckets = obs[0].updates_per_minute_per_road
+        assert total_from_buckets == pytest.approx(model.average_update_rate(2.0))
+
+
+class TestCongestionUpdates:
+    def test_alternating_states(self, model):
+        updates = model.congestion_updates(0, 2.0)
+        omega = model.reference_weight(0)
+        # Every second update restores the reference weight.
+        for i, (_minute, weight) in enumerate(updates):
+            if i % 2 == 1:
+                assert weight == omega
+            else:
+                assert weight > 2.0 * omega
+
+    def test_minutes_increasing(self, model):
+        updates = model.congestion_updates(1, 1.8)
+        minutes = [m for m, _ in updates]
+        assert minutes == sorted(minutes)
+
+    def test_repr(self, model):
+        assert "TrafficModel" in repr(model)

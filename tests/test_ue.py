@@ -1,0 +1,94 @@
+"""Unit tests for the UE baseline (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ch.dch import dch_decrease, dch_increase
+from repro.ch.indexing import ch_indexing
+from repro.ch.ue import ue_update
+from repro.errors import UpdateError
+from repro.utils.counters import OpCounter
+from repro.workloads.updates import increase_batch, mixed_batch, restore_batch, sample_edges
+
+
+class TestCorrectness:
+    def test_matches_dch_on_increases(self, medium_road):
+        sc_dch = ch_indexing(medium_road)
+        sc_ue = ch_indexing(medium_road)
+        edges = sample_edges(medium_road, 10, seed=1)
+        batch = increase_batch(edges, 2.0)
+        dch_increase(sc_dch, batch)
+        ue_update(sc_ue, batch)
+        assert sc_ue.weight_snapshot() == sc_dch.weight_snapshot()
+
+    def test_matches_dch_on_decreases(self, medium_road):
+        sc_dch = ch_indexing(medium_road)
+        sc_ue = ch_indexing(medium_road)
+        edges = sample_edges(medium_road, 10, seed=2)
+        inc = increase_batch(edges, 3.0)
+        dch_increase(sc_dch, inc)
+        ue_update(sc_ue, inc)
+        rest = restore_batch(edges)
+        dch_decrease(sc_dch, rest)
+        ue_update(sc_ue, rest)
+        assert sc_ue.weight_snapshot() == sc_dch.weight_snapshot()
+
+    def test_mixed_batch_in_one_call(self, medium_road):
+        sc = ch_indexing(medium_road)
+        batch = mixed_batch(medium_road, 12, seed=3)
+        ue_update(sc, batch)
+        medium_road.apply_batch(batch)
+        fresh = ch_indexing(medium_road, sc.ordering)
+        assert sc.weight_snapshot() == fresh.weight_snapshot()
+
+    def test_supports_stay_exact(self, medium_road):
+        sc = ch_indexing(medium_road)
+        batch = mixed_batch(medium_road, 8, seed=4)
+        ue_update(sc, batch)
+        sc.validate()
+
+    def test_changed_list_filters_net_noops(self, paper_sc):
+        assert ue_update(paper_sc, [((2, 4), 2.0)]) == []
+
+    def test_paper_example_propagation(self, paper_sc):
+        changed = ue_update(paper_sc, [((2, 4), 3.0)])
+        keys = {key for key, _, _ in changed}
+        assert keys == {(2, 4), (4, 6), (6, 7)}
+
+
+class TestValidation:
+    def test_unknown_edge(self, paper_sc):
+        with pytest.raises(UpdateError):
+            ue_update(paper_sc, [((0, 8), 1.0)])
+
+    def test_duplicate_edge(self, paper_sc):
+        with pytest.raises(UpdateError):
+            ue_update(paper_sc, [((2, 4), 5.0), ((2, 4), 6.0)])
+
+    def test_negative_weight(self, paper_sc):
+        with pytest.raises(UpdateError):
+            ue_update(paper_sc, [((2, 4), -2.0)])
+
+
+class TestInefficiencyVsDch:
+    def test_ue_does_more_equation_work_than_dch(self, medium_road):
+        """UE recomputes partners from scratch; DCH pre-filters in O(1).
+
+        The scp_minus_inspect channel (Equation (<>) term evaluations)
+        must therefore be strictly larger for UE on the same batch.
+        """
+        sc_dch = ch_indexing(medium_road)
+        sc_ue = ch_indexing(medium_road)
+        edges = sample_edges(medium_road, 20, seed=5)
+        batch = increase_batch(edges, 2.0)
+        ops_dch, ops_ue = OpCounter(), OpCounter()
+        dch_increase(sc_dch, batch, ops_dch)
+        ue_update(sc_ue, batch, ops_ue)
+        assert ops_ue["scp_minus_inspect"] > ops_dch["scp_minus_inspect"]
+
+    def test_ue_recompute_channel_populated(self, medium_road):
+        sc = ch_indexing(medium_road)
+        ops = OpCounter()
+        ue_update(sc, increase_batch(sample_edges(medium_road, 5, seed=6), 2.0), ops)
+        assert ops["ue_recompute"] > 0

@@ -1,0 +1,118 @@
+"""Unit tests for update and query workload generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.dijkstra import distance
+from repro.errors import UpdateError
+from repro.workloads.queries import estimate_max_distance, query_groups
+from repro.workloads.updates import (
+    increase_batch,
+    mixed_batch,
+    restore_batch,
+    sample_edges,
+)
+
+
+class TestSampleEdges:
+    def test_count(self, medium_road):
+        assert len(sample_edges(medium_road, 7, seed=1)) == 7
+
+    def test_distinct(self, medium_road):
+        edges = sample_edges(medium_road, 20, seed=2)
+        keys = {(u, v) for u, v, _ in edges}
+        assert len(keys) == 20
+
+    def test_deterministic(self, medium_road):
+        assert sample_edges(medium_road, 5, seed=3) == sample_edges(
+            medium_road, 5, seed=3
+        )
+
+    def test_too_many_rejected(self, medium_road):
+        with pytest.raises(UpdateError):
+            sample_edges(medium_road, medium_road.m + 1)
+
+    def test_weights_are_current(self, medium_road):
+        for u, v, w in sample_edges(medium_road, 10, seed=4):
+            assert medium_road.weight(u, v) == w
+
+
+class TestBatches:
+    def test_increase_batch_scales(self, medium_road):
+        edges = sample_edges(medium_road, 5, seed=5)
+        batch = increase_batch(edges, 2.5)
+        for (u, v), w in batch:
+            assert w == medium_road.weight(u, v) * 2.5
+
+    def test_increase_factor_below_one_rejected(self, medium_road):
+        with pytest.raises(UpdateError):
+            increase_batch(sample_edges(medium_road, 2, seed=6), 0.5)
+
+    def test_restore_batch_inverts(self, medium_road):
+        edges = sample_edges(medium_road, 5, seed=7)
+        inc = increase_batch(edges, 2.0)
+        rest = restore_batch(edges)
+        g = medium_road.copy()
+        g.apply_batch(inc)
+        g.apply_batch(rest)
+        assert g == medium_road
+
+    def test_mixed_batch_has_both_directions(self, medium_road):
+        batch = mixed_batch(medium_road, 10, seed=8)
+        ups = sum(1 for (u, v), w in batch if w > medium_road.weight(u, v))
+        downs = sum(1 for (u, v), w in batch if w < medium_road.weight(u, v))
+        assert ups == 5 and downs == 5
+
+
+class TestMaxDistanceEstimate:
+    def test_lower_bound_on_true_pairs(self, medium_road):
+        d_max = estimate_max_distance(medium_road, seed=1)
+        assert d_max > 0
+        assert math.isfinite(d_max)
+
+    def test_at_least_any_sampled_distance_factor(self, small_grid):
+        d_max = estimate_max_distance(small_grid, seed=2)
+        assert d_max >= distance(small_grid, 0, small_grid.n - 1) * 0.5
+
+    def test_empty_graph_rejected(self):
+        from repro.errors import QueryError
+        from repro.graph.graph import RoadNetwork
+
+        with pytest.raises(QueryError):
+            estimate_max_distance(RoadNetwork(0))
+
+
+class TestQueryGroups:
+    def test_groups_respect_distance_ranges(self, medium_road):
+        groups = query_groups(medium_road, queries_per_group=10, seed=3)
+        d_max = estimate_max_distance(medium_road, seed=3)
+        for i, pairs in groups.items():
+            lo = 2.0 ** (i - 11) * d_max
+            hi = 2.0 ** (i - 10) * d_max
+            for s, t in pairs:
+                d = distance(medium_road, s, t)
+                assert lo <= d < hi
+
+    def test_group_count(self, medium_road):
+        groups = query_groups(medium_road, queries_per_group=5, seed=4,
+                              groups=6)
+        assert set(groups) == set(range(1, 7))
+
+    def test_far_groups_filled_on_medium_network(self, medium_road):
+        groups = query_groups(medium_road, queries_per_group=5, seed=5)
+        assert len(groups[10]) > 0
+        assert len(groups[9]) > 0
+
+    def test_pairs_are_distinct_vertices(self, medium_road):
+        groups = query_groups(medium_road, queries_per_group=5, seed=6)
+        for pairs in groups.values():
+            for s, t in pairs:
+                assert s != t
+
+    def test_deterministic(self, medium_road):
+        a = query_groups(medium_road, queries_per_group=5, seed=7)
+        b = query_groups(medium_road, queries_per_group=5, seed=7)
+        assert a == b

@@ -38,8 +38,10 @@ from repro.core import (
 from repro.errors import (
     DisconnectedGraphError,
     GraphError,
+    IntegrityError,
     OrderingError,
     QueryError,
+    RecoveryError,
     ReproError,
     UpdateError,
 )
@@ -61,6 +63,15 @@ from repro.h2h import h2h_distance, h2h_indexing
 from repro.knn import POIIndex
 from repro.order import Ordering, minimum_degree_ordering
 from repro.persist import load_ch, load_h2h, save_ch, save_h2h
+from repro.reliability import (
+    FaultInjector,
+    InjectedFault,
+    ReliableStore,
+    ResilientOracle,
+    WriteAheadLog,
+    atomic_apply,
+    verify_index,
+)
 
 __version__ = "1.0.0"
 
@@ -71,16 +82,24 @@ __all__ = [
     "DistanceOracle",
     "DynamicCH",
     "DynamicH2H",
+    "FaultInjector",
     "GraphError",
+    "InjectedFault",
+    "IntegrityError",
     "POIIndex",
     "Ordering",
     "OrderingError",
     "QueryError",
+    "RecoveryError",
+    "ReliableStore",
     "ReproError",
+    "ResilientOracle",
     "RoadNetwork",
     "TrafficModel",
     "UpdateError",
     "UpdateReport",
+    "WriteAheadLog",
+    "atomic_apply",
     "bidirectional_distance",
     "ch_distance",
     "ch_indexing",
@@ -101,5 +120,6 @@ __all__ = [
     "save_ch",
     "save_h2h",
     "shortest_path",
+    "verify_index",
     "write_dimacs",
 ]

@@ -198,6 +198,33 @@ class ShortcutGraph:
         """True if ``(u, v)`` is an original edge of ``G``."""
         return self.key(u, v) in self._edge_w
 
+    def edge_weights(self) -> Dict[Shortcut, float]:
+        """A copy of the stored ``phi(e, G)`` map, keyed canonically.
+
+        This is the public read face of the index's private edge-weight
+        store; persistence and recovery rebuild the road network from it.
+        """
+        return dict(self._edge_w)
+
+    def num_graph_edges(self) -> int:
+        """Number of original graph edges tracked by the index."""
+        return len(self._edge_w)
+
+    def shortcut_records(
+        self,
+    ) -> Iterator[Tuple[int, int, float, int, Optional[int]]]:
+        """All shortcuts as ``(u, v, weight, sup, via)`` records.
+
+        Canonical order (``u < v``); the public iteration face used by
+        :mod:`repro.persist` and the integrity verifier so neither has to
+        reach into the private ``_sup`` / ``_via`` dictionaries.
+        """
+        for u, nbrs in enumerate(self._adj):
+            for v, w in nbrs.items():
+                if u < v:
+                    key = (u, v)
+                    yield u, v, w, self._sup[key], self._via[key]
+
     # ------------------------------------------------------------------
     # Support / witness
     # ------------------------------------------------------------------
@@ -343,6 +370,10 @@ class ShortcutGraph:
     def support_snapshot(self) -> Dict[Shortcut, int]:
         """A copy of all support counters."""
         return dict(self._sup)
+
+    def via_snapshot(self) -> Dict[Shortcut, Optional[int]]:
+        """A copy of all path-unpacking witnesses."""
+        return dict(self._via)
 
     def size_in_bytes(self, incremental: bool = True) -> int:
         """Approximate index size for Fig. 3b.

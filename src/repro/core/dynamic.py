@@ -96,6 +96,18 @@ class DynamicCH:
         self.counter = OpCounter()
         self.index = ch_indexing(graph, ordering, self.counter)
 
+    @classmethod
+    def from_index(cls, graph: RoadNetwork, index) -> "DynamicCH":
+        """Wrap an already-built CH index (e.g. loaded from an archive)
+        without paying CHIndexing again; *graph* must be the network the
+        index was built on, in its current state."""
+        oracle = cls.__new__(cls)
+        oracle._graph = graph
+        oracle._ordering = index.ordering
+        oracle.counter = OpCounter()
+        oracle.index = index
+        return oracle
+
     @property
     def graph(self) -> RoadNetwork:
         """The road network in its current state."""
@@ -147,6 +159,18 @@ class DynamicH2H:
         self._ordering = ordering
         self.counter = OpCounter()
         self.index = h2h_indexing(graph, ordering, self.counter)
+
+    @classmethod
+    def from_index(cls, graph: RoadNetwork, index) -> "DynamicH2H":
+        """Wrap an already-built H2H index (e.g. loaded from an archive)
+        without paying H2HIndexing again; *graph* must be the network the
+        index was built on, in its current state."""
+        oracle = cls.__new__(cls)
+        oracle._graph = graph
+        oracle._ordering = index.sc.ordering
+        oracle.counter = OpCounter()
+        oracle.index = index
+        return oracle
 
     @property
     def graph(self) -> RoadNetwork:

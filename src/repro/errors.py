@@ -40,3 +40,22 @@ class UpdateError(ReproError):
 
 class QueryError(ReproError):
     """A distance query referenced an unknown vertex."""
+
+
+class IntegrityError(ReproError):
+    """Stored or in-memory index state failed an integrity check.
+
+    Raised when a persisted archive is truncated, unreadable or fails its
+    embedded checksum, and when :func:`repro.reliability.verify_index`
+    finds an index entry that disagrees with the graph it claims to
+    index.
+    """
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a consistent oracle.
+
+    Raised by the write-ahead log and :class:`repro.reliability.ReliableStore`
+    when the journal is corrupt beyond a torn tail or the snapshot/WAL
+    pair cannot be replayed into a usable index.
+    """

@@ -195,15 +195,24 @@ class RoadNetwork:
         return old
 
     def apply_batch(self, updates: Sequence[WeightUpdate]) -> List[WeightUpdate]:
-        """Apply a batch of weight updates; return the inverse batch.
+        """Apply a batch of weight updates atomically; return the inverse.
+
+        The whole batch is validated before the first weight is touched,
+        so a bad update (unknown edge, negative/NaN weight) raises with
+        the graph untouched — never with a prefix of the batch applied.
 
         The returned list restores the previous weights when passed back to
         :meth:`apply_batch`, which is how the experiment harness implements
         the paper's increase-then-restore protocol (Exp-1, Exp-2, Exp-4).
         """
-        inverse: List[WeightUpdate] = []
+        validated: List[Tuple[int, int, float, float]] = []
         for (u, v), w in updates:
-            old = self.set_weight(u, v, w)
+            old = self.weight(u, v)
+            validated.append((u, v, self._check_weight(w), old))
+        inverse: List[WeightUpdate] = []
+        for u, v, w, old in validated:
+            self._adj[u][v] = w
+            self._adj[v][u] = w
             inverse.append(((u, v), old))
         return inverse
 

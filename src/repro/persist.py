@@ -14,17 +14,29 @@ index types to compressed ``.npz`` archives:
 Round-trips are exact: loading produces an index that compares equal,
 entry for entry, to the saved one, and can be maintained further with
 DCH / IncH2H.
+
+Reliability (see ``src/repro/reliability/``):
+
+* writes are **crash safe** — the payload goes to ``path + ".tmp"`` and
+  is published with :func:`os.replace`, so a process dying mid-save can
+  never leave a truncated archive at the destination;
+* every archive embeds a **CRC-32 checksum** over all payload arrays,
+  verified on load; a truncated, corrupted or non-archive file raises
+  :class:`repro.errors.IntegrityError` (a :class:`ReproError`), never a
+  raw ``zipfile`` / ``numpy`` exception.
 """
 
 from __future__ import annotations
 
 import os
+import zipfile
+import zlib
 from typing import Dict, List, Union
 
 import numpy as np
 
 from repro.ch.shortcut_graph import ShortcutGraph
-from repro.errors import ReproError
+from repro.errors import IntegrityError, ReproError
 from repro.h2h.index import H2HIndex
 from repro.h2h.tree import TreeDecomposition
 from repro.order.ordering import Ordering
@@ -36,20 +48,99 @@ PathLike = Union[str, "os.PathLike[str]"]
 _CH_FORMAT = 1
 _H2H_FORMAT = 1
 
+#: Archive key holding the embedded payload checksum.
+_CHECKSUM_KEY = "integrity_crc32"
 
+
+# ----------------------------------------------------------------------
+# Integrity: embedded checksum + atomic publication
+# ----------------------------------------------------------------------
+def _payload_checksum(payload: Dict[str, np.ndarray]) -> int:
+    """CRC-32 over every payload array (key, dtype, shape and bytes).
+
+    Deterministic: keys are visited in sorted order, arrays are made
+    contiguous before hashing, so the same logical payload always hashes
+    to the same value regardless of construction order.
+    """
+    crc = 0
+    for key in sorted(payload):
+        if key == _CHECKSUM_KEY:
+            continue
+        arr = np.ascontiguousarray(payload[key])
+        crc = zlib.crc32(key.encode("utf-8"), crc)
+        crc = zlib.crc32(str(arr.dtype).encode("utf-8"), crc)
+        crc = zlib.crc32(str(arr.shape).encode("utf-8"), crc)
+        crc = zlib.crc32(arr.tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+def _atomic_savez(path: PathLike, payload: Dict[str, np.ndarray]) -> None:
+    """Write *payload* as a compressed ``.npz`` atomically.
+
+    The archive is fully written and fsynced at ``path + ".tmp"`` before
+    a single :func:`os.replace` publishes it, so readers only ever see
+    either the old complete archive or the new complete archive.
+    """
+    payload = dict(payload)
+    payload[_CHECKSUM_KEY] = np.array([_payload_checksum(payload)],
+                                      dtype=np.uint32)
+    dest = os.fspath(path)
+    tmp = dest + ".tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, dest)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
+def _read_payload(path: PathLike, kind: str) -> Dict[str, np.ndarray]:
+    """Read every array of an archive eagerly, verifying integrity.
+
+    Raises
+    ------
+    IntegrityError
+        If the file is missing, truncated, not a zip/npz archive, or its
+        embedded checksum does not match the stored arrays.
+    """
+    try:
+        with np.load(path) as data:
+            payload = {key: np.array(data[key]) for key in data.files}
+    except FileNotFoundError as exc:
+        raise IntegrityError(f"{kind} archive {path} does not exist") from exc
+    except (zipfile.BadZipFile, zlib.error, ValueError, EOFError,
+            KeyError, OSError) as exc:
+        raise IntegrityError(
+            f"cannot read {kind} archive {path}: "
+            f"file is truncated, corrupted or not an .npz archive ({exc})"
+        ) from exc
+    stored = payload.pop(_CHECKSUM_KEY, None)
+    if stored is not None:
+        actual = _payload_checksum(payload)
+        if int(stored[0]) != actual:
+            raise IntegrityError(
+                f"{kind} archive {path} failed its integrity check: "
+                f"stored checksum {int(stored[0]):#010x}, "
+                f"recomputed {actual:#010x}"
+            )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# CH
+# ----------------------------------------------------------------------
 def _ch_payload(index: ShortcutGraph) -> Dict[str, np.ndarray]:
-    shortcuts = list(index.shortcuts())
-    us = np.array([u for u, _ in shortcuts], dtype=np.int64)
-    vs = np.array([v for _, v in shortcuts], dtype=np.int64)
-    weights = np.array([index.weight(u, v) for u, v in shortcuts])
-    sups = np.array([index.support(u, v) for u, v in shortcuts],
-                    dtype=np.int64)
-    vias = np.array(
-        [-1 if index.via(u, v) is None else index.via(u, v)
-         for u, v in shortcuts],
-        dtype=np.int64,
-    )
-    edge_items = sorted(index._edge_w.items())
+    records = list(index.shortcut_records())
+    us = np.array([u for u, _, _, _, _ in records], dtype=np.int64)
+    vs = np.array([v for _, v, _, _, _ in records], dtype=np.int64)
+    weights = np.array([w for _, _, w, _, _ in records])
+    sups = np.array([sup for _, _, _, sup, _ in records], dtype=np.int64)
+    vias = np.array([-1 if via is None else via
+                     for _, _, _, _, via in records], dtype=np.int64)
+    edge_items = sorted(index.edge_weights().items())
     edge_us = np.array([u for (u, _), _ in edge_items], dtype=np.int64)
     edge_vs = np.array([v for (_, v), _ in edge_items], dtype=np.int64)
     edge_ws = np.array([w for _, w in edge_items])
@@ -68,11 +159,15 @@ def _ch_payload(index: ShortcutGraph) -> Dict[str, np.ndarray]:
 
 
 def save_ch(index: ShortcutGraph, path: PathLike) -> None:
-    """Serialize a CH index to a compressed ``.npz`` archive."""
-    np.savez_compressed(path, **_ch_payload(index))
+    """Serialize a CH index to a compressed ``.npz`` archive.
+
+    The write is atomic (tmp file + :func:`os.replace`) and the archive
+    embeds a checksum verified by :func:`load_ch`.
+    """
+    _atomic_savez(path, _ch_payload(index))
 
 
-def _ch_from_payload(data) -> ShortcutGraph:
+def _ch_from_payload(data: Dict[str, np.ndarray]) -> ShortcutGraph:
     if int(data["ch_format"][0]) != _CH_FORMAT:
         raise ReproError(
             f"unsupported CH archive format {int(data['ch_format'][0])}"
@@ -91,9 +186,8 @@ def _ch_from_payload(data) -> ShortcutGraph:
     for u, v, sup, via in zip(
         data["sc_u"], data["sc_v"], data["sc_sup"], data["sc_via"]
     ):
-        key = (int(u), int(v))
-        index._sup[key] = int(sup)
-        index._via[key] = None if int(via) < 0 else int(via)
+        index.set_support(int(u), int(v), int(sup))
+        index.set_via(int(u), int(v), None if int(via) < 0 else int(via))
     return index
 
 
@@ -102,22 +196,32 @@ def load_ch(path: PathLike) -> ShortcutGraph:
 
     Raises
     ------
+    IntegrityError
+        If the file is missing, truncated, corrupted or fails its
+        embedded checksum.
     ReproError
-        If the archive is not a CH archive (or a newer format).
+        If the archive is readable but not a CH archive (or a newer
+        format).
     """
-    with np.load(path) as data:
-        if "ch_format" not in data:
-            raise ReproError(f"{path} is not a repro CH archive")
-        return _ch_from_payload(data)
+    data = _read_payload(path, "CH")
+    if "ch_format" not in data:
+        raise ReproError(f"{path} is not a repro CH archive")
+    return _ch_from_payload(data)
 
 
+# ----------------------------------------------------------------------
+# H2H
+# ----------------------------------------------------------------------
 def save_h2h(index: H2HIndex, path: PathLike) -> None:
-    """Serialize an H2H index (including its CH) to one ``.npz`` archive."""
+    """Serialize an H2H index (including its CH) to one ``.npz`` archive.
+
+    Atomic and checksummed exactly like :func:`save_ch`.
+    """
     payload = _ch_payload(index.sc)
     payload["h2h_format"] = np.array([_H2H_FORMAT])
     payload["dis"] = index.dis
     payload["sup_matrix"] = index.sup
-    np.savez_compressed(path, **payload)
+    _atomic_savez(path, payload)
 
 
 def load_h2h(path: PathLike) -> H2HIndex:
@@ -126,17 +230,25 @@ def load_h2h(path: PathLike) -> H2HIndex:
     The tree decomposition (ancestor/position arrays, DFS times, LCA
     tables) is rebuilt from the loaded shortcut structure; it is weight
     independent, so the rebuild is deterministic and exact.
+
+    Raises
+    ------
+    IntegrityError
+        If the file is missing, truncated, corrupted or fails its
+        embedded checksum.
+    ReproError
+        If the archive is readable but not an H2H archive.
     """
-    with np.load(path) as data:
-        if "h2h_format" not in data:
-            raise ReproError(f"{path} is not a repro H2H archive")
-        if int(data["h2h_format"][0]) != _H2H_FORMAT:
-            raise ReproError(
-                f"unsupported H2H archive format {int(data['h2h_format'][0])}"
-            )
-        sc = _ch_from_payload(data)
-        dis = np.array(data["dis"], dtype=np.float64)
-        sup = np.array(data["sup_matrix"], dtype=np.int32)
+    data = _read_payload(path, "H2H")
+    if "h2h_format" not in data:
+        raise ReproError(f"{path} is not a repro H2H archive")
+    if int(data["h2h_format"][0]) != _H2H_FORMAT:
+        raise ReproError(
+            f"unsupported H2H archive format {int(data['h2h_format'][0])}"
+        )
+    sc = _ch_from_payload(data)
+    dis = np.array(data["dis"], dtype=np.float64)
+    sup = np.array(data["sup_matrix"], dtype=np.int32)
     tree = TreeDecomposition(sc)
     if dis.shape != (tree.n, tree.height):
         raise ReproError(

@@ -1,0 +1,60 @@
+"""Reliability layer: the oracle stack hardened for always-on serving.
+
+The paper's deployment story is a long-lived oracle absorbing an endless
+stream of weight-update batches without ever rebuilding; this package
+supplies everything that story needs to survive contact with real
+hardware:
+
+* :mod:`~repro.reliability.transactions` — all-or-nothing update
+  application (:func:`atomic_apply`), so graph and index can never
+  diverge;
+* :mod:`~repro.reliability.wal` — a checksummed write-ahead journal of
+  accepted batches (:class:`WriteAheadLog`);
+* :mod:`~repro.reliability.store` — atomic snapshots + WAL replay
+  (:class:`ReliableStore`), recovering the exact pre-crash index;
+* :mod:`~repro.reliability.verify` — integrity sweeps
+  (:func:`verify_index`) cross-checking every stored weight / support /
+  distance entry against the equations that define it;
+* :mod:`~repro.reliability.resilient` — :class:`ResilientOracle`,
+  which degrades to exact Dijkstra answers and self-heals when the
+  index fails;
+* :mod:`~repro.reliability.faults` — a seeded :class:`FaultInjector`
+  so every one of those paths is actually exercised in tests.
+"""
+
+from repro.reliability.faults import FaultInjector, FaultyOracle, InjectedFault
+from repro.reliability.resilient import ResilientOracle
+from repro.reliability.store import (
+    RecoveryResult,
+    ReliableStore,
+    graph_from_index,
+)
+from repro.reliability.transactions import (
+    IndexSnapshot,
+    atomic_apply,
+    restore_index,
+    snapshot_index,
+    validate_batch,
+)
+from repro.reliability.verify import verify_ch, verify_h2h, verify_index
+from repro.reliability.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "FaultInjector",
+    "FaultyOracle",
+    "IndexSnapshot",
+    "InjectedFault",
+    "RecoveryResult",
+    "ReliableStore",
+    "ResilientOracle",
+    "WalRecord",
+    "WriteAheadLog",
+    "atomic_apply",
+    "graph_from_index",
+    "restore_index",
+    "snapshot_index",
+    "validate_batch",
+    "verify_ch",
+    "verify_h2h",
+    "verify_index",
+]

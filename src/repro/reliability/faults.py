@@ -1,0 +1,157 @@
+"""Deterministic fault injection for testing the reliability layer.
+
+Reliability code is only as good as the failures it has actually been
+exercised against, so the test battery drives every recovery path with
+a seeded :class:`FaultInjector` that can
+
+* make an oracle's ``apply`` / ``rebuild`` raise (:meth:`fail_next` +
+  :meth:`wrap_oracle`), modelling a maintenance step dying mid-flight;
+* truncate a snapshot file (:meth:`truncate_file`), modelling a crash
+  racing a non-atomic writer or a half-copied archive;
+* flip bytes inside an archive (:meth:`corrupt_file`), modelling disk /
+  transfer corruption.
+
+Everything is driven by one ``random.Random(seed)``, so a failing test
+reproduces exactly.  Injected failures raise :class:`InjectedFault`,
+which derives from :class:`ReproError` — the same class of error the
+production code paths must survive.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+
+__all__ = ["FaultInjector", "FaultyOracle", "InjectedFault"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class InjectedFault(ReproError):
+    """A failure deliberately raised by a :class:`FaultInjector`."""
+
+
+class FaultInjector:
+    """A seeded source of failures, file truncation and bit rot.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the internal RNG; equal seeds inject identical faults.
+    failure_rates:
+        Optional ``{label: probability}`` map for random (but seeded)
+        failures at :meth:`check` sites; deterministic one-shot faults
+        are armed with :meth:`fail_next` instead.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        failure_rates: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self._rates = dict(failure_rates or {})
+        self._armed: Dict[str, int] = {}
+        #: Every fault injected so far, as ``(kind, detail)`` pairs.
+        self.log: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Call-site failures
+    # ------------------------------------------------------------------
+    def fail_next(self, label: str = "apply", count: int = 1) -> None:
+        """Arm the next *count* :meth:`check` calls at *label* to raise."""
+        self._armed[label] = self._armed.get(label, 0) + count
+
+    def check(self, label: str = "apply") -> None:
+        """Raise :class:`InjectedFault` if a fault is due at *label*."""
+        if self._armed.get(label, 0) > 0:
+            self._armed[label] -= 1
+            self.log.append(("fail", label))
+            raise InjectedFault(f"injected {label} failure")
+        rate = self._rates.get(label, 0.0)
+        if rate > 0.0 and self._rng.random() < rate:
+            self.log.append(("fail", label))
+            raise InjectedFault(f"injected random {label} failure")
+
+    def wrap_oracle(self, oracle) -> "FaultyOracle":
+        """An oracle proxy whose ``apply`` / ``rebuild`` pass through
+        :meth:`check` (labels ``"apply"`` / ``"rebuild"``) first."""
+        return FaultyOracle(oracle, self)
+
+    # ------------------------------------------------------------------
+    # File-level damage
+    # ------------------------------------------------------------------
+    def truncate_file(
+        self, path: PathLike, keep_fraction: float = 0.5
+    ) -> int:
+        """Chop a file down to ``keep_fraction`` of its size; returns the
+        new size.  Models a crash mid-write / a half-copied snapshot."""
+        path = os.fspath(path)
+        size = os.path.getsize(path)
+        keep = int(size * keep_fraction)
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+        self.log.append(("truncate", f"{path} {size}->{keep}"))
+        return keep
+
+    def corrupt_file(
+        self, path: PathLike, nbytes: int = 64, skip_header: int = 0
+    ) -> List[int]:
+        """Flip *nbytes* randomly chosen bytes of a file (never to their
+        original value); returns the damaged offsets.  Models silent
+        disk or transfer corruption."""
+        path = os.fspath(path)
+        with open(path, "rb") as handle:
+            blob = bytearray(handle.read())
+        lo = min(skip_header, max(len(blob) - 1, 0))
+        offsets = sorted(
+            self._rng.sample(range(lo, len(blob)), min(nbytes, len(blob) - lo))
+        )
+        for offset in offsets:
+            blob[offset] ^= self._rng.randint(1, 255)
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        self.log.append(("corrupt", f"{path} offsets={offsets[:8]}..."))
+        return offsets
+
+
+class FaultyOracle:
+    """A :class:`DistanceOracle` proxy that injects faults before
+    maintenance calls — the test battery's stand-in for a flaky
+    production maintenance step.
+
+    Queries (``distance``) are passed straight through: the point of the
+    reliability layer is that *maintenance* failures must never poison
+    *answers*.
+    """
+
+    def __init__(self, inner, injector: FaultInjector) -> None:
+        self._inner = inner
+        self._injector = injector
+
+    @property
+    def graph(self):
+        return self._inner.graph
+
+    @property
+    def index(self):
+        return self._inner.index
+
+    @property
+    def inner(self):
+        """The wrapped oracle."""
+        return self._inner
+
+    def distance(self, s: int, t: int) -> float:
+        return self._inner.distance(s, t)
+
+    def apply(self, updates):
+        self._injector.check("apply")
+        return self._inner.apply(updates)
+
+    def rebuild(self) -> None:
+        self._injector.check("rebuild")
+        self._inner.rebuild()

@@ -1,0 +1,212 @@
+"""Graceful degradation: a self-healing :class:`DistanceOracle` wrapper.
+
+The index oracles (CH / H2H) are fast but stateful; the Dijkstra
+baseline is slow but stateless and therefore *cannot* be corrupted by a
+failed maintenance step.  :class:`ResilientOracle` composes the two so a
+fault costs latency, never correctness:
+
+* **updates** are applied through :func:`atomic_apply`, so a failing
+  maintenance step rolls graph *and* index back as one transaction; the
+  batch is then committed to the graph alone (the graph's own
+  ``apply_batch`` is atomic) — the network is always current even when
+  the index is not;
+* **degraded mode** — after a maintenance failure, a query-time index
+  error, or a failed integrity check, queries fall back to ground-truth
+  Dijkstra on the current graph, so answers stay exact;
+* **self-healing** — while degraded, each call attempts one
+  ``rebuild()`` of the primary (bounded by ``max_rebuild_attempts`` per
+  episode, optionally re-verified before trusting), amortising the
+  recovery over the call path instead of blocking any single caller for
+  unbounded retries;
+* **durability** — with a :class:`ReliableStore` attached, accepted
+  batches are journaled before being applied and a checkpoint is taken
+  whenever the oracle (re)enters healthy state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.oracle import DijkstraOracle
+from repro.errors import IntegrityError, ReproError
+from repro.graph.graph import RoadNetwork, WeightUpdate
+from repro.reliability.transactions import atomic_apply, validate_batch
+from repro.reliability.verify import verify_index
+
+__all__ = ["ResilientOracle"]
+
+
+class ResilientOracle:
+    """A :class:`DistanceOracle` that survives maintenance failures and
+    index corruption by degrading to exact Dijkstra answers while it
+    heals itself.
+
+    Parameters
+    ----------
+    primary:
+        The fast oracle (:class:`DynamicCH` / :class:`DynamicH2H`, or
+        any :class:`DistanceOracle` with an ``index`` attribute).
+    store:
+        Optional :class:`ReliableStore`; accepted batches are journaled
+        to it and checkpoints taken on recovery.
+    max_rebuild_attempts:
+        Rebuild budget per degradation episode; once exhausted the
+        oracle stays on the Dijkstra fallback until :meth:`rebuild` or
+        :meth:`reset` is called explicitly.
+    verify_sample:
+        When set, a successful rebuild is only trusted after a sampled
+        :func:`verify_index` pass of this many entries.
+    """
+
+    def __init__(
+        self,
+        primary,
+        *,
+        store=None,
+        max_rebuild_attempts: int = 3,
+        verify_sample: Optional[int] = None,
+    ) -> None:
+        self._primary = primary
+        self._graph: RoadNetwork = primary.graph
+        self._fallback = DijkstraOracle(self._graph)
+        self._store = store
+        self._max_attempts = max_rebuild_attempts
+        self._attempts_left = max_rebuild_attempts
+        self._verify_sample = verify_sample
+        self.degraded = False
+        #: Chronological ``(event, detail)`` record of failures/recoveries.
+        self.events: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # DistanceOracle protocol
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> RoadNetwork:
+        """The road network — always current, even in degraded mode."""
+        return self._graph
+
+    @property
+    def primary(self):
+        """The wrapped fast oracle."""
+        return self._primary
+
+    @property
+    def fallback(self) -> DijkstraOracle:
+        """The index-free ground-truth oracle used while degraded."""
+        return self._fallback
+
+    def distance(self, s: int, t: int) -> float:
+        """Exact shortest distance, whatever state the index is in."""
+        if self.degraded:
+            self._try_rebuild()
+        if not self.degraded:
+            try:
+                return self._primary.distance(s, t)
+            except ReproError as exc:
+                self._degrade("query", exc)
+        return self._fallback.distance(s, t)
+
+    def apply(self, updates: Sequence[WeightUpdate]):
+        """Accept a batch; the graph always advances, the index only if
+        its maintenance succeeds as a whole transaction.
+
+        A malformed batch (unknown edge, bad weight, duplicate edge) is
+        the caller's error: it raises before anything is journaled or
+        mutated.  A well-formed batch is journaled first (write-ahead),
+        then applied; once this method returns the batch is durable and
+        visible, even if index maintenance failed along the way.
+        """
+        validate_batch(self._graph, updates)
+        if self._store is not None:
+            self._store.log(updates)
+        if self.degraded:
+            self._graph.apply_batch(updates)
+            self._try_rebuild()
+            return None
+        try:
+            report = atomic_apply(self._primary, updates)
+        except ReproError as exc:
+            # Graph and index were rolled back together; re-commit the
+            # batch to the graph alone and serve from the fallback.
+            self._graph.apply_batch(updates)
+            self._degrade("apply", exc)
+            self._try_rebuild()
+            return None
+        return report
+
+    def rebuild(self) -> None:
+        """Force a full rebuild now and reset the retry budget."""
+        self._attempts_left = self._max_attempts
+        self._primary.rebuild()
+        self._mark_healthy("manual rebuild")
+
+    # ------------------------------------------------------------------
+    # Health management
+    # ------------------------------------------------------------------
+    def check_integrity(
+        self, sample: Optional[int] = None, seed: int = 0
+    ) -> bool:
+        """Run an integrity sweep of the primary index against the graph;
+        degrade (and start self-healing) if it fails.
+
+        Returns True when the sweep found nothing wrong; False when
+        corruption was detected (even if the piggybacked rebuild already
+        healed it) or the oracle was already degraded.
+        """
+        if self.degraded:
+            return False
+        try:
+            verify_index(self._primary.index, self._graph,
+                         sample=sample, seed=seed)
+        except IntegrityError as exc:
+            self._degrade("verify", exc)
+            self._try_rebuild()
+            return False
+        return True
+
+    def reset(self) -> None:
+        """Refill the rebuild budget (e.g. after an operator fixed the
+        underlying cause) without forcing a rebuild right now."""
+        self._attempts_left = self._max_attempts
+
+    def _degrade(self, event: str, exc: Exception) -> None:
+        self.degraded = True
+        self.events.append((f"degraded:{event}", str(exc)))
+
+    def _mark_healthy(self, detail: str) -> None:
+        self.degraded = False
+        self._attempts_left = self._max_attempts
+        self.events.append(("recovered", detail))
+        if self._store is not None:
+            self._store.checkpoint(self._primary)
+
+    def _try_rebuild(self) -> None:
+        """One bounded self-healing attempt, piggybacked on a call."""
+        if not self.degraded or self._attempts_left <= 0:
+            return
+        self._attempts_left -= 1
+        try:
+            self._primary.rebuild()
+        except ReproError as exc:
+            self.events.append(("rebuild-failed", str(exc)))
+            return
+        if self._verify_rebuild():
+            self._mark_healthy("rebuild")
+
+    def _verify_rebuild(self) -> bool:
+        if self._verify_sample is None:
+            return True
+        try:
+            verify_index(self._primary.index, self._graph,
+                         sample=self._verify_sample)
+        except IntegrityError as exc:
+            self.events.append(("rebuild-unverified", str(exc)))
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        state = "degraded" if self.degraded else "healthy"
+        return (
+            f"ResilientOracle({type(self._primary).__name__}, {state}, "
+            f"attempts_left={self._attempts_left})"
+        )

@@ -1,0 +1,147 @@
+"""Transactional update application: all-or-nothing graph + index mutation.
+
+The maintenance algorithms (DCH / IncH2H) mutate the graph and the index
+in several steps — increases first, then decreases, each touching both
+structures.  An exception thrown mid-way (bad update, injected fault,
+resource failure) would otherwise leave the pair *diverged*: the graph
+half-updated and the index describing a network that no longer exists,
+which silently corrupts every subsequent ``sd(s, t)`` answer.
+
+:func:`atomic_apply` makes the whole batch a transaction: the affected
+edge weights and the complete mutable index state are snapshotted before
+the first mutation, and on any failure both are rolled back so graph and
+index come out bit-identical to their pre-call state.  Snapshots use
+only the public read/write faces of :class:`ShortcutGraph` /
+:class:`H2HIndex`, so the rollback path exercises the same setters the
+maintenance algorithms do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ch.shortcut_graph import Shortcut, ShortcutGraph
+from repro.errors import UpdateError
+from repro.graph.graph import RoadNetwork, WeightUpdate, canonical_edge
+from repro.h2h.index import H2HIndex
+
+__all__ = [
+    "IndexSnapshot",
+    "atomic_apply",
+    "snapshot_index",
+    "restore_index",
+    "validate_batch",
+]
+
+
+@dataclass
+class IndexSnapshot:
+    """The complete mutable state of a CH or H2H index at one instant.
+
+    Structure (shortcut set, tree decomposition) is weight independent
+    and never mutated by maintenance, so weights / supports / witnesses
+    / edge weights — plus the ``dis`` / ``sup`` matrices for H2H — pin
+    the index down exactly.
+    """
+
+    weights: Dict[Shortcut, float]
+    supports: Dict[Shortcut, int]
+    vias: Dict[Shortcut, Optional[int]]
+    edge_weights: Dict[Shortcut, float]
+    dis: Optional[np.ndarray] = None
+    sup_matrix: Optional[np.ndarray] = None
+
+
+def _sc_of(index) -> ShortcutGraph:
+    return index.sc if isinstance(index, H2HIndex) else index
+
+
+def snapshot_index(index) -> IndexSnapshot:
+    """Capture the full mutable state of a :class:`ShortcutGraph` or
+    :class:`H2HIndex` (cheap dict/array copies; O(index size))."""
+    sc = _sc_of(index)
+    snap = IndexSnapshot(
+        weights=sc.weight_snapshot(),
+        supports=sc.support_snapshot(),
+        vias=sc.via_snapshot(),
+        edge_weights=sc.edge_weights(),
+    )
+    if isinstance(index, H2HIndex):
+        snap.dis = index.dis.copy()
+        snap.sup_matrix = index.sup.copy()
+    return snap
+
+
+def restore_index(index, snapshot: IndexSnapshot) -> None:
+    """Write a snapshot back into *index*, undoing any mutation since
+    :func:`snapshot_index` captured it."""
+    sc = _sc_of(index)
+    for (u, v), w in snapshot.weights.items():
+        sc.set_weight(u, v, w)
+    for (u, v), sup in snapshot.supports.items():
+        sc.set_support(u, v, sup)
+    for (u, v), via in snapshot.vias.items():
+        sc.set_via(u, v, via)
+    for (u, v), w in snapshot.edge_weights.items():
+        sc.set_edge_weight(u, v, w)
+    if isinstance(index, H2HIndex):
+        index.dis[:] = snapshot.dis
+        index.sup[:] = snapshot.sup_matrix
+
+
+def validate_batch(
+    graph: RoadNetwork, updates: Sequence[WeightUpdate]
+) -> List[Tuple[Shortcut, float]]:
+    """Validate a batch against *graph* without mutating anything.
+
+    Checks that every edge exists and every weight is a valid
+    non-negative number, and returns the pre-update weight of each
+    distinct edge (the data needed to roll the graph back).
+
+    Raises
+    ------
+    GraphError
+        If an edge is unknown or a weight is invalid.
+    UpdateError
+        If the same edge appears twice in the batch.
+    """
+    pre: List[Tuple[Shortcut, float]] = []
+    seen = set()
+    for (u, v), w in updates:
+        key = canonical_edge(u, v)
+        if key in seen:
+            raise UpdateError(f"edge ({u}, {v}) appears twice in one batch")
+        seen.add(key)
+        pre.append((key, graph.weight(u, v)))
+        RoadNetwork._check_weight(w)
+    return pre
+
+
+def atomic_apply(oracle, updates: Sequence[WeightUpdate]):
+    """Apply a batch through *oracle* all-or-nothing.
+
+    On success this is exactly ``oracle.apply(updates)`` (same return
+    value).  On any exception the graph's edge weights and the oracle's
+    index are restored to their pre-call state before the exception is
+    re-raised — the graph and the index can never diverge.
+
+    Works with any oracle exposing ``graph`` / ``apply`` (the
+    :class:`repro.core.oracle.DistanceOracle` protocol); oracles with an
+    ``index`` attribute (:class:`DynamicCH`, :class:`DynamicH2H`) get
+    full index rollback, index-free oracles just get graph rollback.
+    """
+    graph = oracle.graph
+    pre_edges = validate_batch(graph, updates)
+    index = getattr(oracle, "index", None)
+    snapshot = snapshot_index(index) if index is not None else None
+    try:
+        return oracle.apply(updates)
+    except BaseException:
+        for (u, v), w in pre_edges:
+            graph.set_weight(u, v, w)
+        if snapshot is not None:
+            restore_index(index, snapshot)
+        raise

@@ -1,0 +1,169 @@
+"""Transactional updates: validation up front, all-or-nothing rollback."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicCH, DynamicH2H
+from repro.errors import GraphError, UpdateError
+from repro.graph.graph import RoadNetwork
+from repro.reliability import (
+    atomic_apply,
+    restore_index,
+    snapshot_index,
+    validate_batch,
+)
+
+
+def graph_state(graph: RoadNetwork):
+    return sorted(graph.edges())
+
+
+def ch_state(index):
+    return (
+        index.weight_snapshot(),
+        index.support_snapshot(),
+        index.via_snapshot(),
+        index.edge_weights(),
+    )
+
+
+class TestApplyBatchAtomicity:
+    """Regression: a bad update mid-batch must not leave earlier updates
+    applied (the old ``apply_batch`` mutated as it validated)."""
+
+    def test_bad_edge_mid_batch_leaves_graph_untouched(self, paper_graph):
+        before = graph_state(paper_graph)
+        batch = [((0, 5), 99.0), ((0, 3), 7.0)]  # (0, 3) does not exist
+        with pytest.raises(GraphError):
+            paper_graph.apply_batch(batch)
+        assert graph_state(paper_graph) == before
+
+    def test_bad_weight_mid_batch_leaves_graph_untouched(self, paper_graph):
+        before = graph_state(paper_graph)
+        for bad in (-1.0, math.nan, "seven"):
+            with pytest.raises(GraphError):
+                paper_graph.apply_batch([((0, 5), 4.0), ((1, 4), bad)])
+            assert graph_state(paper_graph) == before
+
+    def test_good_batch_still_applies_and_inverts(self, paper_graph):
+        before = graph_state(paper_graph)
+        batch = [((0, 5), 30.0), ((1, 4), 50.0)]
+        inverse = paper_graph.apply_batch(batch)
+        assert paper_graph.weight(0, 5) == 30.0
+        assert paper_graph.weight(1, 4) == 50.0
+        paper_graph.apply_batch(inverse)
+        assert graph_state(paper_graph) == before
+
+    def test_duplicate_edge_inverse_restores_prebatch_state(self):
+        graph = RoadNetwork.from_edges(2, [(0, 1, 5.0)])
+        inverse = graph.apply_batch([((0, 1), 7.0), ((0, 1), 9.0)])
+        assert graph.weight(0, 1) == 9.0
+        graph.apply_batch(inverse)
+        assert graph.weight(0, 1) == 5.0
+
+
+class TestValidateBatch:
+    def test_accepts_good_batch(self, paper_graph):
+        pre = validate_batch(paper_graph, [((0, 5), 4.0), ((1, 4), 6.0)])
+        assert pre == [((0, 5), 3.0), ((1, 4), 5.0)]
+
+    def test_rejects_duplicates(self, paper_graph):
+        with pytest.raises(UpdateError):
+            validate_batch(paper_graph, [((0, 5), 4.0), ((5, 0), 6.0)])
+
+    def test_rejects_unknown_edge_and_bad_weight(self, paper_graph):
+        with pytest.raises(GraphError):
+            validate_batch(paper_graph, [((0, 3), 4.0)])
+        with pytest.raises(GraphError):
+            validate_batch(paper_graph, [((0, 5), -2.0)])
+
+
+class TestSnapshotRestore:
+    def test_ch_round_trip(self, paper_sc):
+        before = ch_state(paper_sc)
+        snap = snapshot_index(paper_sc)
+        paper_sc.set_weight(4, 7, 123.0)
+        paper_sc.set_support(4, 7, 9)
+        paper_sc.set_via(4, 7, 2)
+        paper_sc.set_edge_weight(4, 7, 77.0)
+        assert ch_state(paper_sc) != before
+        restore_index(paper_sc, snap)
+        assert ch_state(paper_sc) == before
+
+    def test_h2h_round_trip(self, paper_h2h):
+        snap = snapshot_index(paper_h2h)
+        dis_before = paper_h2h.dis.copy()
+        paper_h2h.dis[3, 0] += 5.0
+        paper_h2h.sup[3, 0] += 1
+        paper_h2h.sc.set_weight(4, 7, 123.0)
+        restore_index(paper_h2h, snap)
+        assert np.array_equal(paper_h2h.dis, dis_before)
+        paper_h2h.validate()
+
+
+class TestAtomicApply:
+    """The acceptance criterion: a failed apply() leaves graph and index
+    bit-identical to their pre-call state."""
+
+    def _failing_mixed_batch(self, oracle):
+        """An increase on one edge plus an invalid decrease on another:
+        the increase half commits to graph and index before the decrease
+        half raises, so without rollback the pair would diverge."""
+        edges = sorted(oracle.graph.edges())[:2]
+        (u1, v1, w1), (u2, v2, _w2) = edges
+        return [((u1, v1), w1 * 2.0), ((u2, v2), -1.0)]
+
+    @pytest.mark.parametrize("oracle_cls", [DynamicCH, DynamicH2H])
+    def test_failed_apply_rolls_back_bit_identical(
+        self, small_grid, oracle_cls
+    ):
+        oracle = oracle_cls(small_grid)
+        graph_before = graph_state(oracle.graph)
+        sc = oracle.index.sc if oracle_cls is DynamicH2H else oracle.index
+        index_before = ch_state(sc)
+        if oracle_cls is DynamicH2H:
+            dis_before = oracle.index.dis.copy()
+            sup_before = oracle.index.sup.copy()
+        with pytest.raises(GraphError):
+            atomic_apply(oracle, self._failing_mixed_batch(oracle))
+        assert graph_state(oracle.graph) == graph_before
+        assert ch_state(sc) == index_before
+        if oracle_cls is DynamicH2H:
+            assert np.array_equal(oracle.index.dis, dis_before)
+            assert np.array_equal(oracle.index.sup, sup_before)
+
+    @pytest.mark.parametrize("oracle_cls", [DynamicCH, DynamicH2H])
+    def test_rolled_back_oracle_still_correct(self, small_grid, oracle_cls):
+        from repro.core.oracle import DijkstraOracle
+
+        oracle = oracle_cls(small_grid)
+        with pytest.raises(GraphError):
+            atomic_apply(oracle, self._failing_mixed_batch(oracle))
+        ground = DijkstraOracle(oracle.graph)
+        for s in range(0, oracle.graph.n, 5):
+            for t in range(0, oracle.graph.n, 7):
+                assert oracle.distance(s, t) == ground.distance(s, t)
+
+    def test_successful_apply_matches_plain_apply(self, small_grid):
+        oracle = atomic = DynamicCH(small_grid.copy())
+        plain = DynamicCH(small_grid.copy())
+        edges = sorted(small_grid.edges())[:3]
+        batch = [((u, v), w + 2.5) for u, v, w in edges]
+        report_atomic = atomic_apply(atomic, list(batch))
+        report_plain = plain.apply(list(batch))
+        assert oracle.index.weight_snapshot() == plain.index.weight_snapshot()
+        assert sorted(report_atomic.changed_shortcuts) == sorted(
+            report_plain.changed_shortcuts
+        )
+
+    def test_unknown_edge_rejected_before_any_mutation(self, paper_sc,
+                                                       paper_graph):
+        oracle = DynamicCH.from_index(paper_graph, paper_sc)
+        before = ch_state(paper_sc)
+        with pytest.raises(GraphError):
+            atomic_apply(oracle, [((0, 3), 4.0)])
+        assert ch_state(paper_sc) == before

@@ -1,0 +1,76 @@
+"""Write-ahead log: durability, torn-tail tolerance, corruption detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.reliability import WriteAheadLog
+
+
+BATCHES = [
+    [((0, 1), 5.0)],
+    [((1, 2), 3.5), ((2, 3), 7.25)],
+    [((0, 1), 6.0), ((3, 4), 1.0), ((4, 5), 2.0)],
+]
+
+
+def filled_wal(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl")
+    for batch in BATCHES:
+        wal.append(batch)
+    return wal
+
+
+class TestRoundTrip:
+    def test_append_replay(self, tmp_path):
+        wal = filled_wal(tmp_path)
+        records = wal.replay()
+        assert [rec.updates for rec in records] == BATCHES
+        assert [rec.seq for rec in records] == [0, 1, 2]
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        filled_wal(tmp_path)
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        assert wal.append([((9, 10), 4.0)]) == 3
+        assert len(wal.replay()) == 4
+
+    def test_infinity_weight_survives(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.append([((0, 1), float("inf"))])
+        (record,) = wal.replay()
+        assert record.updates == [((0, 1), float("inf"))]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert WriteAheadLog(tmp_path / "nope.jsonl").replay() == []
+
+    def test_reset_empties_journal(self, tmp_path):
+        wal = filled_wal(tmp_path)
+        wal.reset()
+        assert wal.replay() == []
+        wal.append([((5, 6), 2.0)])
+        assert len(wal.replay()) == 1
+
+
+class TestDamage:
+    def test_torn_tail_is_dropped(self, tmp_path):
+        wal = filled_wal(tmp_path)
+        raw = (tmp_path / "wal.jsonl").read_bytes()
+        (tmp_path / "wal.jsonl").write_bytes(raw[: len(raw) - 10])
+        records = wal.replay()
+        assert [rec.updates for rec in records] == BATCHES[:2]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        filled_wal(tmp_path)
+        lines = (tmp_path / "wal.jsonl").read_text().splitlines(True)
+        lines[1] = lines[1].replace("3.5", "9.9", 1)  # body no longer matches crc
+        (tmp_path / "wal.jsonl").write_text("".join(lines))
+        with pytest.raises(RecoveryError):
+            WriteAheadLog(tmp_path / "wal.jsonl")
+
+    def test_sequence_gap_raises(self, tmp_path):
+        wal = filled_wal(tmp_path)
+        lines = (tmp_path / "wal.jsonl").read_text().splitlines(True)
+        (tmp_path / "wal.jsonl").write_text(lines[0] + lines[2])
+        with pytest.raises(RecoveryError):
+            wal.replay()

@@ -9,11 +9,19 @@ paper-scale runs used to produce EXPERIMENTS.md.
 Each benchmark also writes the regenerated paper-style rows to
 ``benchmarks/results/<name>.txt`` so the series can be inspected after
 the run (pytest-benchmark's own table only shows timings).
+
+Every source of randomness in the suite draws from ONE seeded
+:class:`random.Random` (the session-scoped :func:`bench_rng` fixture,
+seeded by ``--bench-seed``), threaded into the workload generators via
+their ``rng`` parameter — so two runs with the same seed sample the
+same edges in the same order, batch for batch, and benchmark numbers
+are reproducible run-to-run.
 """
 
 from __future__ import annotations
 
 import os
+import random
 
 import pytest
 
@@ -30,12 +38,31 @@ def pytest_addoption(parser):
         choices=("small", "default"),
         help="dataset scale for the benchmark suite",
     )
+    parser.addoption(
+        "--bench-seed",
+        action="store",
+        type=int,
+        default=20220610,
+        help="seed of the single RNG every benchmark samples from",
+    )
 
 
 @pytest.fixture(scope="session")
 def profile(request) -> str:
     """The dataset profile all benchmarks run at."""
     return request.config.getoption("--bench-profile")
+
+
+@pytest.fixture(scope="session")
+def bench_seed(request) -> int:
+    """The seed governing the whole benchmark session."""
+    return request.config.getoption("--bench-seed")
+
+
+@pytest.fixture(scope="session")
+def bench_rng(bench_seed) -> random.Random:
+    """The one seeded RNG threaded through every sampling call."""
+    return random.Random(bench_seed)
 
 
 @pytest.fixture(scope="session")

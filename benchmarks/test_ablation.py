@@ -54,10 +54,10 @@ def test_ordering_quality_ablation(benchmark, profile, save_result):
     save_result(result, "ablation_ordering")
 
 
-def test_support_counter_ablation_ch(profile):
+def test_support_counter_ablation_ch(profile, bench_rng):
     """UE (no pre-filtering) evaluates many more Equation (<>) terms."""
     graph = build_network("CUS", profile)
-    batch = increase_batch(sample_edges(graph, 40, seed=1), 2.0)
+    batch = increase_batch(sample_edges(graph, 40, rng=bench_rng), 2.0)
 
     ops_dch, ops_ue = OpCounter(), OpCounter()
     dch_increase(ch_indexing(graph), batch, ops_dch)
@@ -65,10 +65,10 @@ def test_support_counter_ablation_ch(profile):
     assert ops_ue["scp_minus_inspect"] >= 2 * ops_dch["scp_minus_inspect"]
 
 
-def test_support_counter_ablation_h2h(profile):
+def test_support_counter_ablation_h2h(profile, bench_rng):
     """DTDHL (recompute-driven) evaluates many more Equation (*) terms."""
     graph = build_network("CAL", profile)
-    batch = increase_batch(sample_edges(graph, 15, seed=2), 2.0)
+    batch = increase_batch(sample_edges(graph, 15, rng=bench_rng), 2.0)
 
     ops_inc, ops_dtdhl = OpCounter(), OpCounter()
     inch2h_increase(h2h_indexing(graph), batch, ops_inc)
@@ -76,14 +76,14 @@ def test_support_counter_ablation_h2h(profile):
     assert ops_dtdhl["star_term"] > ops_inc["star_term"]
 
 
-def test_first_range_vs_full_scan(profile):
+def test_first_range_vs_full_scan(profile, bench_rng):
     """IncH2H inspects only nbr-(a) ∩ des(u); DTDHL scans all of nbr-(a).
 
     The gap between DTDHL's ``desc_scan`` and IncH2H's descendant-range
     inspections quantifies the benefit of the first(.) auxiliary.
     """
     graph = build_network("CAL", profile)
-    batch = increase_batch(sample_edges(graph, 15, seed=3), 2.0)
+    batch = increase_batch(sample_edges(graph, 15, rng=bench_rng), 2.0)
 
     ops_inc, ops_dtdhl = OpCounter(), OpCounter()
     inch2h_increase(h2h_indexing(graph), batch, ops_inc)

@@ -57,13 +57,13 @@ def test_fig2f_traffic(benchmark, save_result):
 
 
 @pytest.mark.parametrize("direction", ["increase", "decrease"])
-def test_bench_inch2h_single_batch(benchmark, profile, direction):
+def test_bench_inch2h_single_batch(benchmark, profile, direction, bench_rng):
     """Timing of one Exp-1 operating-point batch (for the report table)."""
     name = "US"
     graph = build_network(name, profile)
     index = build_h2h(name, profile)
     count = max(1, round(0.001 * graph.m))
-    edges = sample_edges(graph, count, seed=99)
+    edges = sample_edges(graph, count, rng=bench_rng)
     inc = increase_batch(edges, 2.0)
     rest = restore_batch(edges)
 

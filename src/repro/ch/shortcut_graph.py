@@ -99,6 +99,28 @@ class ShortcutGraph:
         self._via: Dict[Shortcut, Optional[int]] = {}
         self._m_shortcuts = sum(len(nbrs) for nbrs in adj) // 2
 
+    def clone(self) -> "ShortcutGraph":
+        """An independent copy sharing the weight-independent structure.
+
+        The shortcut *set* (and hence the ``nbr+``/``nbr-`` lists and the
+        ordering) is fixed at construction, so clones share it; only the
+        mutable state — weights, supports, witnesses and the stored
+        ``phi(e, G)`` map — is copied.  Mutating the clone (maintenance,
+        rollback) never touches the original, which is what the
+        epoch-snapshot serving layer relies on.
+        """
+        dup = ShortcutGraph.__new__(ShortcutGraph)
+        dup.ordering = self.ordering
+        dup._rank = self._rank
+        dup._adj = [dict(nbrs) for nbrs in self._adj]
+        dup._up = self._up
+        dup._down = self._down
+        dup._edge_w = dict(self._edge_w)
+        dup._sup = dict(self._sup)
+        dup._via = dict(self._via)
+        dup._m_shortcuts = self._m_shortcuts
+        return dup
+
     # ------------------------------------------------------------------
     # Identity / canonical keys
     # ------------------------------------------------------------------

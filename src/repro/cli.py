@@ -9,6 +9,8 @@ The workflow the paper targets, as shell commands::
     python -m repro stats --network city.gr --index city.h2h.npz
     python -m repro verify --index city.h2h.npz --network city.gr
     python -m repro recover --store /var/lib/repro/city --out city.h2h.npz
+    python -m repro serve-bench --oracle ch --vertices 400 --json serve.json
+    python -m repro cache-stats --stats serve.json
 
 ``build`` pays the indexing cost once; ``update`` maintains the saved
 index incrementally with DCH / IncH2H (never rebuilding); ``query``
@@ -16,12 +18,17 @@ reads distances from the up-to-date index.  ``verify`` runs the
 integrity sweep of :mod:`repro.reliability` against an archive (and
 optionally the network it claims to index); ``recover`` reconstructs an
 oracle from a :class:`~repro.reliability.ReliableStore` directory
-(snapshot + write-ahead log) after a crash.
+(snapshot + write-ahead log) after a crash.  ``serve-bench`` measures
+the epoch-snapshot serving layer (:mod:`repro.serve`) — cached-hit
+speedup and AFF-scoped cache survival across update publishes —
+and ``cache-stats`` pretty-prints the per-epoch counters a previous
+``serve-bench --json`` run saved.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -36,6 +43,7 @@ from repro.h2h.indexing import h2h_indexing
 from repro.h2h.query import h2h_distance
 from repro.persist import load_ch, load_h2h, save_ch, save_h2h
 from repro.reliability import ReliableStore, verify_index
+from repro.serve.bench import BenchConfig, serve_bench
 from repro.utils.timer import Timer
 
 __all__ = ["main"]
@@ -215,6 +223,64 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    config = BenchConfig(
+        oracle=args.oracle,
+        vertices=args.vertices,
+        seed=args.seed,
+        queries=args.queries,
+        repeats=args.repeats,
+        updates=args.updates,
+        batch=args.batch,
+        workers=args.workers,
+        cache_capacity=args.cache_capacity,
+    )
+    result = serve_bench(config)
+    print(f"serve-bench [{config.oracle}] {args.vertices} vertices, "
+          f"{config.queries} pairs x {config.repeats} passes, "
+          f"{config.updates} update batches of {config.batch}")
+    print(f"  build             {result.build_s:8.2f} s")
+    print(f"  baseline (uncached) {result.baseline_per_query_s * 1e6:8.1f} us/query")
+    print(f"  cold (first pass)   {result.cold_per_query_s * 1e6:8.1f} us/query")
+    print(f"  warm (cache hits)   {result.warm_per_query_s * 1e6:8.1f} us/query")
+    print(f"  speedup             {result.speedup:8.1f} x")
+    for pub in result.publishes:
+        print(f"  epoch {pub['epoch']}: |V_aff|={pub['affected']} "
+              f"carried={pub['carried']} evicted={pub['evicted']} "
+              f"pass={pub['pass_per_query_us']:.1f} us/query")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=2)
+        print(f"wrote stats -> {args.json}")
+    return 0
+
+
+def _cmd_cache_stats(args) -> int:
+    with open(args.stats) as handle:
+        data = json.load(handle)
+    stats = data.get("stats", data)  # accept a bare stats() dump too
+    cache = stats.get("cache", {})
+    print(f"epoch {stats.get('epoch', '?')}: "
+          f"{stats.get('cache_size', '?')}/{stats.get('cache_capacity', '?')} "
+          f"entries cached")
+    print(f"  hits {cache.get('hits', 0)}  misses {cache.get('misses', 0)}  "
+          f"hit-rate {cache.get('hit_rate', 0.0):.1%}")
+    print(f"  evicted: {cache.get('evicted_aff', 0)} by AFF migration, "
+          f"{cache.get('evicted_lru', 0)} by LRU bound; "
+          f"carried {cache.get('carried', 0)} across publishes; "
+          f"{cache.get('flushes', 0)} full flushes")
+    epochs = stats.get("epochs", {})
+    if epochs:
+        print(f"  {'epoch':>6} {'queries':>8} {'hits':>8} {'misses':>8} "
+              f"{'hit-rate':>9} {'mean-lat':>10}")
+        for epoch in sorted(epochs, key=int):
+            row = epochs[epoch]
+            print(f"  {epoch:>6} {row['queries']:>8} {row['hits']:>8} "
+                  f"{row['misses']:>8} {row['hit_rate']:>9.1%} "
+                  f"{row['mean_latency_us']:>8.1f}us")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -282,6 +348,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--network", default=None)
     p_stats.add_argument("--index", default=None)
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the epoch-snapshot serving layer",
+    )
+    p_serve.add_argument("--oracle", choices=("ch", "h2h", "dijkstra"),
+                         default="ch")
+    p_serve.add_argument("--vertices", type=int, default=400)
+    p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.add_argument("--queries", type=int, default=300,
+                         help="distinct (s, t) pairs per pass")
+    p_serve.add_argument("--repeats", type=int, default=5,
+                         help="warm passes measured")
+    p_serve.add_argument("--updates", type=int, default=3,
+                         help="update batches applied mid-run")
+    p_serve.add_argument("--batch", type=int, default=8,
+                         help="edges per update batch")
+    p_serve.add_argument("--workers", type=int, default=4)
+    p_serve.add_argument("--cache-capacity", type=int, default=65536)
+    p_serve.add_argument("--json", default=None,
+                         help="also write the full stats as JSON here")
+    p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_cache = sub.add_parser(
+        "cache-stats",
+        help="pretty-print per-epoch cache counters from a serve-bench JSON",
+    )
+    p_cache.add_argument("--stats", required=True,
+                         help="JSON file written by serve-bench --json")
+    p_cache.set_defaults(func=_cmd_cache_stats)
 
     return parser
 

@@ -108,6 +108,15 @@ class DynamicCH:
         oracle.index = index
         return oracle
 
+    def clone(self) -> "DynamicCH":
+        """An independent copy: same answers, disjoint mutable state.
+
+        Applying updates to the clone leaves this oracle (and its
+        answers) untouched — the copy-on-write primitive behind
+        :mod:`repro.serve`'s epoch snapshots.
+        """
+        return DynamicCH.from_index(self._graph.copy(), self.index.clone())
+
     @property
     def graph(self) -> RoadNetwork:
         """The road network in its current state."""
@@ -171,6 +180,10 @@ class DynamicH2H:
         oracle.counter = OpCounter()
         oracle.index = index
         return oracle
+
+    def clone(self) -> "DynamicH2H":
+        """An independent copy: same answers, disjoint mutable state."""
+        return DynamicH2H.from_index(self._graph.copy(), self.index.clone())
 
     @property
     def graph(self) -> RoadNetwork:

@@ -53,6 +53,10 @@ class DijkstraOracle:
     def __init__(self, graph: RoadNetwork) -> None:
         self._graph = graph
 
+    def clone(self) -> "DijkstraOracle":
+        """An independent copy over a deep copy of the network."""
+        return DijkstraOracle(self._graph.copy())
+
     @property
     def graph(self) -> RoadNetwork:
         """The road network (queried live; never copied)."""

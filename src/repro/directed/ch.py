@@ -61,6 +61,18 @@ class DirectedShortcutGraph:
         self._arc_w = arc_weights
         self._sup: Dict[Arc, int] = {}
 
+    def clone(self) -> "DirectedShortcutGraph":
+        """An independent copy sharing the weight-independent skeleton."""
+        dup = DirectedShortcutGraph.__new__(DirectedShortcutGraph)
+        dup.ordering = self.ordering
+        dup._rank = self._rank
+        dup._w = [dict(nbrs) for nbrs in self._w]
+        dup._up = self._up
+        dup._down = self._down
+        dup._arc_w = dict(self._arc_w)
+        dup._sup = dict(self._sup)
+        return dup
+
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:

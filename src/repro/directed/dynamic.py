@@ -79,6 +79,14 @@ class DynamicDiCH:
         self.counter = OpCounter()
         self.index = directed_ch_indexing(graph, ordering, self.counter)
 
+    def clone(self) -> "DynamicDiCH":
+        """An independent copy: same answers, disjoint mutable state."""
+        dup = DynamicDiCH.__new__(DynamicDiCH)
+        dup._graph = self._graph.copy()
+        dup.counter = OpCounter()
+        dup.index = self.index.clone()
+        return dup
+
     @property
     def graph(self) -> DiRoadNetwork:
         """The directed network in its current state."""
@@ -127,6 +135,14 @@ class DynamicDiH2H:
         self._graph = graph
         self.counter = OpCounter()
         self.index = directed_h2h_indexing(graph, ordering, self.counter)
+
+    def clone(self) -> "DynamicDiH2H":
+        """An independent copy: same answers, disjoint mutable state."""
+        dup = DynamicDiH2H.__new__(DynamicDiH2H)
+        dup._graph = self._graph.copy()
+        dup.counter = OpCounter()
+        dup.index = self.index.clone()
+        return dup
 
     @property
     def graph(self) -> DiRoadNetwork:

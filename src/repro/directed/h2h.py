@@ -78,6 +78,15 @@ class DirectedH2HIndex:
         self.dis = dis  # (dis_to, dis_from)
         self.sup = sup
 
+    def clone(self) -> "DirectedH2HIndex":
+        """An independent copy sharing the weight-independent tree."""
+        return DirectedH2HIndex(
+            self.sc.clone(),
+            self.tree,
+            (self.dis[TO].copy(), self.dis[FROM].copy()),
+            (self.sup[TO].copy(), self.sup[FROM].copy()),
+        )
+
     @property
     def n(self) -> int:
         """Number of vertices."""

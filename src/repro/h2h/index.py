@@ -69,6 +69,15 @@ class H2HIndex:
         self.dis = dis
         self.sup = sup
 
+    def clone(self) -> "H2HIndex":
+        """An independent copy sharing the weight-independent structure.
+
+        The tree decomposition never changes under weight updates, so it
+        is shared; the embedded shortcut graph and the ``dis``/``sup``
+        matrices — everything maintenance mutates — are copied.
+        """
+        return H2HIndex(self.sc.clone(), self.tree, self.dis.copy(), self.sup.copy())
+
     @property
     def n(self) -> int:
         """Number of vertices."""

@@ -32,6 +32,7 @@ from repro.reliability.store import (
 from repro.reliability.transactions import (
     IndexSnapshot,
     atomic_apply,
+    cow_apply,
     restore_index,
     snapshot_index,
     validate_batch,
@@ -50,6 +51,7 @@ __all__ = [
     "WalRecord",
     "WriteAheadLog",
     "atomic_apply",
+    "cow_apply",
     "graph_from_index",
     "restore_index",
     "snapshot_index",

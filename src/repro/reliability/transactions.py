@@ -31,6 +31,7 @@ from repro.h2h.index import H2HIndex
 __all__ = [
     "IndexSnapshot",
     "atomic_apply",
+    "cow_apply",
     "snapshot_index",
     "restore_index",
     "validate_batch",
@@ -145,3 +146,37 @@ def atomic_apply(oracle, updates: Sequence[WeightUpdate]):
         if snapshot is not None:
             restore_index(index, snapshot)
         raise
+
+
+def cow_apply(oracle, updates: Sequence[WeightUpdate]):
+    """Copy-on-write apply: build the *next* version, never touch this one.
+
+    Clones *oracle* (graph and index) and applies the batch to the clone
+    through :func:`atomic_apply`.  Returns ``(next_oracle, report)``;
+    *oracle* itself is left bit-identical, so readers holding it keep
+    answering consistently the whole time the update is in flight.  This
+    is the maintenance primitive behind :mod:`repro.serve`'s epoch
+    snapshots: build next version copy-on-write, then publish it with an
+    atomic epoch swap.
+
+    Any oracle exposing ``clone`` / ``graph`` / ``apply`` works
+    (:class:`DynamicCH`, :class:`DynamicH2H`, their directed mirrors,
+    :class:`DijkstraOracle`).  Undirected oracles go through
+    :func:`atomic_apply`; directed indexes (whose arcs the undirected
+    snapshot machinery cannot express) apply directly — on failure the
+    half-mutated clone is simply never returned, so all-or-nothing holds
+    either way.
+    """
+    clone = getattr(oracle, "clone", None)
+    if clone is None:
+        raise UpdateError(
+            f"{type(oracle).__name__} does not support copy-on-write "
+            "(no clone() method)"
+        )
+    next_oracle = clone()
+    index = getattr(next_oracle, "index", None)
+    if index is None or isinstance(index, (ShortcutGraph, H2HIndex)):
+        report = atomic_apply(next_oracle, updates)
+    else:
+        report = next_oracle.apply(updates)
+    return next_oracle, report

@@ -1,0 +1,170 @@
+"""The ``repro serve-bench`` harness: measure serving under updates.
+
+One self-contained run: synthesize a network, build an oracle, stand a
+:class:`DistanceServer` up, then interleave repeated query passes with
+update batches.  Three timings come out:
+
+* *baseline* — the same query passes straight against the oracle, no
+  cache (what every repeated query costs without the serving layer);
+* *cold* — the first pass through the server (all misses: query cost
+  plus cache bookkeeping);
+* *warm* — subsequent passes (all hits).
+
+``speedup = baseline_per_query / warm_per_query`` is the cached-hit
+payoff the acceptance criteria gate on (>= 5x), and the per-epoch
+carried/evicted counts show AFF-scoped invalidation keeping the cache
+warm across updates.  Everything is seeded — two runs with the same
+arguments produce the same workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import List, Tuple
+
+from repro.core.dynamic import DynamicCH, DynamicH2H
+from repro.core.oracle import DijkstraOracle
+from repro.errors import ReproError
+from repro.graph.generators import road_network
+from repro.serve.server import DistanceServer
+from repro.workloads.updates import increase_batch, sample_edges
+
+__all__ = ["BenchConfig", "BenchResult", "serve_bench"]
+
+_ORACLES = {
+    "ch": DynamicCH,
+    "h2h": DynamicH2H,
+    "dijkstra": DijkstraOracle,
+}
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs of one serve-bench run (all seeded / deterministic)."""
+
+    oracle: str = "ch"
+    vertices: int = 400
+    seed: int = 7
+    queries: int = 300  #: distinct (s, t) pairs per pass
+    repeats: int = 5  #: warm passes measured
+    updates: int = 3  #: update batches applied mid-run
+    batch: int = 8  #: edges per update batch
+    factor: float = 2.0  #: weight-increase factor of each batch
+    workers: int = 4
+    cache_capacity: int = 65536
+
+
+@dataclass
+class BenchResult:
+    """What one serve-bench run measured."""
+
+    config: BenchConfig
+    build_s: float
+    baseline_per_query_s: float
+    cold_per_query_s: float
+    warm_per_query_s: float
+    publishes: List[dict] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Cached-hit speedup vs uncached repeated queries."""
+        if self.warm_per_query_s <= 0:
+            return float("inf")
+        return self.baseline_per_query_s / self.warm_per_query_s
+
+    def as_dict(self) -> dict:
+        return {
+            "config": self.config.__dict__,
+            "build_s": self.build_s,
+            "baseline_per_query_us": self.baseline_per_query_s * 1e6,
+            "cold_per_query_us": self.cold_per_query_s * 1e6,
+            "warm_per_query_us": self.warm_per_query_s * 1e6,
+            "speedup": self.speedup,
+            "publishes": self.publishes,
+            "stats": self.stats,
+        }
+
+
+def _query_pairs(n: int, count: int, rng: random.Random) -> List[Tuple[int, int]]:
+    pairs = []
+    for _ in range(count):
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        while t == s:
+            t = rng.randrange(n)
+        pairs.append((s, t))
+    return pairs
+
+
+def serve_bench(config: BenchConfig = BenchConfig()) -> BenchResult:
+    """Run one serving benchmark; see the module docstring."""
+    if config.oracle not in _ORACLES:
+        raise ReproError(
+            f"unknown oracle {config.oracle!r}; pick one of {sorted(_ORACLES)}"
+        )
+    rng = random.Random(config.seed)
+    graph = road_network(config.vertices, seed=config.seed)
+    t0 = perf_counter()
+    oracle = _ORACLES[config.oracle](graph)
+    build_s = perf_counter() - t0
+    pairs = _query_pairs(graph.n, config.queries, rng)
+
+    # Baseline: uncached repeated queries straight at the oracle.
+    t0 = perf_counter()
+    for _ in range(config.repeats):
+        for s, t in pairs:
+            oracle.distance(s, t)
+    baseline = (perf_counter() - t0) / (config.repeats * len(pairs))
+
+    with DistanceServer(
+        oracle,
+        cache_capacity=config.cache_capacity,
+        workers=config.workers,
+    ) as server:
+        # Cold pass: every pair misses once.
+        t0 = perf_counter()
+        for s, t in pairs:
+            server.distance(s, t)
+        cold = (perf_counter() - t0) / len(pairs)
+
+        # Warm passes: every pair hits.
+        t0 = perf_counter()
+        for _ in range(config.repeats):
+            for s, t in pairs:
+                server.distance(s, t)
+        warm = (perf_counter() - t0) / (config.repeats * len(pairs))
+
+        # Updates interleaved with query passes: show AFF-scoped
+        # migration keeping the cache warm across epochs.
+        publishes: List[dict] = []
+        for i in range(config.updates):
+            edges = sample_edges(
+                server.snapshot().graph, config.batch, rng=rng
+            )
+            report = server.apply(increase_batch(edges, config.factor))
+            t0 = perf_counter()
+            answers = server.query_many(pairs)
+            pass_s = perf_counter() - t0
+            publishes.append(
+                {
+                    "epoch": report.epoch,
+                    "affected": report.affected,
+                    "carried": report.carried,
+                    "evicted": report.evicted,
+                    "pass_per_query_us": pass_s / len(answers) * 1e6,
+                }
+            )
+        stats = server.stats()
+
+    return BenchResult(
+        config=config,
+        build_s=build_s,
+        baseline_per_query_s=baseline,
+        cold_per_query_s=cold,
+        warm_per_query_s=warm,
+        publishes=publishes,
+        stats=stats,
+    )

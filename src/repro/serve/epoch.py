@@ -1,0 +1,91 @@
+"""Epoch snapshots: consistent, lock-free reads under in-flight updates.
+
+A *snapshot* pairs an oracle frozen at one network version with a
+monotonically increasing epoch number.  The manager holds exactly one
+*current* snapshot; readers grab it with a single attribute read (atomic
+under the interpreter lock — no reader-side locking at all) and answer
+every query of a batch against that one consistent version, however
+long a maintenance pass runs concurrently.  Writers prepare the next
+version copy-on-write (:func:`repro.reliability.cow_apply`) and make it
+visible with :meth:`EpochManager.publish` — a single reference swap, the
+serving layer's only synchronization point.
+
+The contract that makes this safe: an oracle handed to
+:class:`EpochManager` is *frozen* — nothing may mutate it afterwards.
+All mutation happens on clones that become the next epoch's snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["EpochSnapshot", "EpochManager"]
+
+
+@dataclass(frozen=True)
+class EpochSnapshot:
+    """One immutable published version of the served index.
+
+    Attributes
+    ----------
+    epoch:
+        Version number; 0 for the initial index, +1 per publish.
+    oracle:
+        The frozen oracle (graph + index) answering for this epoch.
+    affected:
+        ``V_aff`` of the update that *created* this epoch (``None`` for
+        the initial epoch, or when the update's AFF set was unknown and
+        the whole cache was flushed).
+    """
+
+    epoch: int
+    oracle: object
+    affected: Optional[frozenset] = field(default=None, compare=False)
+
+    def distance(self, s: int, t: int) -> float:
+        """Shortest distance on this snapshot (no cache)."""
+        return self.oracle.distance(s, t)
+
+    @property
+    def graph(self):
+        """The frozen network of this epoch."""
+        return self.oracle.graph
+
+
+class EpochManager:
+    """Publishes snapshots; readers see each publish atomically.
+
+    Reads (:attr:`current`) are lock-free; :meth:`publish` serializes
+    writers so epoch numbers stay dense and monotone.
+    """
+
+    def __init__(self, oracle) -> None:
+        self._current = EpochSnapshot(epoch=0, oracle=oracle)
+        self._lock = threading.Lock()
+
+    @property
+    def current(self) -> EpochSnapshot:
+        """The latest published snapshot (single atomic read)."""
+        return self._current
+
+    @property
+    def epoch(self) -> int:
+        """The latest published epoch number."""
+        return self._current.epoch
+
+    def publish(self, oracle, affected=None) -> EpochSnapshot:
+        """Atomically swap in *oracle* as the next epoch's snapshot.
+
+        Returns the new snapshot.  Readers that fetched the previous
+        snapshot keep using it unharmed; new readers see the new one.
+        """
+        with self._lock:
+            snapshot = EpochSnapshot(
+                epoch=self._current.epoch + 1,
+                oracle=oracle,
+                affected=None if affected is None else frozenset(affected),
+            )
+            self._current = snapshot
+            return snapshot

@@ -1,0 +1,269 @@
+"""`DistanceServer` — concurrent query serving over a dynamic oracle.
+
+The front end the ROADMAP's "heavy traffic" goal needs: reader threads
+answer ``sd(s, t)`` lock-free against the current epoch snapshot while a
+writer applies DCH / IncH2H maintenance copy-on-write; a bounded LRU
+cache short-circuits repeated pairs and survives updates through
+AFF-scoped invalidation instead of wholesale flushes.
+
+Read path (hot, lock-free except one cache-dict lock):
+    snapshot = epochs.current          # atomic reference read
+    cache.get(snapshot.epoch, s, t)    # epoch-exact, no stale hits
+    snapshot.oracle.distance(s, t)     # on miss; snapshot never mutates
+
+Write path (serialized):
+    next_oracle, report = cow_apply(frozen_oracle, batch)
+    V_aff = affected_vertices(next_oracle, report)
+    publish(next_oracle)               # atomic epoch swap
+    cache.migrate(new_epoch, V_aff)    # evict only pairs touching V_aff
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.reliability.transactions import cow_apply
+from repro.serve.aff import affected_vertices
+from repro.serve.cache import QueryCache
+from repro.serve.epoch import EpochManager, EpochSnapshot
+
+__all__ = ["DistanceServer", "ServeReport", "EpochCounters"]
+
+
+@dataclass
+class EpochCounters:
+    """Per-epoch serving counters (latency in seconds)."""
+
+    queries: int = 0
+    hits: int = 0
+    misses: int = 0
+    total_latency: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.queries if self.queries else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.queries if self.queries else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "mean_latency_us": self.mean_latency * 1e6,
+        }
+
+
+@dataclass
+class ServeReport:
+    """What one :meth:`DistanceServer.apply` publish did."""
+
+    epoch: int  #: the newly published epoch
+    affected: Optional[int]  #: |V_aff| (None: unknown, cache flushed)
+    carried: int  #: cache entries that survived migration
+    evicted: int  #: cache entries dropped by migration
+    report: object = field(default=None, repr=False)  #: the oracle's own report
+
+
+class DistanceServer:
+    """Serve distance queries concurrently with index maintenance.
+
+    Parameters
+    ----------
+    oracle:
+        A dynamic oracle with ``clone`` / ``distance`` / ``apply``
+        (:class:`DynamicCH`, :class:`DynamicH2H`, the directed mirrors,
+        or :class:`DijkstraOracle`).  The server takes ownership: the
+        oracle becomes epoch 0's frozen snapshot and must not be mutated
+        by anyone else afterwards.
+    cache_capacity:
+        Bound on cached pairs (LRU beyond it).
+    workers:
+        Worker threads for :meth:`query_many` batches.
+
+    Example
+    -------
+    >>> from repro.graph import grid_network
+    >>> from repro.core.dynamic import DynamicCH
+    >>> server = DistanceServer(DynamicCH(grid_network(4, 4, seed=3)))
+    >>> d0 = server.distance(0, 15)
+    >>> server.distance(0, 15) == d0  # second call served from cache
+    True
+    """
+
+    def __init__(
+        self,
+        oracle,
+        *,
+        cache_capacity: int = 65536,
+        workers: int = 4,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self._epochs = EpochManager(oracle)
+        # Directed graphs expose arcs(); their metric is asymmetric, so
+        # the cache must keep (s, t) and (t, s) apart.
+        symmetric = not hasattr(getattr(oracle, "graph", None), "arcs")
+        self.cache = QueryCache(cache_capacity, symmetric=symmetric)
+        self._write_lock = threading.Lock()
+        self._workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._counters: Dict[int, EpochCounters] = {0: EpochCounters()}
+        self._counters_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The currently served epoch."""
+        return self._epochs.epoch
+
+    def snapshot(self) -> EpochSnapshot:
+        """The current epoch snapshot (hold it to pin a version)."""
+        return self._epochs.current
+
+    def distance(self, s: int, t: int) -> float:
+        """``sd(s, t)`` on the current snapshot, cache first."""
+        return self.distance_on(self._epochs.current, s, t)
+
+    def distance_on(self, snapshot: EpochSnapshot, s: int, t: int) -> float:
+        """``sd(s, t)`` on a pinned *snapshot*, cache first.
+
+        Valid for retired snapshots too: the cache key includes the
+        epoch, so answers from different versions never mix.
+        """
+        start = perf_counter()
+        cached = self.cache.get(snapshot.epoch, s, t)
+        if cached is not None:
+            self._record(snapshot.epoch, hit=True, latency=perf_counter() - start)
+            return cached
+        distance = snapshot.oracle.distance(s, t)
+        self.cache.put(snapshot.epoch, s, t, distance)
+        self._record(snapshot.epoch, hit=False, latency=perf_counter() - start)
+        return distance
+
+    def query_many(
+        self, pairs: Sequence[Tuple[int, int]], *, parallel: bool = True
+    ) -> List[float]:
+        """Answer a batch of pairs against ONE consistent snapshot.
+
+        The whole batch sees the same epoch even if a publish lands
+        mid-batch.  With *parallel* (and more than one worker), the
+        batch is chunked across the thread pool.
+        """
+        snapshot = self._epochs.current
+        if (
+            not parallel
+            or self._closed
+            or self._workers == 1
+            or len(pairs) < 2 * self._workers
+        ):
+            return [self.distance_on(snapshot, s, t) for s, t in pairs]
+        pool = self._ensure_pool()
+        chunk = (len(pairs) + self._workers - 1) // self._workers
+        futures = [
+            pool.submit(
+                lambda part: [self.distance_on(snapshot, s, t) for s, t in part],
+                pairs[i : i + chunk],
+            )
+            for i in range(0, len(pairs), chunk)
+        ]
+        answers: List[float] = []
+        for future in futures:
+            answers.extend(future.result())
+        return answers
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def apply(self, updates) -> ServeReport:
+        """Apply a weight-update batch and publish the next epoch.
+
+        Builds the next version copy-on-write (readers keep answering on
+        the old snapshot throughout), swaps it in atomically, then
+        evicts exactly the cached pairs the update's AFF set can have
+        changed.  Writers are serialized; on failure nothing is
+        published and the cache is untouched.
+        """
+        with self._write_lock:
+            current = self._epochs.current
+            next_oracle, report = cow_apply(current.oracle, updates)
+            aff = affected_vertices(next_oracle, report)
+            snapshot = self._epochs.publish(next_oracle, affected=aff)
+            carried, evicted = self.cache.migrate(snapshot.epoch, aff)
+            with self._counters_lock:
+                self._counters.setdefault(snapshot.epoch, EpochCounters())
+            return ServeReport(
+                epoch=snapshot.epoch,
+                affected=None if aff is None else len(aff),
+                carried=carried,
+                evicted=evicted,
+                report=report,
+            )
+
+    # ------------------------------------------------------------------
+    # Instrumentation / lifecycle
+    # ------------------------------------------------------------------
+    def _record(self, epoch: int, hit: bool, latency: float) -> None:
+        with self._counters_lock:
+            counters = self._counters.get(epoch)
+            if counters is None:
+                counters = self._counters[epoch] = EpochCounters()
+            counters.queries += 1
+            if hit:
+                counters.hits += 1
+            else:
+                counters.misses += 1
+            counters.total_latency += latency
+
+    def counters(self) -> Dict[int, EpochCounters]:
+        """Per-epoch serving counters (a shallow copy of the registry)."""
+        with self._counters_lock:
+            return dict(self._counters)
+
+    def stats(self) -> dict:
+        """Everything ``repro cache-stats`` prints, as one dict."""
+        with self._counters_lock:
+            epochs = {e: c.as_dict() for e, c in self._counters.items()}
+        return {
+            "epoch": self.epoch,
+            "cache_size": len(self.cache),
+            "cache_capacity": self.cache.capacity,
+            "cache": self.cache.stats.as_dict(),
+            "epochs": epochs,
+        }
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._workers,
+                    thread_name_prefix="repro-serve",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (queries stay possible, serially)."""
+        with self._pool_lock:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "DistanceServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -10,7 +10,7 @@ DCH+/IncH2H+, the restore batch DCH-/IncH2H-.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import UpdateError
 from repro.graph.graph import RoadNetwork, WeightUpdate
@@ -20,8 +20,19 @@ __all__ = ["sample_edges", "increase_batch", "restore_batch", "mixed_batch"]
 Edge = Tuple[int, int, float]
 
 
-def sample_edges(graph: RoadNetwork, count: int, seed: int = 0) -> List[Edge]:
+def sample_edges(
+    graph: RoadNetwork,
+    count: int,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> List[Edge]:
     """Uniformly sample *count* distinct edges as ``(u, v, weight)``.
+
+    Sampling draws from *rng* when given — callers that thread one
+    seeded :class:`random.Random` through a whole run (the benchmark
+    suite, ``repro serve-bench``) get reproducible *sequences* of
+    batches, not just one reproducible batch — and otherwise from a
+    fresh ``random.Random(seed)``.
 
     Raises
     ------
@@ -33,7 +44,9 @@ def sample_edges(graph: RoadNetwork, count: int, seed: int = 0) -> List[Edge]:
         raise UpdateError(
             f"cannot sample {count} edges from a graph with {len(edges)}"
         )
-    return random.Random(seed).sample(edges, count)
+    if rng is None:
+        rng = random.Random(seed)
+    return rng.sample(edges, count)
 
 
 def increase_batch(edges: Sequence[Edge], factor: float = 2.0) -> List[WeightUpdate]:
@@ -60,9 +73,14 @@ def mixed_batch(
     seed: int = 0,
     factor_up: float = 2.0,
     factor_down: float = 0.5,
+    rng: Optional[random.Random] = None,
 ) -> List[WeightUpdate]:
-    """A half-increase / half-decrease batch (stress tests, examples)."""
-    edges = sample_edges(graph, count, seed)
+    """A half-increase / half-decrease batch (stress tests, examples).
+
+    Pass *rng* to draw from a shared seeded stream (see
+    :func:`sample_edges`).
+    """
+    edges = sample_edges(graph, count, seed, rng=rng)
     half = len(edges) // 2
     batch = increase_batch(edges[:half], factor_up)
     batch += [((u, v), w * factor_down) for u, v, w in edges[half:]]

@@ -26,6 +26,7 @@ import random
 import pytest
 
 from repro.experiments.harness import ExperimentResult, format_result
+from repro.obs.bench import BenchRecord, write_bench
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -67,13 +68,37 @@ def bench_rng(bench_seed) -> random.Random:
 
 @pytest.fixture(scope="session")
 def save_result():
-    """Write an ExperimentResult's rows under benchmarks/results/."""
+    """Write an ExperimentResult under benchmarks/results/.
+
+    Two files per experiment: the paper-style text rows
+    (``<name>.txt``) and a machine-readable ``BENCH_<name>.json``
+    (:mod:`repro.obs.bench`) carrying the same series — the record CI
+    uploads as an artifact and ``repro obs bench-compare`` diffs
+    across runs.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
 
     def _save(result: ExperimentResult, name: str) -> ExperimentResult:
         path = os.path.join(RESULTS_DIR, f"{name}.txt")
         with open(path, "w") as handle:
             handle.write(format_result(result) + "\n")
+        record = BenchRecord(
+            name=name,
+            config={"experiment": result.exp_id, "title": result.title},
+            extra={
+                "series": {
+                    s.name: {
+                        "x_label": s.x_label,
+                        "y_label": s.y_label,
+                        "x": list(s.x),
+                        "y": list(s.y),
+                    }
+                    for s in result.series
+                },
+                "notes": list(result.notes),
+            },
+        )
+        write_bench(record, RESULTS_DIR)
         return result
 
     return _save

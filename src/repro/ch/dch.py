@@ -33,6 +33,8 @@ from typing import List, Optional, Sequence, Set, Tuple
 from repro.errors import UpdateError
 from repro.ch.shortcut_graph import Shortcut, ShortcutGraph
 from repro.graph.graph import WeightUpdate
+from repro.obs import names
+from repro.obs.trace import span
 from repro.utils.counters import OpCounter, resolve_counter
 from repro.utils.heap import AddressableHeap
 
@@ -67,6 +69,33 @@ def _validate_batch(
             )
 
 
+def _trace_boundedness(sp, index, delta, changed, ops, ops_before) -> None:
+    """Attach the boundedness currencies and per-call op counts to *sp*.
+
+    Only runs when a sink is attached (``sp.active``); the currencies
+    require scanning ``scp±`` lists, which must not burden untraced
+    runs.  Reads only — the differential test asserts tracing leaves
+    the index bit-identical.
+    """
+    from repro.core.changed import ch_change_metrics  # circular at module level
+
+    metrics = ch_change_metrics(index, delta, changed)
+    current = ops.as_dict()
+    call_ops = {
+        channel: count - ops_before.get(channel, 0)
+        for channel, count in current.items()
+        if count - ops_before.get(channel, 0)
+    }
+    sp.set(
+        delta=delta,
+        changed=len(changed),
+        aff_norm=metrics.aff_norm,
+        diff=metrics.diff,
+        ops=call_ops,
+        ops_total=sum(call_ops.values()),
+    )
+
+
 def dch_increase(
     index: ShortcutGraph,
     updates: Sequence[WeightUpdate],
@@ -93,54 +122,63 @@ def dch_increase(
         order they were finalized (ascending rank of lower endpoint).
     """
     _validate_batch(index, updates, "increase")
-    ops = resolve_counter(counter)
-    rank = index.ordering.rank
-    queue: AddressableHeap[Shortcut] = AddressableHeap()
+    with span(names.SPAN_DCH_INCREASE) as sp:
+        if sp.active and counter is None:
+            counter = OpCounter()
+        ops = resolve_counter(counter)
+        ops_before = ops.as_dict() if sp.active else None
+        rank = index.ordering.rank
+        queue: AddressableHeap[Shortcut] = AddressableHeap()
 
-    def priority(key: Shortcut) -> Tuple[int, int]:
-        u, v = key
-        return (min(rank[u], rank[v]), max(rank[u], rank[v]))
+        def priority(key: Shortcut) -> Tuple[int, int]:
+            u, v = key
+            return (min(rank[u], rank[v]), max(rank[u], rank[v]))
 
-    # Lines 2-6: consume Delta G.
-    for (u, v), w in updates:
-        ops.add("delta_inspect")
-        key = index.key(u, v)
-        old_edge_weight = index.edge_weight(u, v)
-        if w > old_edge_weight and not math.isinf(old_edge_weight) and (
-            old_edge_weight == index.weight(u, v)
-        ):
-            sup = index.support(u, v) - 1
-            index.set_support(u, v, sup)
-            if sup == 0:
-                queue.push(key, priority(key))
-                ops.add("queue_push")
-        index.set_edge_weight(u, v, w)
+        # Lines 2-6: consume Delta G.
+        with span(names.SPAN_DCH_INCREASE_SEED, delta=len(updates)):
+            for (u, v), w in updates:
+                ops.add("delta_inspect")
+                key = index.key(u, v)
+                old_edge_weight = index.edge_weight(u, v)
+                if w > old_edge_weight and not math.isinf(old_edge_weight) and (
+                    old_edge_weight == index.weight(u, v)
+                ):
+                    sup = index.support(u, v) - 1
+                    index.set_support(u, v, sup)
+                    if sup == 0:
+                        queue.push(key, priority(key))
+                        ops.add("queue_push")
+                index.set_edge_weight(u, v, w)
 
-    changed: List[ChangedShortcut] = []
-    # Lines 7-13: propagate, lowest lower-endpoint rank first.
-    while queue:
-        key, _ = queue.pop()
-        ops.add("queue_pop")
-        u, v = key
-        old_weight = index.weight(u, v)
-        # Lines 9-12: the weight of <u, v> is about to increase; any
-        # upward-pair partner it currently supports loses one support.
-        # Infinite weights (deleted roads) support nothing by convention,
-        # matching evaluate_equation's support counting.
-        for x, w_mid, y in index.scp_plus(u, v) if not math.isinf(old_weight) else ():
-            ops.add("scp_plus_inspect")
-            partner = index.key(w_mid, y)
-            candidate = old_weight + index.weight(x, w_mid)
-            if not math.isinf(candidate) and index.weight(*partner) == candidate:
-                sup = index.support(*partner) - 1
-                index.set_support(*partner, sup)
-                if sup == 0:
-                    queue.push(partner, priority(partner))
-                    ops.add("queue_push")
-        # Line 13: recompute weight and support from Equation (<>).
-        new_weight = index.recompute(u, v, counter)
-        if new_weight != old_weight:
-            changed.append((key, old_weight, new_weight))
+        changed: List[ChangedShortcut] = []
+        # Lines 7-13: propagate, lowest lower-endpoint rank first.
+        with span(names.SPAN_DCH_INCREASE_PROPAGATE) as sp_prop:
+            while queue:
+                key, _ = queue.pop()
+                ops.add("queue_pop")
+                u, v = key
+                old_weight = index.weight(u, v)
+                # Lines 9-12: the weight of <u, v> is about to increase; any
+                # upward-pair partner it currently supports loses one support.
+                # Infinite weights (deleted roads) support nothing by convention,
+                # matching evaluate_equation's support counting.
+                for x, w_mid, y in index.scp_plus(u, v) if not math.isinf(old_weight) else ():
+                    ops.add("scp_plus_inspect")
+                    partner = index.key(w_mid, y)
+                    candidate = old_weight + index.weight(x, w_mid)
+                    if not math.isinf(candidate) and index.weight(*partner) == candidate:
+                        sup = index.support(*partner) - 1
+                        index.set_support(*partner, sup)
+                        if sup == 0:
+                            queue.push(partner, priority(partner))
+                            ops.add("queue_push")
+                # Line 13: recompute weight and support from Equation (<>).
+                new_weight = index.recompute(u, v, counter)
+                if new_weight != old_weight:
+                    changed.append((key, old_weight, new_weight))
+            sp_prop.set(changed=len(changed))
+        if sp.active:
+            _trace_boundedness(sp, index, len(updates), changed, ops, ops_before)
     return changed
 
 
@@ -161,69 +199,78 @@ def dch_decrease(
         and final weights.
     """
     _validate_batch(index, updates, "decrease")
-    ops = resolve_counter(counter)
-    rank = index.ordering.rank
-    queue: AddressableHeap[Shortcut] = AddressableHeap()
+    with span(names.SPAN_DCH_DECREASE) as sp:
+        if sp.active and counter is None:
+            counter = OpCounter()
+        ops = resolve_counter(counter)
+        ops_before = ops.as_dict() if sp.active else None
+        rank = index.ordering.rank
+        queue: AddressableHeap[Shortcut] = AddressableHeap()
 
-    def priority(key: Shortcut) -> Tuple[int, int]:
-        u, v = key
-        return (min(rank[u], rank[v]), max(rank[u], rank[v]))
+        def priority(key: Shortcut) -> Tuple[int, int]:
+            u, v = key
+            return (min(rank[u], rank[v]), max(rank[u], rank[v]))
 
-    original: dict = {}
+        original: dict = {}
 
-    # Lines 2-6: consume Delta G.  A strictly smaller edge weight either
-    # relaxes the shortcut (support resets to the edge term alone) or ties
-    # it (the edge term newly attains the minimum: one more support).
-    for (u, v), w in updates:
-        ops.add("delta_inspect")
-        key = index.key(u, v)
-        old_edge_w = index.edge_weight(u, v)
-        index.set_edge_weight(u, v, w)
-        current = index.weight(u, v)
-        if w < current:
-            original.setdefault(key, current)
-            index.set_weight(u, v, w)
-            index.set_support(u, v, 1)
-            index.set_via(u, v, None)
-            if key not in queue:
-                queue.push(key, priority(key))
-                ops.add("queue_push")
-        elif w == current and w < old_edge_w and not math.isinf(w):
-            index.set_support(u, v, index.support(u, v) + 1)
+        # Lines 2-6: consume Delta G.  A strictly smaller edge weight either
+        # relaxes the shortcut (support resets to the edge term alone) or ties
+        # it (the edge term newly attains the minimum: one more support).
+        with span(names.SPAN_DCH_DECREASE_SEED, delta=len(updates)):
+            for (u, v), w in updates:
+                ops.add("delta_inspect")
+                key = index.key(u, v)
+                old_edge_w = index.edge_weight(u, v)
+                index.set_edge_weight(u, v, w)
+                current = index.weight(u, v)
+                if w < current:
+                    original.setdefault(key, current)
+                    index.set_weight(u, v, w)
+                    index.set_support(u, v, 1)
+                    index.set_via(u, v, None)
+                    if key not in queue:
+                        queue.push(key, priority(key))
+                        ops.add("queue_push")
+                elif w == current and w < old_edge_w and not math.isinf(w):
+                    index.set_support(u, v, index.support(u, v) + 1)
 
-    # Lines 7-12: propagate relaxations.  Supports are maintained exactly
-    # on the fly: all weights sharing a lower endpoint are final before
-    # the first of them pops, so a pair's sum is evaluated with final
-    # values; when *both* members of a pair changed, the pair would be
-    # evaluated from both pops with the same sum, so the earlier pop
-    # (other member still queued) skips it and the later pop applies it.
-    while queue:
-        key, _ = queue.pop()
-        ops.add("queue_pop")
-        u, v = key
-        weight_e = index.weight(u, v)
-        inspected = 0
-        for x, w_mid, y in index.scp_plus(u, v):
-            inspected += 1
-            if (index.key(x, w_mid)) in queue:
-                continue  # the other member's pop will evaluate this pair
-            partner = index.key(w_mid, y)
-            candidate = weight_e + index._adj[x][w_mid]
-            current = index._adj[w_mid][y]
-            if candidate < current:
-                original.setdefault(partner, current)
-                index.set_weight(*partner, candidate)
-                index.set_support(*partner, 1)
-                index.set_via(*partner, x)
-                if partner not in queue:
-                    queue.push(partner, priority(partner))
-                    ops.add("queue_push")
-            elif candidate == current and not math.isinf(candidate):
-                index.set_support(*partner, index.support(*partner) + 1)
-        ops.add("scp_plus_inspect", inspected)
+        # Lines 7-12: propagate relaxations.  Supports are maintained exactly
+        # on the fly: all weights sharing a lower endpoint are final before
+        # the first of them pops, so a pair's sum is evaluated with final
+        # values; when *both* members of a pair changed, the pair would be
+        # evaluated from both pops with the same sum, so the earlier pop
+        # (other member still queued) skips it and the later pop applies it.
+        with span(names.SPAN_DCH_DECREASE_PROPAGATE):
+            while queue:
+                key, _ = queue.pop()
+                ops.add("queue_pop")
+                u, v = key
+                weight_e = index.weight(u, v)
+                inspected = 0
+                for x, w_mid, y in index.scp_plus(u, v):
+                    inspected += 1
+                    if (index.key(x, w_mid)) in queue:
+                        continue  # the other member's pop will evaluate this pair
+                    partner = index.key(w_mid, y)
+                    candidate = weight_e + index._adj[x][w_mid]
+                    current = index._adj[w_mid][y]
+                    if candidate < current:
+                        original.setdefault(partner, current)
+                        index.set_weight(*partner, candidate)
+                        index.set_support(*partner, 1)
+                        index.set_via(*partner, x)
+                        if partner not in queue:
+                            queue.push(partner, priority(partner))
+                            ops.add("queue_push")
+                    elif candidate == current and not math.isinf(candidate):
+                        index.set_support(*partner, index.support(*partner) + 1)
+                ops.add("scp_plus_inspect", inspected)
 
-    return [
-        (key, old, index.weight(*key))
-        for key, old in original.items()
-        if index.weight(*key) != old
-    ]
+        changed = [
+            (key, old, index.weight(*key))
+            for key, old in original.items()
+            if index.weight(*key) != old
+        ]
+        if sp.active:
+            _trace_boundedness(sp, index, len(updates), changed, ops, ops_before)
+    return changed

@@ -29,7 +29,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
+import os
 import sys
+from collections import deque
 from typing import Optional, Sequence
 
 from repro.ch.dch import dch_decrease, dch_increase
@@ -41,6 +44,9 @@ from repro.graph.io import read_dimacs, read_edge_list, write_dimacs
 from repro.h2h.inch2h import inch2h_decrease, inch2h_increase
 from repro.h2h.indexing import h2h_indexing
 from repro.h2h.query import h2h_distance
+from repro.obs.bench import compare_bench, load_bench, write_bench
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import JsonlSink, TraceSchemaError, set_sink, validate_record
 from repro.persist import load_ch, load_h2h, save_ch, save_h2h
 from repro.reliability import ReliableStore, verify_index
 from repro.serve.bench import BenchConfig, serve_bench
@@ -223,6 +229,13 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _ensure_parent(path: str) -> None:
+    """Create the directory an output file is about to land in."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
 def _cmd_serve_bench(args) -> int:
     config = BenchConfig(
         oracle=args.oracle,
@@ -235,7 +248,16 @@ def _cmd_serve_bench(args) -> int:
         workers=args.workers,
         cache_capacity=args.cache_capacity,
     )
-    result = serve_bench(config)
+    sink = previous = None
+    if args.trace:
+        sink = JsonlSink(args.trace)
+        previous = set_sink(sink)
+    try:
+        result = serve_bench(config)
+    finally:
+        if sink is not None:
+            set_sink(previous)
+            sink.close()
     print(f"serve-bench [{config.oracle}] {args.vertices} vertices, "
           f"{config.queries} pairs x {config.repeats} passes, "
           f"{config.updates} update batches of {config.batch}")
@@ -249,9 +271,83 @@ def _cmd_serve_bench(args) -> int:
               f"carried={pub['carried']} evicted={pub['evicted']} "
               f"pass={pub['pass_per_query_us']:.1f} us/query")
     if args.json:
+        _ensure_parent(args.json)
         with open(args.json, "w") as handle:
             json.dump(result.as_dict(), handle, indent=2)
         print(f"wrote stats -> {args.json}")
+    if args.trace:
+        print(f"wrote trace -> {args.trace}")
+    if args.metrics:
+        _ensure_parent(args.metrics)
+        with open(args.metrics, "w") as handle:
+            json.dump(result.metrics, handle, indent=2, sort_keys=True)
+        print(f"wrote metrics snapshot -> {args.metrics}")
+    if args.bench_out:
+        record = result.to_bench_record(
+            args.bench_name or f"serve_{config.oracle}"
+        )
+        path = write_bench(record, args.bench_out)
+        print(f"wrote bench record -> {path}")
+    return 0
+
+
+def _cmd_obs_metrics_dump(args) -> int:
+    with open(args.snapshot) as handle:
+        snapshot = json.load(handle)
+    registry = MetricsRegistry.restore(snapshot)
+    if args.format == "json":
+        print(registry.dump_json())
+    else:
+        sys.stdout.write(registry.expose_text())
+    return 0
+
+
+def _cmd_obs_trace_tail(args) -> int:
+    with open(args.trace) as handle:
+        lines = deque(handle, maxlen=args.lines)
+    invalid = 0
+    core = ("span", "ts", "dur_s", "ok")
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = validate_record(json.loads(line))
+        except (json.JSONDecodeError, TraceSchemaError) as exc:
+            invalid += 1
+            print(f"invalid record: {exc}", file=sys.stderr)
+            continue
+        extras = " ".join(
+            f"{key}={record[key]}" for key in record if key not in core
+        )
+        flag = "" if record["ok"] else " FAILED"
+        print(f"{record['span']:<28} {record['dur_s'] * 1e3:9.3f} ms{flag}  {extras}")
+    if invalid:
+        print(f"{invalid} invalid record(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_obs_bench_compare(args) -> int:
+    old = load_bench(args.old)
+    new = load_bench(args.new)
+    comparison = compare_bench(old, new, threshold=args.threshold)
+    print(f"{comparison.old_name} -> {comparison.new_name} "
+          f"(regression threshold {args.threshold:.0%})")
+    for delta in comparison.deltas:
+        pct = delta.pct
+        pct_text = "    n/a" if math.isinf(pct) else f"{pct:+8.1%}"
+        print(f"  {delta.metric:<28} {delta.old:>14.3f} -> "
+              f"{delta.new:>14.3f}  {pct_text}")
+    if not comparison.deltas:
+        print("  (no metrics in common)")
+    if not comparison.ok:
+        for regression in comparison.regressions:
+            print(f"REGRESSION: {regression.metric} moved "
+                  f"{regression.pct:+.1%} (threshold {args.threshold:.0%})",
+                  file=sys.stderr)
+        return 3
+    print("no regressions")
     return 0
 
 
@@ -369,7 +465,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-capacity", type=int, default=65536)
     p_serve.add_argument("--json", default=None,
                          help="also write the full stats as JSON here")
+    p_serve.add_argument("--trace", default=None,
+                         help="write per-span JSONL trace records here")
+    p_serve.add_argument("--metrics", default=None,
+                         help="write the MetricsRegistry snapshot (JSON) "
+                              "here, for `repro obs metrics-dump`")
+    p_serve.add_argument("--bench-out", default=None,
+                         help="directory to write BENCH_<name>.json into")
+    p_serve.add_argument("--bench-name", default=None,
+                         help="bench record name (default: serve_<oracle>)")
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability: metrics, traces, bench trajectory"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_dump = obs_sub.add_parser(
+        "metrics-dump",
+        help="render a saved MetricsRegistry snapshot",
+    )
+    p_dump.add_argument("--snapshot", required=True,
+                        help="JSON snapshot (e.g. serve-bench --metrics)")
+    p_dump.add_argument("--format", choices=("text", "json"), default="text",
+                        help="Prometheus text exposition (default) or JSON")
+    p_dump.set_defaults(func=_cmd_obs_metrics_dump)
+
+    p_tail = obs_sub.add_parser(
+        "trace-tail",
+        help="print (and schema-check) the last records of a JSONL trace",
+    )
+    p_tail.add_argument("trace", help="JSONL trace file (serve-bench --trace)")
+    p_tail.add_argument("-n", "--lines", type=int, default=20,
+                        help="records to show (default 20)")
+    p_tail.set_defaults(func=_cmd_obs_trace_tail)
+
+    p_cmp = obs_sub.add_parser(
+        "bench-compare",
+        help="diff two BENCH_<name>.json files; non-zero exit on regression",
+    )
+    p_cmp.add_argument("old", help="baseline BENCH file")
+    p_cmp.add_argument("new", help="candidate BENCH file")
+    p_cmp.add_argument("--threshold", type=float, default=0.20,
+                       help="relative regression tolerance on p95 latency "
+                            "and throughput (default 0.20 = 20%%)")
+    p_cmp.set_defaults(func=_cmd_obs_bench_compare)
 
     p_cache = sub.add_parser(
         "cache-stats",

@@ -23,10 +23,13 @@ __all__ = ["linearithmic", "subboundedness_ratio", "BoundednessReport"]
 
 
 def linearithmic(x: float) -> float:
-    """``x * (1 + log2(1 + x))`` — the budget of a subbounded algorithm.
+    """``x * (1 + log2(1 + x))`` — the Theorem 4.1 / 5.1 budget.
 
-    The ``1 +`` terms keep the budget positive for tiny ``x`` so ratios
-    are always well defined.
+    Theorem 4.1 (DCH) and Theorem 5.1 (IncH2H) bound the maintenance
+    work by ``O(x log x)`` with ``x = ||AFF||`` (increase) or
+    ``x = |DIFF|`` (decrease); this is the concrete budget the measured
+    operation counts are divided by.  The ``1 +`` terms keep it
+    positive for tiny ``x`` so ratios are always well defined.
     """
     if x < 0:
         raise ValueError(f"x must be non-negative, got {x}")
@@ -34,11 +37,12 @@ def linearithmic(x: float) -> float:
 
 
 def subboundedness_ratio(measured_ops: float, measure: float) -> float:
-    """``measured_ops / linearithmic(measure)``.
+    """``measured_ops / linearithmic(measure)`` — the Theorem 4.1 / 5.1 ratio.
 
-    For a relatively subbounded algorithm this ratio is O(1) as the
-    workload grows; for an algorithm that does work outside AFF (e.g.
-    UE's blanket recomputations) it drifts upward.
+    For an algorithm that is subbounded relative to its builder
+    (Theorem 4.1 for DCH±, Theorem 5.1 for IncH2H±) this ratio is O(1)
+    as the workload grows; for an algorithm that does work outside AFF
+    (e.g. UE's blanket recomputations, §4.3) it drifts upward.
     """
     budget = linearithmic(max(measure, 1.0))
     return measured_ops / budget
@@ -46,7 +50,7 @@ def subboundedness_ratio(measured_ops: float, measure: float) -> float:
 
 @dataclass(frozen=True)
 class BoundednessReport:
-    """One workload's evidence for/against relative subboundedness."""
+    """One workload's evidence for/against Theorem 4.1 / 5.1 subboundedness."""
 
     label: str
     measured_ops: int
@@ -80,8 +84,9 @@ def ratios_bounded(
 
     The check compares the largest-workload ratios against the
     smallest-workload ones: growth beyond *tolerance* x suggests the
-    algorithm is **not** subbounded relative to the reference (this is
-    how the tests separate DCH from UE empirically).
+    algorithm is **not** subbounded relative to the reference in the
+    Theorem 4.1 / 5.1 sense (this is how the tests separate DCH from UE
+    empirically).
     """
     if len(reports) < 2:
         return True

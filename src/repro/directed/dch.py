@@ -23,6 +23,8 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.directed.ch import Arc, DirectedShortcutGraph
 from repro.errors import UpdateError
+from repro.obs import names
+from repro.obs.trace import span
 from repro.utils.counters import OpCounter, resolve_counter
 from repro.utils.heap import AddressableHeap
 
@@ -82,6 +84,27 @@ def _partners(index: DirectedShortcutGraph, arc: Arc):
                 yield (low, w_mid), (high, w_mid)
 
 
+def trace_directed_call(sp, delta: int, changed_count: int, ops, ops_before) -> None:
+    """Attach batch size, |C| and per-call op counts to a directed span.
+
+    Only called when a sink is attached; the directed variants trace the
+    outer call only (no per-phase spans, no AFF/DIFF currencies — the
+    change-metrics helpers are defined for the undirected index).
+    """
+    current = ops.as_dict()
+    call_ops = {
+        channel: count - ops_before.get(channel, 0)
+        for channel, count in current.items()
+        if count - ops_before.get(channel, 0)
+    }
+    sp.set(
+        delta=delta,
+        changed=changed_count,
+        ops=call_ops,
+        ops_total=sum(call_ops.values()),
+    )
+
+
 def directed_dch_increase(
     index: DirectedShortcutGraph,
     updates: Sequence[ArcUpdate],
@@ -89,41 +112,47 @@ def directed_dch_increase(
 ) -> List[ChangedArc]:
     """DCH+ over directed shortcuts; returns the changed arcs."""
     _validate(index, updates, "increase")
-    ops = resolve_counter(counter)
-    queue: AddressableHeap[Arc] = AddressableHeap()
+    with span(names.SPAN_DIRECTED_DCH_INCREASE) as sp:
+        if sp.active and counter is None:
+            counter = OpCounter()
+        ops = resolve_counter(counter)
+        ops_before = ops.as_dict() if sp.active else None
+        queue: AddressableHeap[Arc] = AddressableHeap()
 
-    for (u, v), w in updates:
-        ops.add("delta_inspect")
-        old_arc = index.arc_weight(u, v)
-        if w > old_arc and not math.isinf(old_arc) and (
-            old_arc == index.weight(u, v)
-        ):
-            sup = index.support(u, v) - 1
-            index.set_support(u, v, sup)
-            if sup == 0:
-                queue.push((u, v), _priority(index, (u, v)))
-                ops.add("queue_push")
-        index.set_arc_weight(u, v, w)
+        for (u, v), w in updates:
+            ops.add("delta_inspect")
+            old_arc = index.arc_weight(u, v)
+            if w > old_arc and not math.isinf(old_arc) and (
+                old_arc == index.weight(u, v)
+            ):
+                sup = index.support(u, v) - 1
+                index.set_support(u, v, sup)
+                if sup == 0:
+                    queue.push((u, v), _priority(index, (u, v)))
+                    ops.add("queue_push")
+            index.set_arc_weight(u, v, w)
 
-    changed: List[ChangedArc] = []
-    while queue:
-        arc, _ = queue.pop()
-        ops.add("queue_pop")
-        u, v = arc
-        old_weight = index.weight(u, v)
-        if not math.isinf(old_weight):
-            for (a, b), (p, q) in _partners(index, arc):
-                ops.add("scp_plus_inspect")
-                candidate = old_weight + index._w[a][b]
-                if not math.isinf(candidate) and index._w[p][q] == candidate:
-                    sup = index.support(p, q) - 1
-                    index.set_support(p, q, sup)
-                    if sup == 0:
-                        queue.push((p, q), _priority(index, (p, q)))
-                        ops.add("queue_push")
-        new_weight = index.recompute_arc(u, v, ops)
-        if new_weight != old_weight:
-            changed.append((arc, old_weight, new_weight))
+        changed: List[ChangedArc] = []
+        while queue:
+            arc, _ = queue.pop()
+            ops.add("queue_pop")
+            u, v = arc
+            old_weight = index.weight(u, v)
+            if not math.isinf(old_weight):
+                for (a, b), (p, q) in _partners(index, arc):
+                    ops.add("scp_plus_inspect")
+                    candidate = old_weight + index._w[a][b]
+                    if not math.isinf(candidate) and index._w[p][q] == candidate:
+                        sup = index.support(p, q) - 1
+                        index.set_support(p, q, sup)
+                        if sup == 0:
+                            queue.push((p, q), _priority(index, (p, q)))
+                            ops.add("queue_push")
+            new_weight = index.recompute_arc(u, v, ops)
+            if new_weight != old_weight:
+                changed.append((arc, old_weight, new_weight))
+        if sp.active:
+            trace_directed_call(sp, len(updates), len(changed), ops, ops_before)
     return changed
 
 
@@ -134,50 +163,57 @@ def directed_dch_decrease(
 ) -> List[ChangedArc]:
     """DCH- over directed shortcuts; returns the changed arcs."""
     _validate(index, updates, "decrease")
-    ops = resolve_counter(counter)
-    queue: AddressableHeap[Arc] = AddressableHeap()
-    original: dict = {}
+    with span(names.SPAN_DIRECTED_DCH_DECREASE) as sp:
+        if sp.active and counter is None:
+            counter = OpCounter()
+        ops = resolve_counter(counter)
+        ops_before = ops.as_dict() if sp.active else None
+        queue: AddressableHeap[Arc] = AddressableHeap()
+        original: dict = {}
 
-    for (u, v), w in updates:
-        ops.add("delta_inspect")
-        old_arc = index.arc_weight(u, v)
-        index.set_arc_weight(u, v, w)
-        current = index.weight(u, v)
-        if w < current:
-            original.setdefault((u, v), current)
-            index.set_weight(u, v, w)
-            index.set_support(u, v, 1)
-            if (u, v) not in queue:
-                queue.push((u, v), _priority(index, (u, v)))
-                ops.add("queue_push")
-        elif w == current and w < old_arc and not math.isinf(w):
-            index.set_support(u, v, index.support(u, v) + 1)
-
-    while queue:
-        arc, _ = queue.pop()
-        ops.add("queue_pop")
-        u, v = arc
-        weight_e = index.weight(u, v)
-        if math.isinf(weight_e):
-            continue
-        for (a, b), (p, q) in _partners(index, arc):
-            ops.add("scp_plus_inspect")
-            if (a, b) in queue:
-                continue  # the other leg's pop evaluates this candidate
-            candidate = weight_e + index._w[a][b]
-            current = index._w[p][q]
-            if candidate < current:
-                original.setdefault((p, q), current)
-                index.set_weight(p, q, candidate)
-                index.set_support(p, q, 1)
-                if (p, q) not in queue:
-                    queue.push((p, q), _priority(index, (p, q)))
+        for (u, v), w in updates:
+            ops.add("delta_inspect")
+            old_arc = index.arc_weight(u, v)
+            index.set_arc_weight(u, v, w)
+            current = index.weight(u, v)
+            if w < current:
+                original.setdefault((u, v), current)
+                index.set_weight(u, v, w)
+                index.set_support(u, v, 1)
+                if (u, v) not in queue:
+                    queue.push((u, v), _priority(index, (u, v)))
                     ops.add("queue_push")
-            elif candidate == current and not math.isinf(candidate):
-                index.set_support(p, q, index.support(p, q) + 1)
+            elif w == current and w < old_arc and not math.isinf(w):
+                index.set_support(u, v, index.support(u, v) + 1)
 
-    return [
-        (arc, old, index.weight(*arc))
-        for arc, old in original.items()
-        if index.weight(*arc) != old
-    ]
+        while queue:
+            arc, _ = queue.pop()
+            ops.add("queue_pop")
+            u, v = arc
+            weight_e = index.weight(u, v)
+            if math.isinf(weight_e):
+                continue
+            for (a, b), (p, q) in _partners(index, arc):
+                ops.add("scp_plus_inspect")
+                if (a, b) in queue:
+                    continue  # the other leg's pop evaluates this candidate
+                candidate = weight_e + index._w[a][b]
+                current = index._w[p][q]
+                if candidate < current:
+                    original.setdefault((p, q), current)
+                    index.set_weight(p, q, candidate)
+                    index.set_support(p, q, 1)
+                    if (p, q) not in queue:
+                        queue.push((p, q), _priority(index, (p, q)))
+                        ops.add("queue_push")
+                elif candidate == current and not math.isinf(candidate):
+                    index.set_support(p, q, index.support(p, q) + 1)
+
+        changed = [
+            (arc, old, index.weight(*arc))
+            for arc, old in original.items()
+            if index.weight(*arc) != old
+        ]
+        if sp.active:
+            trace_directed_call(sp, len(updates), len(changed), ops, ops_before)
+    return changed

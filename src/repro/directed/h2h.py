@@ -43,10 +43,13 @@ from repro.directed.dch import (
     ArcUpdate,
     directed_dch_decrease,
     directed_dch_increase,
+    trace_directed_call,
 )
 from repro.directed.graph import DiRoadNetwork
 from repro.errors import IndexError_, QueryError
 from repro.h2h.tree import TreeDecomposition
+from repro.obs import names
+from repro.obs.trace import span
 from repro.order.ordering import Ordering
 from repro.utils.counters import OpCounter, resolve_counter
 from repro.utils.heap import AddressableHeap
@@ -247,6 +250,23 @@ def directed_inch2h_increase(
     counter: Optional[OpCounter] = None,
 ) -> List[Tuple[Entry, float, float]]:
     """Directed IncH2H+ : weight increases through both label matrices."""
+    with span(names.SPAN_DIRECTED_INCH2H_INCREASE) as sp:
+        if sp.active and counter is None:
+            counter = OpCounter()
+        ops_before = resolve_counter(counter).as_dict() if sp.active else None
+        changed = _directed_inch2h_increase_impl(index, updates, counter)
+        if sp.active:
+            trace_directed_call(
+                sp, len(updates), len(changed), resolve_counter(counter), ops_before
+            )
+    return changed
+
+
+def _directed_inch2h_increase_impl(
+    index: DirectedH2HIndex,
+    updates: Sequence[ArcUpdate],
+    counter: Optional[OpCounter],
+) -> List[Tuple[Entry, float, float]]:
     ops = resolve_counter(counter)
     changed_arcs = directed_dch_increase(index.sc, updates, counter)
 
@@ -326,6 +346,23 @@ def directed_inch2h_decrease(
     counter: Optional[OpCounter] = None,
 ) -> List[Tuple[Entry, float, float]]:
     """Directed IncH2H- : weight decreases with on-the-fly supports."""
+    with span(names.SPAN_DIRECTED_INCH2H_DECREASE) as sp:
+        if sp.active and counter is None:
+            counter = OpCounter()
+        ops_before = resolve_counter(counter).as_dict() if sp.active else None
+        changed = _directed_inch2h_decrease_impl(index, updates, counter)
+        if sp.active:
+            trace_directed_call(
+                sp, len(updates), len(changed), resolve_counter(counter), ops_before
+            )
+    return changed
+
+
+def _directed_inch2h_decrease_impl(
+    index: DirectedH2HIndex,
+    updates: Sequence[ArcUpdate],
+    counter: Optional[OpCounter],
+) -> List[Tuple[Entry, float, float]]:
     ops = resolve_counter(counter)
     changed_arcs = directed_dch_decrease(index.sc, updates, counter)
 

@@ -40,6 +40,8 @@ import numpy as np
 from repro.ch.dch import dch_decrease, dch_increase
 from repro.graph.graph import WeightUpdate
 from repro.h2h.index import H2HIndex
+from repro.obs import names
+from repro.obs.trace import span
 from repro.utils.counters import OpCounter, resolve_counter
 from repro.utils.heap import AddressableHeap
 
@@ -49,6 +51,34 @@ __all__ = ["inch2h_increase", "inch2h_decrease", "ChangedSuperShortcut"]
 ChangedSuperShortcut = Tuple[Tuple[int, int], float, float]
 
 _INF = math.inf
+
+
+def _trace_h2h_boundedness(
+    sp, index, delta, changed_shortcuts, changed, ops, ops_before
+) -> None:
+    """Attach Section 5's currencies and per-call op counts to *sp*.
+
+    Only runs when a sink is attached; reads the index without mutating
+    it (the differential test asserts bit-identical state).
+    """
+    from repro.core.changed import h2h_change_metrics  # circular at module level
+
+    metrics = h2h_change_metrics(index, delta, changed_shortcuts, changed)
+    current = ops.as_dict()
+    call_ops = {
+        channel: count - ops_before.get(channel, 0)
+        for channel, count in current.items()
+        if count - ops_before.get(channel, 0)
+    }
+    sp.set(
+        delta=delta,
+        changed_shortcuts=len(changed_shortcuts),
+        changed=len(changed),
+        aff_norm=metrics.aff_norm,
+        diff=metrics.diff,
+        ops=call_ops,
+        ops_total=sum(call_ops.values()),
+    )
 
 
 def _ancestor_scan_increase(index, changed_shortcuts, queue, ops) -> None:
@@ -105,60 +135,71 @@ def inch2h_increase(
     list of ((u, depth_a), old_value, new_value)
         The super-shortcuts whose distance value changed (AFF_3).
     """
-    ops = resolve_counter(counter)
-    # Line 2: update sc(G); C = shortcuts changed, with original weights.
-    changed_shortcuts = dch_increase(index.sc, updates, counter)
+    with span(names.SPAN_INCH2H_INCREASE) as sp:
+        if sp.active and counter is None:
+            counter = OpCounter()
+        ops = resolve_counter(counter)
+        ops_before = ops.as_dict() if sp.active else None
+        # Line 2: update sc(G); C = shortcuts changed, with original weights.
+        changed_shortcuts = dch_increase(index.sc, updates, counter)
 
-    rank = index.sc.ordering.rank
-    depth = index.tree.depth
-    tree = index.tree
-    sc = index.sc
-    dis = index.dis
-    sup = index.sup
-    queue: AddressableHeap[Tuple[int, int]] = AddressableHeap()
+        rank = index.sc.ordering.rank
+        depth = index.tree.depth
+        tree = index.tree
+        sc = index.sc
+        dis = index.dis
+        sup = index.sup
+        queue: AddressableHeap[Tuple[int, int]] = AddressableHeap()
 
-    _ancestor_scan_increase(index, changed_shortcuts, queue, ops)
+        with span(names.SPAN_INCH2H_INCREASE_SEED, delta=len(updates)):
+            _ancestor_scan_increase(index, changed_shortcuts, queue, ops)
 
-    changed: List[ChangedSuperShortcut] = []
-    # Lines 13-23: process in non-ascending rank of the descendant u.
-    while queue:
-        (u, da), _ = queue.pop()
-        ops.add("queue_pop")
-        a = int(tree.anc[u][da])
-        du = int(depth[u])
-        old_val = float(dis[u, da])
-        cost = len(sc.upward(u))
-        if not math.isinf(old_val):
-            adj = sc._adj
-            dis_col = dis[:, da]
-            # Lines 15-18: entries (v, a) for downward neighbors v of u.
-            # Infinite shortcut legs (deleted roads) support nothing, so
-            # an inf == inf match must not decrement (dis inf => sup 0).
-            for v in sc.downward(u):
-                cost += 1
-                candidate = adj[v][u] + old_val
-                if candidate != _INF and candidate == dis_col[v]:
-                    sup[v, da] -= 1
-                    if sup[v, da] == 0:
-                        queue.push((v, da), (-rank[v], da))
-                        ops.add("queue_push")
-            dis_col_u = dis[:, du]
-            # Lines 19-22: entries (v, u) for v in nbr-(a) ∩ des(u).
-            for v in tree.down_in_descendants(a, u):
-                cost += 1
-                candidate = adj[v][a] + old_val
-                if candidate != _INF and candidate == dis_col_u[v]:
-                    sup[v, du] -= 1
-                    if sup[v, du] == 0:
-                        queue.push((v, du), (-rank[v], du))
-                        ops.add("queue_push")
-        ops.add("dependent_inspect", cost - len(sc.upward(u)))
-        # Line 23: recompute from Equation (*).
-        new_val = index.recompute_entry(u, da, ops)
-        if new_val != old_val:
-            changed.append(((u, da), old_val, new_val))
-        if work_log is not None:
-            work_log.append((du, u, cost))
+        changed: List[ChangedSuperShortcut] = []
+        # Lines 13-23: process in non-ascending rank of the descendant u.
+        with span(names.SPAN_INCH2H_INCREASE_PROPAGATE) as sp_prop:
+            while queue:
+                (u, da), _ = queue.pop()
+                ops.add("queue_pop")
+                a = int(tree.anc[u][da])
+                du = int(depth[u])
+                old_val = float(dis[u, da])
+                cost = len(sc.upward(u))
+                if not math.isinf(old_val):
+                    adj = sc._adj
+                    dis_col = dis[:, da]
+                    # Lines 15-18: entries (v, a) for downward neighbors v of u.
+                    # Infinite shortcut legs (deleted roads) support nothing, so
+                    # an inf == inf match must not decrement (dis inf => sup 0).
+                    for v in sc.downward(u):
+                        cost += 1
+                        candidate = adj[v][u] + old_val
+                        if candidate != _INF and candidate == dis_col[v]:
+                            sup[v, da] -= 1
+                            if sup[v, da] == 0:
+                                queue.push((v, da), (-rank[v], da))
+                                ops.add("queue_push")
+                    dis_col_u = dis[:, du]
+                    # Lines 19-22: entries (v, u) for v in nbr-(a) ∩ des(u).
+                    for v in tree.down_in_descendants(a, u):
+                        cost += 1
+                        candidate = adj[v][a] + old_val
+                        if candidate != _INF and candidate == dis_col_u[v]:
+                            sup[v, du] -= 1
+                            if sup[v, du] == 0:
+                                queue.push((v, du), (-rank[v], du))
+                                ops.add("queue_push")
+                ops.add("dependent_inspect", cost - len(sc.upward(u)))
+                # Line 23: recompute from Equation (*).
+                new_val = index.recompute_entry(u, da, ops)
+                if new_val != old_val:
+                    changed.append(((u, da), old_val, new_val))
+                if work_log is not None:
+                    work_log.append((du, u, cost))
+            sp_prop.set(changed=len(changed))
+        if sp.active:
+            _trace_h2h_boundedness(
+                sp, index, len(updates), changed_shortcuts, changed, ops, ops_before
+            )
     return changed
 
 
@@ -178,10 +219,32 @@ def inch2h_decrease(
     list of ((u, depth_a), old_value, new_value)
         The super-shortcuts whose distance value changed (AFF_3).
     """
-    ops = resolve_counter(counter)
-    # Line 2: update sc(G); C = shortcuts changed, with final weights.
-    changed_shortcuts = dch_decrease(index.sc, updates, counter)
+    with span(names.SPAN_INCH2H_DECREASE) as sp:
+        if sp.active and counter is None:
+            counter = OpCounter()
+        ops = resolve_counter(counter)
+        ops_before = ops.as_dict() if sp.active else None
+        # Line 2: update sc(G); C = shortcuts changed, with final weights.
+        changed_shortcuts = dch_decrease(index.sc, updates, counter)
+        changed = _inch2h_decrease_propagate(
+            index, updates, changed_shortcuts, ops, work_log
+        )
+        if sp.active:
+            _trace_h2h_boundedness(
+                sp, index, len(updates), changed_shortcuts, changed, ops, ops_before
+            )
+    return changed
 
+
+def _inch2h_decrease_propagate(
+    index: H2HIndex,
+    updates: Sequence[WeightUpdate],
+    changed_shortcuts,
+    ops: OpCounter,
+    work_log: Optional[list],
+) -> List[ChangedSuperShortcut]:
+    """Lines 3-22 of Algorithm 5 (split out so the tracing wrapper in
+    :func:`inch2h_decrease` stays flat)."""
     rank = index.sc.ordering.rank
     depth = index.tree.depth
     tree = index.tree
@@ -202,27 +265,28 @@ def inch2h_decrease(
     # final value (the candidate's sd entry may have been finalized by an
     # earlier seed) and must not apply it twice.
     seed_rows: dict = {}
-    for (a_end, b_end), _old_w, new_w in changed_shortcuts:
-        u, v = (a_end, b_end) if rank[a_end] < rank[b_end] else (b_end, a_end)
-        du = int(depth[u])
-        ops.add("anc_scan", du)
-        if du == 0:
-            continue
-        tmp = index.candidate_row(u, v, new_w)
-        seed_rows[(u, v)] = tmp
-        row = dis[u, :du]
-        better = np.nonzero(tmp < row)[0]
-        ties = np.nonzero((tmp == row) & ~np.isinf(tmp))[0]
-        if len(ties):
-            sup[u, ties] += 1
-        for da in better:
-            da = int(da)
-            original.setdefault((u, da), float(dis[u, da]))
-            dis[u, da] = tmp[da]
-            sup[u, da] = 1
-            if (u, da) not in queue:
-                queue.push((u, da), (-rank[u], da))
-                ops.add("queue_push")
+    with span(names.SPAN_INCH2H_DECREASE_SEED, delta=len(updates)):
+        for (a_end, b_end), _old_w, new_w in changed_shortcuts:
+            u, v = (a_end, b_end) if rank[a_end] < rank[b_end] else (b_end, a_end)
+            du = int(depth[u])
+            ops.add("anc_scan", du)
+            if du == 0:
+                continue
+            tmp = index.candidate_row(u, v, new_w)
+            seed_rows[(u, v)] = tmp
+            row = dis[u, :du]
+            better = np.nonzero(tmp < row)[0]
+            ties = np.nonzero((tmp == row) & ~np.isinf(tmp))[0]
+            if len(ties):
+                sup[u, ties] += 1
+            for da in better:
+                da = int(da)
+                original.setdefault((u, da), float(dis[u, da]))
+                dis[u, da] = tmp[da]
+                sup[u, da] = 1
+                if (u, da) not in queue:
+                    queue.push((u, da), (-rank[u], da))
+                    ops.add("queue_push")
 
     # Lines 13-22: propagate relaxations downward.
     # Lines 13-22: propagate relaxations downward.  A popped entry is
@@ -230,51 +294,52 @@ def inch2h_decrease(
     # dependent candidate is evaluated here exactly once with final
     # values: improvements reset the dependent's support, ties add one.
     adj = sc._adj
-    while queue:
-        (u, da), _ = queue.pop()
-        ops.add("queue_pop")
-        a = int(tree.anc[u][da])
-        du = int(depth[u])
-        val = float(dis[u, da])
-        cost = 0
-        if not math.isinf(val):
-            dis_col = dis[:, da]
-            for v in sc.downward(u):
-                cost += 1
-                candidate = adj[v][u] + val
-                seed_row = seed_rows.get((v, u))
-                if seed_row is not None and seed_row[da] == candidate:
-                    continue  # the seed already applied this candidate
-                current = dis_col[v]
-                if candidate < current:
-                    original.setdefault((v, da), float(current))
-                    dis_col[v] = candidate
-                    sup[v, da] = 1
-                    if (v, da) not in queue:
-                        queue.push((v, da), (-rank[v], da))
-                        ops.add("queue_push")
-                elif candidate == current and candidate != _INF:
-                    sup[v, da] += 1
-            dis_col_u = dis[:, du]
-            for v in tree.down_in_descendants(a, u):
-                cost += 1
-                candidate = adj[v][a] + val
-                seed_row = seed_rows.get((v, a))
-                if seed_row is not None and seed_row[du] == candidate:
-                    continue  # the seed already applied this candidate
-                current = dis_col_u[v]
-                if candidate < current:
-                    original.setdefault((v, du), float(current))
-                    dis_col_u[v] = candidate
-                    sup[v, du] = 1
-                    if (v, du) not in queue:
-                        queue.push((v, du), (-rank[v], du))
-                        ops.add("queue_push")
-                elif candidate == current and candidate != _INF:
-                    sup[v, du] += 1
-        ops.add("dependent_inspect", cost)
-        if work_log is not None:
-            work_log.append((du, u, cost))
+    with span(names.SPAN_INCH2H_DECREASE_PROPAGATE):
+        while queue:
+            (u, da), _ = queue.pop()
+            ops.add("queue_pop")
+            a = int(tree.anc[u][da])
+            du = int(depth[u])
+            val = float(dis[u, da])
+            cost = 0
+            if not math.isinf(val):
+                dis_col = dis[:, da]
+                for v in sc.downward(u):
+                    cost += 1
+                    candidate = adj[v][u] + val
+                    seed_row = seed_rows.get((v, u))
+                    if seed_row is not None and seed_row[da] == candidate:
+                        continue  # the seed already applied this candidate
+                    current = dis_col[v]
+                    if candidate < current:
+                        original.setdefault((v, da), float(current))
+                        dis_col[v] = candidate
+                        sup[v, da] = 1
+                        if (v, da) not in queue:
+                            queue.push((v, da), (-rank[v], da))
+                            ops.add("queue_push")
+                    elif candidate == current and candidate != _INF:
+                        sup[v, da] += 1
+                dis_col_u = dis[:, du]
+                for v in tree.down_in_descendants(a, u):
+                    cost += 1
+                    candidate = adj[v][a] + val
+                    seed_row = seed_rows.get((v, a))
+                    if seed_row is not None and seed_row[du] == candidate:
+                        continue  # the seed already applied this candidate
+                    current = dis_col_u[v]
+                    if candidate < current:
+                        original.setdefault((v, du), float(current))
+                        dis_col_u[v] = candidate
+                        sup[v, du] = 1
+                        if (v, du) not in queue:
+                            queue.push((v, du), (-rank[v], du))
+                            ops.add("queue_push")
+                    elif candidate == current and candidate != _INF:
+                        sup[v, du] += 1
+            ops.add("dependent_inspect", cost)
+            if work_log is not None:
+                work_log.append((du, u, cost))
 
     return [
         (key, old, float(dis[key[0], key[1]]))

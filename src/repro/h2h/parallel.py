@@ -29,6 +29,8 @@ from repro.errors import UpdateError
 from repro.graph.graph import WeightUpdate
 from repro.h2h.inch2h import inch2h_decrease, inch2h_increase
 from repro.h2h.index import H2HIndex
+from repro.obs import names
+from repro.obs.trace import span
 
 __all__ = ["ParallelReport", "simulate_parallel_update", "lpt_makespan"]
 
@@ -117,11 +119,22 @@ def simulate_parallel_update(
     direction:
         ``"increase"`` or ``"decrease"``.
     """
-    work_log: List[Tuple[int, int, float]] = []
-    if direction == "increase":
-        inch2h_increase(index, updates, work_log=work_log)
-    elif direction == "decrease":
-        inch2h_decrease(index, updates, work_log=work_log)
-    else:
-        raise UpdateError(f"direction must be 'increase' or 'decrease', got {direction!r}")
-    return build_report(work_log)
+    with span(names.SPAN_PARINCH2H_SIMULATE, direction=direction) as sp:
+        work_log: List[Tuple[int, int, float]] = []
+        if direction == "increase":
+            inch2h_increase(index, updates, work_log=work_log)
+        elif direction == "decrease":
+            inch2h_decrease(index, updates, work_log=work_log)
+        else:
+            raise UpdateError(
+                f"direction must be 'increase' or 'decrease', got {direction!r}"
+            )
+        report = build_report(work_log)
+        if sp.active:
+            sp.set(
+                delta=len(updates),
+                levels=len(report.levels),
+                total_work=report.total_work,
+                critical_path=report.critical_path(),
+            )
+    return report

@@ -1,0 +1,73 @@
+"""``repro.obs`` — the observability layer.
+
+Three zero-dependency pieces turn the reproduction into an operable
+system (see ``docs/observability.md`` for the full catalogue and
+workflow):
+
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry`: counters,
+  gauges and fixed-bucket histograms with Prometheus text exposition
+  and JSON snapshots.  The serving layer
+  (:class:`repro.serve.DistanceServer`) keeps all its counters here.
+* :mod:`repro.obs.trace` — :func:`span` context managers over every
+  maintenance hot path (DCH±, IncH2H±, ParIncH2H, the directed
+  variants, epoch publishes), emitting one JSONL record per call with
+  wall time, operation counts and the boundedness currencies of
+  Theorems 4.1/5.1.  With no sink attached a span costs a single dict
+  lookup (gated by a tier-1 microbenchmark).
+* :mod:`repro.obs.bench` — the ``BENCH_<name>.json`` emitter and
+  comparator behind ``repro obs bench-compare``, accumulating a perf
+  trajectory across PRs.
+
+:mod:`repro.obs.names` is the canonical catalogue of metric and span
+names; CI checks it against the documentation.
+"""
+
+from repro.obs import names
+from repro.obs.bench import (
+    BenchComparison,
+    BenchDelta,
+    BenchRecord,
+    compare_bench,
+    latency_percentiles,
+    load_bench,
+    write_bench,
+)
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    JsonlSink,
+    MemorySink,
+    TRACE_SCHEMA,
+    TraceSchemaError,
+    get_sink,
+    set_sink,
+    span,
+    use_sink,
+    validate_record,
+)
+
+__all__ = [
+    "names",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "COUNT_BUCKETS",
+    "span",
+    "set_sink",
+    "get_sink",
+    "use_sink",
+    "MemorySink",
+    "JsonlSink",
+    "TRACE_SCHEMA",
+    "TraceSchemaError",
+    "validate_record",
+    "BenchRecord",
+    "BenchDelta",
+    "BenchComparison",
+    "latency_percentiles",
+    "write_bench",
+    "load_bench",
+    "compare_bench",
+]

@@ -1,0 +1,104 @@
+"""The canonical catalogue of metric and span names.
+
+Every metric the library registers and every span the hot paths open is
+named here, once — the instrumentation imports these constants instead
+of repeating string literals, and the docs checker
+(``tools/check_docs.py``) verifies that every name documented in
+``docs/observability.md`` resolves to an entry of this catalogue (and
+vice versa).  Adding a metric or span therefore means: add the constant
+here, use it in code, document it — or CI fails.
+
+Naming conventions
+------------------
+* Metrics follow Prometheus style: ``repro_<layer>_<noun>[_<unit>]``
+  with ``_total`` for counters, ``_seconds`` for latency histograms.
+* Spans are dotted lowercase paths ``<algorithm>.<direction>[.<phase>]``
+  mirroring the paper's algorithm structure (e.g. ``dch.increase.seed``
+  is lines 2-6 of Algorithm 2, ``dch.increase.propagate`` lines 7-13).
+"""
+
+from __future__ import annotations
+
+__all__ = ["METRICS", "SPANS"]
+
+# ----------------------------------------------------------------------
+# Serving-layer metrics (registered by repro.serve.server.DistanceServer)
+# ----------------------------------------------------------------------
+SERVE_QUERIES = "repro_serve_queries_total"
+SERVE_QUERY_LATENCY = "repro_serve_query_latency_seconds"
+SERVE_PUBLISHES = "repro_serve_publishes_total"
+SERVE_PUBLISH_DURATION = "repro_serve_publish_duration_seconds"
+SERVE_EPOCH = "repro_serve_epoch"
+SERVE_CACHE_ENTRIES = "repro_serve_cache_entries"
+SERVE_CACHE_CAPACITY = "repro_serve_cache_capacity"
+SERVE_CACHE_EVICTED = "repro_serve_cache_evicted_total"
+SERVE_CACHE_CARRIED = "repro_serve_cache_carried_total"
+SERVE_SNAPSHOT_PINS = "repro_serve_snapshot_pins_total"
+SERVE_AFFECTED_VERTICES = "repro_serve_affected_vertices"
+
+#: Every metric name the library itself registers.
+METRICS = frozenset(
+    {
+        SERVE_QUERIES,
+        SERVE_QUERY_LATENCY,
+        SERVE_PUBLISHES,
+        SERVE_PUBLISH_DURATION,
+        SERVE_EPOCH,
+        SERVE_CACHE_ENTRIES,
+        SERVE_CACHE_CAPACITY,
+        SERVE_CACHE_EVICTED,
+        SERVE_CACHE_CARRIED,
+        SERVE_SNAPSHOT_PINS,
+        SERVE_AFFECTED_VERTICES,
+    }
+)
+
+# ----------------------------------------------------------------------
+# Maintenance spans (one per algorithm/direction, plus per-phase spans)
+# ----------------------------------------------------------------------
+SPAN_DCH_INCREASE = "dch.increase"
+SPAN_DCH_INCREASE_SEED = "dch.increase.seed"
+SPAN_DCH_INCREASE_PROPAGATE = "dch.increase.propagate"
+SPAN_DCH_DECREASE = "dch.decrease"
+SPAN_DCH_DECREASE_SEED = "dch.decrease.seed"
+SPAN_DCH_DECREASE_PROPAGATE = "dch.decrease.propagate"
+
+SPAN_INCH2H_INCREASE = "inch2h.increase"
+SPAN_INCH2H_INCREASE_SEED = "inch2h.increase.seed"
+SPAN_INCH2H_INCREASE_PROPAGATE = "inch2h.increase.propagate"
+SPAN_INCH2H_DECREASE = "inch2h.decrease"
+SPAN_INCH2H_DECREASE_SEED = "inch2h.decrease.seed"
+SPAN_INCH2H_DECREASE_PROPAGATE = "inch2h.decrease.propagate"
+
+SPAN_PARINCH2H_SIMULATE = "parinch2h.simulate"
+
+SPAN_DIRECTED_DCH_INCREASE = "directed.dch.increase"
+SPAN_DIRECTED_DCH_DECREASE = "directed.dch.decrease"
+SPAN_DIRECTED_INCH2H_INCREASE = "directed.inch2h.increase"
+SPAN_DIRECTED_INCH2H_DECREASE = "directed.inch2h.decrease"
+
+SPAN_SERVE_PUBLISH = "serve.publish"
+
+#: Every span name the library itself opens.
+SPANS = frozenset(
+    {
+        SPAN_DCH_INCREASE,
+        SPAN_DCH_INCREASE_SEED,
+        SPAN_DCH_INCREASE_PROPAGATE,
+        SPAN_DCH_DECREASE,
+        SPAN_DCH_DECREASE_SEED,
+        SPAN_DCH_DECREASE_PROPAGATE,
+        SPAN_INCH2H_INCREASE,
+        SPAN_INCH2H_INCREASE_SEED,
+        SPAN_INCH2H_INCREASE_PROPAGATE,
+        SPAN_INCH2H_DECREASE,
+        SPAN_INCH2H_DECREASE_SEED,
+        SPAN_INCH2H_DECREASE_PROPAGATE,
+        SPAN_PARINCH2H_SIMULATE,
+        SPAN_DIRECTED_DCH_INCREASE,
+        SPAN_DIRECTED_DCH_DECREASE,
+        SPAN_DIRECTED_INCH2H_INCREASE,
+        SPAN_DIRECTED_INCH2H_DECREASE,
+        SPAN_SERVE_PUBLISH,
+    }
+)

@@ -1,0 +1,466 @@
+"""`MetricsRegistry` — counters, gauges and histograms, zero dependencies.
+
+The registry is the serving-layer face of the paper's measurement story:
+where :class:`repro.utils.counters.OpCounter` tallies *machine
+independent* elementary operations (the quantity Theorems 4.1/5.1 speak
+about), the registry records *operational* quantities — query latencies,
+publish durations, cache traffic — and exports them in the two formats
+monitoring stacks eat: Prometheus text exposition and a JSON snapshot.
+
+Design constraints:
+
+* **Zero dependencies.**  Pure stdlib; no prometheus_client.
+* **Thread safe.**  One lock per registry; every mutation takes it.
+  Metric updates happen per *batch* or per *query*, never per
+  elementary operation, so the lock is off every O(||AFF||) inner loop.
+* **Labels.**  Each metric family keys its children by label values
+  (e.g. ``repro_serve_queries_total{epoch="3", result="hit"}``), which
+  is how the per-epoch serving counters are modelled.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "COUNT_BUCKETS",
+]
+
+#: Fixed latency buckets (seconds): 1us .. 10s, roughly log-spaced.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets for small-count distributions (|V_aff| per publish, ...).
+COUNT_BUCKETS: Tuple[float, ...] = (
+    0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape(value: str) -> str:
+    """Escape a label value for the text exposition format."""
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared machinery of one metric family (name, help, labels, lock)."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str, label_names: Tuple[str, ...],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._lock = lock
+
+    def _label_values(self, labels: Dict[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[k]) for k in self.label_names)
+
+    def _render_labels(self, values: Sequence[str]) -> str:
+        if not self.label_names:
+            return ""
+        body = ",".join(
+            f'{k}="{_escape(v)}"' for k, v in zip(self.label_names, values)
+        )
+        return "{" + body + "}"
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum (per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name, help, label_names, lock) -> None:
+        super().__init__(name, help, label_names, lock)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add *amount* (must be >= 0) to the child named by *labels*."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = self._label_values(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """The child's current value (0 if never incremented)."""
+        return self._values.get(self._label_values(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across all children."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def series(self) -> List[Tuple[Tuple[str, ...], float]]:
+        """``[(label_values, value), ...]`` — a consistent copy."""
+        with self._lock:
+            return sorted(self._values.items())
+
+    def expose(self) -> List[str]:
+        return [
+            f"{self.name}{self._render_labels(values)} {_format_value(v)}"
+            for values, v in self.series()
+        ]
+
+    def snapshot(self) -> List[dict]:
+        return [
+            {"labels": dict(zip(self.label_names, values)), "value": v}
+            for values, v in self.series()
+        ]
+
+
+class Gauge(Counter):
+    """A value that can go up and down (per label set)."""
+
+    kind = "gauge"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._label_values(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set the child to *value* outright."""
+        key = self._label_values(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram with fixed, preset bucket edges.
+
+    Buckets follow Prometheus semantics: a bucket labelled ``le=x``
+    counts observations ``<= x``; an implicit ``+Inf`` bucket catches
+    the rest.  :meth:`quantile` interpolates linearly inside a bucket,
+    which is exact at bucket edges and approximate between them — good
+    enough for dashboards; exact percentiles for the bench trajectory
+    come from raw samples in :mod:`repro.obs.bench`.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name, help, label_names, lock,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, label_names, lock)
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if edges[-1] == math.inf:
+            edges = edges[:-1]
+        self.buckets = edges
+        self._counts: Dict[Tuple[str, ...], List[int]] = {}
+        self._sums: Dict[Tuple[str, ...], float] = {}
+        self._totals: Dict[Tuple[str, ...], int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation."""
+        key = self._label_values(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = self._counts[key] = [0] * (len(self.buckets) + 1)
+                self._sums[key] = 0.0
+                self._totals[key] = 0
+            # First bucket whose edge is >= value (le semantics).
+            lo, hi = 0, len(self.buckets)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if value <= self.buckets[mid]:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            counts[lo] += 1
+            self._sums[key] += value
+            self._totals[key] += 1
+
+    def count(self, **labels: object) -> int:
+        """Observations recorded for this label set."""
+        return self._totals.get(self._label_values(labels), 0)
+
+    def sum(self, **labels: object) -> float:
+        """Sum of observed values for this label set."""
+        return self._sums.get(self._label_values(labels), 0.0)
+
+    def _merged_counts(self) -> Tuple[List[int], float, int]:
+        merged = [0] * (len(self.buckets) + 1)
+        total_sum, total_n = 0.0, 0
+        with self._lock:
+            for key, counts in self._counts.items():
+                for i, c in enumerate(counts):
+                    merged[i] += c
+                total_sum += self._sums[key]
+                total_n += self._totals[key]
+        return merged, total_sum, total_n
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (0 <= q <= 1) across all label sets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        counts, _sum, total = self._merged_counts()
+        if total == 0:
+            return math.nan
+        target = q * total
+        cumulative = 0.0
+        for i, c in enumerate(counts):
+            if c == 0:
+                continue
+            if cumulative + c >= target:
+                lower = 0.0 if i == 0 else self.buckets[i - 1]
+                upper = (
+                    self.buckets[i] if i < len(self.buckets)
+                    else self.buckets[-1]
+                )
+                frac = (target - cumulative) / c
+                return lower + (upper - lower) * min(max(frac, 0.0), 1.0)
+            cumulative += c
+        return self.buckets[-1]
+
+    def series(self):
+        with self._lock:
+            return sorted(
+                (key, list(counts), self._sums[key], self._totals[key])
+                for key, counts in self._counts.items()
+            )
+
+    def expose(self) -> List[str]:
+        lines: List[str] = []
+        for values, counts, total_sum, total_n in self.series():
+            cumulative = 0
+            for edge, c in zip(self.buckets, counts):
+                cumulative += c
+                le = dict(zip(self.label_names, values))
+                body = ",".join(
+                    f'{k}="{_escape(v)}"' for k, v in le.items()
+                )
+                sep = "," if body else ""
+                lines.append(
+                    f'{self.name}_bucket{{{body}{sep}le="{_format_value(edge)}"}}'
+                    f" {cumulative}"
+                )
+            body = ",".join(
+                f'{k}="{_escape(v)}"'
+                for k, v in zip(self.label_names, values)
+            )
+            sep = "," if body else ""
+            lines.append(
+                f'{self.name}_bucket{{{body}{sep}le="+Inf"}} {total_n}'
+            )
+            suffix = self._render_labels(values)
+            lines.append(f"{self.name}_sum{suffix} {_format_value(total_sum)}")
+            lines.append(f"{self.name}_count{suffix} {total_n}")
+        return lines
+
+    def snapshot(self) -> List[dict]:
+        out = []
+        for values, counts, total_sum, total_n in self.series():
+            buckets = {
+                _format_value(edge): c
+                for edge, c in zip(self.buckets, counts)
+            }
+            buckets["+Inf"] = counts[-1]
+            out.append(
+                {
+                    "labels": dict(zip(self.label_names, values)),
+                    "buckets": buckets,
+                    "sum": total_sum,
+                    "count": total_n,
+                }
+            )
+        return out
+
+
+class MetricsRegistry:
+    """A named collection of metric families with text/JSON exposition.
+
+    Registration is idempotent: asking for an already-registered name
+    returns the existing family when the type and labels match, and
+    raises when they do not — so two subsystems can safely share a
+    registry without clobbering each other's metrics.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ---------------------------------------------------
+    def _register(self, cls, name, help, labels, **kwargs) -> _Metric:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        label_names = tuple(labels)
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if (
+                    type(existing) is not cls
+                    or existing.label_names != label_names
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.label_names}"
+                    )
+                return existing
+            metric = cls(name, help, label_names, threading.Lock(), **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> Counter:
+        """Register (or fetch) a counter family."""
+        return self._register(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> Gauge:
+        """Register (or fetch) a gauge family."""
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Register (or fetch) a histogram family with fixed *buckets*."""
+        return self._register(
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, name: str) -> Optional[_Metric]:
+        """The family registered under *name*, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """All registered family names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- exposition -----------------------------------------------------
+    def expose_text(self) -> str:
+        """Prometheus text exposition of every family."""
+        lines: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric.expose())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """A JSON-able snapshot of every family."""
+        out = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            entry = {
+                "type": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.label_names),
+                "series": metric.snapshot(),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = [
+                    _format_value(b) for b in metric.buckets
+                ]
+            out[name] = entry
+        return out
+
+    def dump_json(self) -> str:
+        """The snapshot as an indented JSON string."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict.
+
+        Used by ``repro obs metrics-dump --snapshot`` to re-render a
+        snapshot another process saved; histogram per-bucket counts are
+        restored exactly (the raw observations are gone, so ``observe``
+        order is not — irrelevant for exposition).
+        """
+        registry = cls()
+        for name, entry in snapshot.items():
+            labels = tuple(entry.get("labels", ()))
+            kind = entry.get("type")
+            if kind == "counter":
+                family = registry.counter(name, entry.get("help", ""), labels)
+                for row in entry.get("series", ()):
+                    family.inc(row["value"], **row.get("labels", {}))
+            elif kind == "gauge":
+                family = registry.gauge(name, entry.get("help", ""), labels)
+                for row in entry.get("series", ()):
+                    family.set(row["value"], **row.get("labels", {}))
+            elif kind == "histogram":
+                edges = [
+                    math.inf if b == "+Inf" else float(b)
+                    for b in entry.get("buckets", DEFAULT_LATENCY_BUCKETS)
+                ]
+                family = registry.histogram(
+                    name, entry.get("help", ""), labels, buckets=edges
+                )
+                for row in entry.get("series", ()):
+                    key = family._label_values(row.get("labels", {}))
+                    counts = [
+                        int(row["buckets"].get(_format_value(e), 0))
+                        for e in family.buckets
+                    ]
+                    counts.append(int(row["buckets"].get("+Inf", 0)))
+                    with family._lock:
+                        family._counts[key] = counts
+                        family._sums[key] = float(row.get("sum", 0.0))
+                        family._totals[key] = int(row.get("count", 0))
+            else:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+        return registry

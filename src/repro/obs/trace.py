@@ -1,0 +1,281 @@
+"""Lightweight tracing: `span()` context managers + pluggable sinks.
+
+Every maintenance call in the library opens a span —
+``span("dch.increase")``, ``span("inch2h.decrease.propagate")``, … —
+that records wall time, the elementary-operation tallies, and the
+boundedness currencies (|ΔG|, |AFF|, ‖AFF‖, |DIFF|) of that call, and
+emits one structured JSONL record per span to the attached sink.
+
+The crucial property is what happens when **no sink is attached** (the
+default, and the state of every hot path in production unless someone
+opts in): :func:`span` performs a single dict lookup and returns a
+shared no-op context manager.  No timestamp is taken, no object is
+allocated, no field is computed — instrumentation that is off costs
+one dictionary access.  A tier-1 microbenchmark
+(``tests/test_obs_trace.py``) gates this.
+
+Instrumented code guards any non-trivial field computation on
+``sp.active`` so the expensive currencies (which require scanning
+``scp±`` / neighbor lists) are only measured when someone is listening::
+
+    with span(names.SPAN_DCH_INCREASE) as sp:
+        ...  # the algorithm, unchanged
+        if sp.active:
+            sp.set(delta=len(updates), changed=len(changed))
+
+Records and their schema
+------------------------
+Each record is one JSON object (one line in a ``.jsonl`` file)::
+
+    {"span": "dch.increase", "ts": 1754464000.1, "dur_s": 0.0021,
+     "ok": true, "delta": 8, "changed": 31, "aff_norm": 194, ...}
+
+``TRACE_SCHEMA`` declares the contract and :func:`validate_record`
+enforces it (used by ``repro obs trace-tail`` and the schema tests).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+__all__ = [
+    "span",
+    "Span",
+    "set_sink",
+    "get_sink",
+    "use_sink",
+    "MemorySink",
+    "JsonlSink",
+    "TRACE_SCHEMA",
+    "TraceSchemaError",
+    "validate_record",
+]
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+class MemorySink:
+    """Collects records in a list — the test/debugging sink."""
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+
+    def emit(self, record: dict) -> None:
+        """Store one span record."""
+        self.records.append(record)
+
+    def clear(self) -> None:
+        """Drop everything collected so far."""
+        self.records.clear()
+
+    def close(self) -> None:  # noqa: D102 — sinks share a close() face.
+        pass
+
+
+class JsonlSink:
+    """Appends records to a JSONL file, one line per span, flushed.
+
+    Thread safe (spans may close on serving worker threads); usable as
+    a context manager.  Values that are not JSON types (e.g. ``inf``
+    old/new weights) are stringified rather than rejected.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict) -> None:
+        """Write one span record as a JSON line."""
+        line = json.dumps(record, default=str, allow_nan=False)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the file."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Span machinery
+# ----------------------------------------------------------------------
+#: Module state, deliberately a plain dict: ``_STATE["sink"]`` is the
+#: single dict lookup a disabled span costs.
+_STATE: Dict[str, Optional[object]] = {"sink": None}
+
+
+class Span:
+    """An open span: times the enclosed block, then emits one record."""
+
+    __slots__ = ("name", "fields", "_start", "duration_s")
+
+    #: Real spans compute and attach fields; the null span does not.
+    active = True
+
+    def __init__(self, name: str, fields: dict) -> None:
+        self.name = name
+        self.fields = fields
+        self._start = 0.0
+        self.duration_s = 0.0
+
+    def set(self, **fields: object) -> None:
+        """Attach fields to the record this span will emit."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._start
+        record = {
+            "span": self.name,
+            "ts": time.time(),
+            "dur_s": self.duration_s,
+            "ok": exc_type is None,
+        }
+        for key, value in self.fields.items():
+            if isinstance(value, float) and not math.isfinite(value):
+                value = repr(value)
+            record[key] = value
+        sink = _STATE["sink"]
+        if sink is not None:  # detached mid-span: drop the record
+            sink.emit(record)
+        return False
+
+
+class _NullSpan:
+    """The shared no-op span returned while no sink is attached."""
+
+    __slots__ = ()
+
+    active = False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **fields: object) -> None:
+        """Discard everything."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **fields: object):
+    """Open a span named *name*; extra kwargs become record fields.
+
+    With no sink attached this is one dict lookup returning a shared
+    no-op context manager — see the module docstring.
+    """
+    if _STATE["sink"] is None:
+        return _NULL_SPAN
+    return Span(name, dict(fields))
+
+
+def set_sink(sink) -> Optional[object]:
+    """Attach *sink* (or None to detach); returns the previous sink."""
+    previous = _STATE["sink"]
+    _STATE["sink"] = sink
+    return previous
+
+
+def get_sink():
+    """The currently attached sink, or None."""
+    return _STATE["sink"]
+
+
+@contextmanager
+def use_sink(sink):
+    """Attach *sink* for the duration of a ``with`` block."""
+    previous = set_sink(sink)
+    try:
+        yield sink
+    finally:
+        set_sink(previous)
+
+
+# ----------------------------------------------------------------------
+# Record schema
+# ----------------------------------------------------------------------
+_SPAN_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+#: Declarative schema of one trace record; ``validate_record`` enforces
+#: it and ``docs/observability.md`` documents it.
+TRACE_SCHEMA = {
+    "required": {
+        "span": "string matching ^[a-z][a-z0-9_]*(\\.[a-z0-9_]+)+$",
+        "ts": "number — unix seconds at span close",
+        "dur_s": "number >= 0 — wall-clock duration",
+        "ok": "boolean — false if the block raised",
+    },
+    "optional": {
+        "ops": "object: channel (string) -> count (int >= 0)",
+        "*": "scalar (string | number | boolean | null)",
+    },
+}
+
+
+class TraceSchemaError(ValueError):
+    """A trace record does not conform to TRACE_SCHEMA."""
+
+
+def validate_record(record: object) -> dict:
+    """Check *record* against :data:`TRACE_SCHEMA`; return it if valid."""
+    if not isinstance(record, dict):
+        raise TraceSchemaError(f"record must be an object, got {type(record).__name__}")
+    for key in ("span", "ts", "dur_s", "ok"):
+        if key not in record:
+            raise TraceSchemaError(f"missing required field {key!r}")
+    name = record["span"]
+    if not isinstance(name, str) or not _SPAN_NAME_RE.match(name):
+        raise TraceSchemaError(f"invalid span name {name!r}")
+    for key in ("ts", "dur_s"):
+        value = record[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TraceSchemaError(f"{key!r} must be a number, got {value!r}")
+    if record["dur_s"] < 0:
+        raise TraceSchemaError(f"dur_s must be >= 0, got {record['dur_s']}")
+    if not isinstance(record["ok"], bool):
+        raise TraceSchemaError(f"'ok' must be a boolean, got {record['ok']!r}")
+    for key, value in record.items():
+        if key in ("span", "ts", "dur_s", "ok"):
+            continue
+        if key == "ops":
+            if not isinstance(value, dict):
+                raise TraceSchemaError("'ops' must be an object")
+            for channel, count in value.items():
+                if not isinstance(channel, str):
+                    raise TraceSchemaError(f"ops channel {channel!r} not a string")
+                if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+                    raise TraceSchemaError(
+                        f"ops[{channel!r}] must be an int >= 0, got {count!r}"
+                    )
+            continue
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise TraceSchemaError(
+                f"field {key!r} must be scalar or null, got {type(value).__name__}"
+            )
+    return record

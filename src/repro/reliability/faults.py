@@ -31,11 +31,11 @@ PathLike = Union[str, "os.PathLike[str]"]
 
 
 class InjectedFault(ReproError):
-    """A failure deliberately raised by a :class:`FaultInjector`."""
+    """A failure deliberately raised by a :class:`FaultInjector` (DESIGN.md §4a)."""
 
 
 class FaultInjector:
-    """A seeded source of failures, file truncation and bit rot.
+    """A seeded source of failures, file truncation and bit rot (DESIGN.md §4a).
 
     Parameters
     ----------
@@ -119,7 +119,7 @@ class FaultInjector:
 
 
 class FaultyOracle:
-    """A :class:`DistanceOracle` proxy that injects faults before
+    """A :class:`DistanceOracle` proxy (DESIGN.md §4a) that injects faults before
     maintenance calls — the test battery's stand-in for a flaky
     production maintenance step.
 

@@ -37,7 +37,8 @@ __all__ = ["ResilientOracle"]
 
 
 class ResilientOracle:
-    """A :class:`DistanceOracle` that survives maintenance failures and
+    """A :class:`DistanceOracle` (DESIGN.md §4a: graceful degradation) that
+    survives maintenance failures and
     index corruption by degrading to exact Dijkstra answers while it
     heals itself.
 

@@ -56,7 +56,7 @@ def graph_from_index(sc) -> RoadNetwork:
 
 @dataclass
 class RecoveryResult:
-    """What :meth:`ReliableStore.recover` reconstructed."""
+    """What :meth:`ReliableStore.recover` reconstructed (DESIGN.md §4a)."""
 
     oracle: object
     kind: str
@@ -64,7 +64,7 @@ class RecoveryResult:
 
 
 class ReliableStore:
-    """Snapshot + WAL persistence for a dynamic oracle.
+    """Snapshot + WAL persistence for a dynamic oracle (DESIGN.md §4a).
 
     Example
     -------

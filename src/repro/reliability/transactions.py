@@ -40,7 +40,8 @@ __all__ = [
 
 @dataclass
 class IndexSnapshot:
-    """The complete mutable state of a CH or H2H index at one instant.
+    """The complete mutable state of a CH or H2H index at one instant
+    (DESIGN.md §4a: transactional updates).
 
     Structure (shortcut set, tree decomposition) is weight independent
     and never mutated by maintenance, so weights / supports / witnesses

@@ -37,7 +37,7 @@ PathLike = Union[str, "os.PathLike[str]"]
 
 
 class WalRecord(NamedTuple):
-    """One journaled batch: its sequence number and the updates."""
+    """One journaled batch: its sequence number and the updates (DESIGN.md §4a)."""
 
     seq: int
     updates: List[WeightUpdate]
@@ -65,7 +65,7 @@ def _decode(line: str) -> WalRecord:
 
 
 class WriteAheadLog:
-    """An append-only, checksummed journal of update batches.
+    """An append-only, checksummed journal of update batches (DESIGN.md §4a).
 
     Example
     -------

@@ -24,10 +24,13 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import List, Tuple
 
+from repro.core.bounds import subboundedness_ratio
+from repro.core.changed import ch_change_metrics, h2h_change_metrics
 from repro.core.dynamic import DynamicCH, DynamicH2H
 from repro.core.oracle import DijkstraOracle
 from repro.errors import ReproError
 from repro.graph.generators import road_network
+from repro.obs.bench import BenchRecord, latency_percentiles
 from repro.serve.server import DistanceServer
 from repro.workloads.updates import increase_batch, sample_edges
 
@@ -42,7 +45,7 @@ _ORACLES = {
 
 @dataclass(frozen=True)
 class BenchConfig:
-    """Knobs of one serve-bench run (all seeded / deterministic)."""
+    """Knobs of one serve-bench run, all seeded / deterministic (DESIGN.md §4b)."""
 
     oracle: str = "ch"
     vertices: int = 400
@@ -58,7 +61,8 @@ class BenchConfig:
 
 @dataclass
 class BenchResult:
-    """What one serve-bench run measured."""
+    """What one serve-bench run measured; feeds ``BENCH_<name>.json``
+    (docs/observability.md) with the Theorem 4.1/5.1 ratio block."""
 
     config: BenchConfig
     build_s: float
@@ -67,6 +71,14 @@ class BenchResult:
     warm_per_query_s: float
     publishes: List[dict] = field(default_factory=list)
     stats: dict = field(default_factory=dict)
+    #: Per-query wall times of one all-hit sampling pass, in seconds.
+    hit_latency_samples_s: List[float] = field(default_factory=list, repr=False)
+    #: Mean boundedness ratios across the update batches (Thm 4.1/5.1).
+    ratios: dict = field(default_factory=dict)
+    #: Index size figures (shortcuts, super-shortcuts, bytes).
+    index: dict = field(default_factory=dict)
+    #: The server's MetricsRegistry snapshot (``repro obs metrics-dump``).
+    metrics: dict = field(default_factory=dict, repr=False)
 
     @property
     def speedup(self) -> float:
@@ -74,6 +86,13 @@ class BenchResult:
         if self.warm_per_query_s <= 0:
             return float("inf")
         return self.baseline_per_query_s / self.warm_per_query_s
+
+    @property
+    def throughput_qps(self) -> float:
+        """Warm-path serving throughput (queries per second)."""
+        if self.warm_per_query_s <= 0:
+            return float("inf")
+        return 1.0 / self.warm_per_query_s
 
     def as_dict(self) -> dict:
         return {
@@ -83,9 +102,80 @@ class BenchResult:
             "cold_per_query_us": self.cold_per_query_s * 1e6,
             "warm_per_query_us": self.warm_per_query_s * 1e6,
             "speedup": self.speedup,
+            "throughput_qps": self.throughput_qps,
+            "latency_us": latency_percentiles(self.hit_latency_samples_s),
+            "ratios": self.ratios,
+            "index": self.index,
             "publishes": self.publishes,
             "stats": self.stats,
         }
+
+    def to_bench_record(self, name: str = "serve") -> BenchRecord:
+        """This run in the shared BENCH shape (see :mod:`repro.obs.bench`)."""
+        return BenchRecord(
+            name=name,
+            config=dict(self.config.__dict__),
+            latency_us=latency_percentiles(self.hit_latency_samples_s),
+            throughput_qps=self.throughput_qps,
+            ratios=dict(self.ratios),
+            index=dict(self.index),
+            extra={
+                "build_s": self.build_s,
+                "baseline_per_query_us": self.baseline_per_query_s * 1e6,
+                "cold_per_query_us": self.cold_per_query_s * 1e6,
+                "warm_per_query_us": self.warm_per_query_s * 1e6,
+                "speedup": self.speedup,
+            },
+        )
+
+
+def _index_stats(oracle) -> dict:
+    """Size figures of the oracle's index (empty for index-free oracles)."""
+    index = getattr(oracle, "index", None)
+    if index is None:
+        return {}
+    stats = {}
+    sc = getattr(index, "sc", index)
+    if hasattr(sc, "num_shortcuts"):
+        stats["shortcuts"] = float(sc.num_shortcuts)
+    if hasattr(index, "num_super_shortcuts"):
+        count = index.num_super_shortcuts  # property on some indexes, method on others
+        stats["super_shortcuts"] = float(count() if callable(count) else count)
+    if hasattr(index, "size_in_bytes"):
+        stats["size_bytes"] = float(index.size_in_bytes())
+    return stats
+
+
+def _publish_ratios(oracle, report) -> dict:
+    """Boundedness currencies + ratios of one published update batch.
+
+    ``ops_per_aff_budget`` / ``ops_per_diff_budget`` are the Theorem
+    4.1/5.1 ratios (ops over the linearithmic budget of ||AFF|| resp.
+    |DIFF|).  For H2H oracles the UpdateReport does not carry the inner
+    changed-shortcut list, so ||AFF||/|DIFF| are computed from the
+    super-shortcut changes alone — an indicator that tracks (and
+    understates) the full Section 5 quantities.
+    """
+    index = getattr(oracle, "index", None)
+    if index is None:
+        return {}
+    delta = report.increases + report.decreases
+    ops_total = float(sum(report.ops.values()))
+    if hasattr(index, "tree"):
+        metrics = h2h_change_metrics(
+            index, delta, report.changed_shortcuts, report.changed_super_shortcuts
+        )
+    elif hasattr(index, "scp_minus"):
+        metrics = ch_change_metrics(index, delta, report.changed_shortcuts)
+    else:
+        return {}
+    return {
+        "aff_norm": float(metrics.aff_norm),
+        "diff": float(metrics.diff),
+        "ops_total": ops_total,
+        "ops_per_aff_budget": subboundedness_ratio(ops_total, metrics.aff_norm),
+        "ops_per_diff_budget": subboundedness_ratio(ops_total, metrics.diff),
+    }
 
 
 def _query_pairs(n: int, count: int, rng: random.Random) -> List[Tuple[int, int]]:
@@ -137,9 +227,19 @@ def serve_bench(config: BenchConfig = BenchConfig()) -> BenchResult:
                 server.distance(s, t)
         warm = (perf_counter() - t0) / (config.repeats * len(pairs))
 
+        # Sampling pass: per-query wall times for exact percentiles
+        # (separate from the warm aggregate so the timing calls do not
+        # pollute the warm_per_query figure).
+        samples: List[float] = []
+        for s, t in pairs:
+            t0 = perf_counter()
+            server.distance(s, t)
+            samples.append(perf_counter() - t0)
+
         # Updates interleaved with query passes: show AFF-scoped
         # migration keeping the cache warm across epochs.
         publishes: List[dict] = []
+        ratio_rows: List[dict] = []
         for i in range(config.updates):
             edges = sample_edges(
                 server.snapshot().graph, config.batch, rng=rng
@@ -148,16 +248,25 @@ def serve_bench(config: BenchConfig = BenchConfig()) -> BenchResult:
             t0 = perf_counter()
             answers = server.query_many(pairs)
             pass_s = perf_counter() - t0
-            publishes.append(
-                {
-                    "epoch": report.epoch,
-                    "affected": report.affected,
-                    "carried": report.carried,
-                    "evicted": report.evicted,
-                    "pass_per_query_us": pass_s / len(answers) * 1e6,
-                }
-            )
+            row = {
+                "epoch": report.epoch,
+                "affected": report.affected,
+                "carried": report.carried,
+                "evicted": report.evicted,
+                "pass_per_query_us": pass_s / len(answers) * 1e6,
+            }
+            ratios = _publish_ratios(server.snapshot().oracle, report.report)
+            if ratios:
+                row["boundedness"] = ratios
+                ratio_rows.append(ratios)
+            publishes.append(row)
+        mean_ratios = {
+            key: sum(row[key] for row in ratio_rows) / len(ratio_rows)
+            for key in (ratio_rows[0] if ratio_rows else {})
+        }
+        index_stats = _index_stats(server.snapshot().oracle)
         stats = server.stats()
+        metrics_snapshot = server.metrics.snapshot()
 
     return BenchResult(
         config=config,
@@ -167,4 +276,8 @@ def serve_bench(config: BenchConfig = BenchConfig()) -> BenchResult:
         warm_per_query_s=warm,
         publishes=publishes,
         stats=stats,
+        hit_latency_samples_s=samples,
+        ratios=mean_ratios,
+        index=index_stats,
+        metrics=metrics_snapshot,
     )

@@ -34,7 +34,7 @@ __all__ = ["QueryCache", "CacheStats"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters, total and per epoch."""
+    """Hit/miss/eviction counters, total and per epoch (DESIGN.md §4b)."""
 
     hits: int = 0
     misses: int = 0
@@ -70,7 +70,9 @@ class CacheStats:
 
 
 class QueryCache:
-    """Bounded LRU of ``(s, t) -> (epoch, distance)`` with epoch-exact gets.
+    """Bounded LRU of ``(s, t) -> (epoch, distance)`` with epoch-exact gets;
+    on publish, :meth:`migrate` evicts only pairs touching the update's AFF
+    projection (DESIGN.md §4b, paper Section 4's AFF).
 
     All operations take the internal lock, so the cache is safe under
     any mix of reader and writer threads.

@@ -26,7 +26,7 @@ __all__ = ["EpochSnapshot", "EpochManager"]
 
 @dataclass(frozen=True)
 class EpochSnapshot:
-    """One immutable published version of the served index.
+    """One immutable published version of the served index (DESIGN.md §4b).
 
     Attributes
     ----------
@@ -55,7 +55,7 @@ class EpochSnapshot:
 
 
 class EpochManager:
-    """Publishes snapshots; readers see each publish atomically.
+    """Publishes snapshots; readers see each publish atomically (DESIGN.md §4b).
 
     Reads (:attr:`current`) are lock-free; :meth:`publish` serializes
     writers so epoch numbers stay dense and monotone.

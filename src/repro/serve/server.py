@@ -26,6 +26,9 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import names
+from repro.obs.registry import COUNT_BUCKETS, MetricsRegistry
+from repro.obs.trace import span
 from repro.reliability.transactions import cow_apply
 from repro.serve.aff import affected_vertices
 from repro.serve.cache import QueryCache
@@ -36,7 +39,14 @@ __all__ = ["DistanceServer", "ServeReport", "EpochCounters"]
 
 @dataclass
 class EpochCounters:
-    """Per-epoch serving counters (latency in seconds)."""
+    """Per-epoch serving counters (latency in seconds).
+
+    Since the observability layer landed this is a *view*: the server
+    keeps its counters in a :class:`repro.obs.registry.MetricsRegistry`
+    (see ``docs/observability.md``) and :meth:`DistanceServer.counters`
+    reconstructs these per-epoch rollups from the registry series, so
+    ``repro cache-stats`` keeps its shape.
+    """
 
     queries: int = 0
     hits: int = 0
@@ -63,7 +73,7 @@ class EpochCounters:
 
 @dataclass
 class ServeReport:
-    """What one :meth:`DistanceServer.apply` publish did."""
+    """What one :meth:`DistanceServer.apply` publish did (DESIGN.md §4b)."""
 
     epoch: int  #: the newly published epoch
     affected: Optional[int]  #: |V_aff| (None: unknown, cache flushed)
@@ -73,7 +83,8 @@ class ServeReport:
 
 
 class DistanceServer:
-    """Serve distance queries concurrently with index maintenance.
+    """Serve distance queries concurrently with index maintenance
+    (DESIGN.md §4b: epoch snapshots + AFF-scoped caching).
 
     Parameters
     ----------
@@ -87,6 +98,11 @@ class DistanceServer:
         Bound on cached pairs (LRU beyond it).
     workers:
         Worker threads for :meth:`query_many` batches.
+    registry:
+        A :class:`~repro.obs.registry.MetricsRegistry` to keep the
+        serving metrics in (exposed as :attr:`metrics`); by default each
+        server gets its own.  Sharing one registry across servers is
+        safe — registration is idempotent — but their counters merge.
 
     Example
     -------
@@ -104,6 +120,7 @@ class DistanceServer:
         *,
         cache_capacity: int = 65536,
         workers: int = 4,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -116,9 +133,59 @@ class DistanceServer:
         self._workers = workers
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
-        self._counters: Dict[int, EpochCounters] = {0: EpochCounters()}
-        self._counters_lock = threading.Lock()
         self._closed = False
+        #: The registry holding every serving metric (see docs/observability.md).
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        m = self.metrics
+        self._m_queries = m.counter(
+            names.SERVE_QUERIES,
+            "Distance queries served, by epoch and cache result.",
+            ("epoch", "result"),
+        )
+        self._m_latency = m.histogram(
+            names.SERVE_QUERY_LATENCY,
+            "Per-query wall time in seconds (cache hits included).",
+            ("epoch",),
+        )
+        self._m_publishes = m.counter(
+            names.SERVE_PUBLISHES, "Epoch publishes completed."
+        )
+        self._m_publish_duration = m.histogram(
+            names.SERVE_PUBLISH_DURATION,
+            "Wall time of one apply-and-publish, in seconds.",
+        )
+        self._m_epoch = m.gauge(names.SERVE_EPOCH, "Currently served epoch.")
+        self._m_cache_entries = m.gauge(
+            names.SERVE_CACHE_ENTRIES, "Cached (s, t) pairs right now."
+        )
+        self._m_cache_capacity = m.gauge(
+            names.SERVE_CACHE_CAPACITY, "Cache capacity (LRU bound)."
+        )
+        self._m_cache_evicted = m.counter(
+            names.SERVE_CACHE_EVICTED,
+            "Cache entries dropped by AFF-scoped epoch migrations.",
+        )
+        self._m_cache_carried = m.counter(
+            names.SERVE_CACHE_CARRIED,
+            "Cache entries that survived epoch migrations.",
+        )
+        self._m_pins = m.counter(
+            names.SERVE_SNAPSHOT_PINS,
+            "Snapshots handed out via snapshot() (version pins).",
+        )
+        self._m_affected = m.histogram(
+            names.SERVE_AFFECTED_VERTICES,
+            "|V_aff| per publish (Equation (star) seeds, see serve/aff.py).",
+            buckets=COUNT_BUCKETS,
+        )
+        self._m_epoch.set(0)
+        self._m_cache_capacity.set(cache_capacity)
+        self._materialize_epoch(0)
+
+    def _materialize_epoch(self, epoch: int) -> None:
+        """Create the epoch's query series at 0 so stats() lists it."""
+        self._m_queries.inc(0, epoch=epoch, result="hit")
+        self._m_queries.inc(0, epoch=epoch, result="miss")
 
     # ------------------------------------------------------------------
     # Read path
@@ -130,7 +197,9 @@ class DistanceServer:
 
     def snapshot(self) -> EpochSnapshot:
         """The current epoch snapshot (hold it to pin a version)."""
-        return self._epochs.current
+        current = self._epochs.current
+        self._m_pins.inc()
+        return current
 
     def distance(self, s: int, t: int) -> float:
         """``sd(s, t)`` on the current snapshot, cache first."""
@@ -196,45 +265,65 @@ class DistanceServer:
         published and the cache is untouched.
         """
         with self._write_lock:
-            current = self._epochs.current
-            next_oracle, report = cow_apply(current.oracle, updates)
-            aff = affected_vertices(next_oracle, report)
-            snapshot = self._epochs.publish(next_oracle, affected=aff)
-            carried, evicted = self.cache.migrate(snapshot.epoch, aff)
-            with self._counters_lock:
-                self._counters.setdefault(snapshot.epoch, EpochCounters())
-            return ServeReport(
-                epoch=snapshot.epoch,
-                affected=None if aff is None else len(aff),
-                carried=carried,
-                evicted=evicted,
-                report=report,
-            )
+            start = perf_counter()
+            with span(names.SPAN_SERVE_PUBLISH) as sp:
+                current = self._epochs.current
+                next_oracle, report = cow_apply(current.oracle, updates)
+                aff = affected_vertices(next_oracle, report)
+                snapshot = self._epochs.publish(next_oracle, affected=aff)
+                carried, evicted = self.cache.migrate(snapshot.epoch, aff)
+                self._materialize_epoch(snapshot.epoch)
+                self._m_publishes.inc()
+                self._m_epoch.set(snapshot.epoch)
+                self._m_cache_evicted.inc(evicted)
+                self._m_cache_carried.inc(carried)
+                self._m_cache_entries.set(len(self.cache))
+                if aff is not None:
+                    self._m_affected.observe(len(aff))
+                self._m_publish_duration.observe(perf_counter() - start)
+                if sp.active:
+                    sp.set(
+                        epoch=snapshot.epoch,
+                        affected=None if aff is None else len(aff),
+                        carried=carried,
+                        evicted=evicted,
+                    )
+                return ServeReport(
+                    epoch=snapshot.epoch,
+                    affected=None if aff is None else len(aff),
+                    carried=carried,
+                    evicted=evicted,
+                    report=report,
+                )
 
     # ------------------------------------------------------------------
     # Instrumentation / lifecycle
     # ------------------------------------------------------------------
     def _record(self, epoch: int, hit: bool, latency: float) -> None:
-        with self._counters_lock:
-            counters = self._counters.get(epoch)
-            if counters is None:
-                counters = self._counters[epoch] = EpochCounters()
-            counters.queries += 1
-            if hit:
-                counters.hits += 1
-            else:
-                counters.misses += 1
-            counters.total_latency += latency
+        self._m_queries.inc(1, epoch=epoch, result="hit" if hit else "miss")
+        self._m_latency.observe(latency, epoch=epoch)
+        if not hit:
+            self._m_cache_entries.set(len(self.cache))
 
     def counters(self) -> Dict[int, EpochCounters]:
-        """Per-epoch serving counters (a shallow copy of the registry)."""
-        with self._counters_lock:
-            return dict(self._counters)
+        """Per-epoch serving counters, reconstructed from the registry."""
+        out: Dict[int, EpochCounters] = {}
+        for (epoch_label, result), value in self._m_queries.series():
+            counters = out.setdefault(int(epoch_label), EpochCounters())
+            count = int(value)
+            counters.queries += count
+            if result == "hit":
+                counters.hits += count
+            else:
+                counters.misses += count
+        for key, _counts, total_sum, _total in self._m_latency.series():
+            counters = out.setdefault(int(key[0]), EpochCounters())
+            counters.total_latency += total_sum
+        return out
 
     def stats(self) -> dict:
         """Everything ``repro cache-stats`` prints, as one dict."""
-        with self._counters_lock:
-            epochs = {e: c.as_dict() for e, c in self._counters.items()}
+        epochs = {e: c.as_dict() for e, c in self.counters().items()}
         return {
             "epoch": self.epoch,
             "cache_size": len(self.cache),

@@ -1,0 +1,203 @@
+"""Unit tests for repro.obs.registry: bucket edges, exposition, restore."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("repro_test_total")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+        assert c.total() == 3.5
+
+    def test_rejects_negative_increment(self, registry):
+        c = registry.counter("repro_test_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_children_are_independent(self, registry):
+        c = registry.counter("repro_q_total", labels=("epoch", "result"))
+        c.inc(epoch=0, result="hit")
+        c.inc(3, epoch=1, result="miss")
+        assert c.value(epoch=0, result="hit") == 1
+        assert c.value(epoch=1, result="miss") == 3
+        assert c.value(epoch=1, result="hit") == 0
+        assert c.total() == 4
+
+    def test_wrong_label_set_raises(self, registry):
+        c = registry.counter("repro_q_total", labels=("epoch",))
+        with pytest.raises(ValueError):
+            c.inc(shard=3)
+
+
+class TestGauge:
+    def test_up_down_set(self, registry):
+        g = registry.gauge("repro_level")
+        g.inc(5)
+        g.dec(2)
+        assert g.value() == 3
+        g.set(7.5)
+        assert g.value() == 7.5
+
+
+class TestHistogramBucketEdges:
+    """Observations land in the first bucket whose edge is >= value."""
+
+    def test_value_exactly_on_edge_counts_in_that_bucket(self, registry):
+        h = registry.histogram("repro_h", buckets=(1.0, 2.0, 5.0))
+        h.observe(2.0)  # le="2" (Prometheus <= semantics)
+        (_, counts, _, _), = h.series()
+        assert counts == [0, 1, 0, 0]  # [le=1, le=2, le=5, +Inf]
+
+    def test_value_just_above_edge_falls_to_next_bucket(self, registry):
+        h = registry.histogram("repro_h", buckets=(1.0, 2.0, 5.0))
+        h.observe(2.0000001)
+        (_, counts, _, _), = h.series()
+        assert counts == [0, 0, 1, 0]
+
+    def test_value_beyond_last_edge_goes_to_inf(self, registry):
+        h = registry.histogram("repro_h", buckets=(1.0, 2.0, 5.0))
+        h.observe(100.0)
+        (_, counts, _, _), = h.series()
+        assert counts == [0, 0, 0, 1]
+
+    def test_value_below_first_edge_goes_to_first_bucket(self, registry):
+        h = registry.histogram("repro_h", buckets=(1.0, 2.0, 5.0))
+        h.observe(0.0)
+        (_, counts, _, _), = h.series()
+        assert counts == [1, 0, 0, 0]
+
+    def test_unsorted_buckets_are_sorted(self, registry):
+        h = registry.histogram("repro_h", buckets=(5.0, 1.0, 2.0))
+        assert h.buckets == (1.0, 2.0, 5.0)
+
+    def test_explicit_inf_edge_is_stripped(self, registry):
+        h = registry.histogram("repro_h", buckets=(1.0, math.inf))
+        assert h.buckets == (1.0,)
+
+    def test_default_bucket_presets(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == 1e-6
+        assert DEFAULT_LATENCY_BUCKETS[-1] == 10.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert list(COUNT_BUCKETS) == sorted(COUNT_BUCKETS)
+
+    def test_sum_count_quantile(self, registry):
+        h = registry.histogram("repro_h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(6.5)
+        # Quantiles interpolate inside buckets but stay within edges.
+        assert 0.0 <= h.quantile(0.25) <= 1.0
+        assert 2.0 <= h.quantile(1.0) <= 4.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_quantile_of_empty_histogram_is_nan(self, registry):
+        h = registry.histogram("repro_h", buckets=(1.0,))
+        assert math.isnan(h.quantile(0.5))
+
+
+class TestExpositionFormat:
+    def test_counter_text_format(self, registry):
+        c = registry.counter("repro_q_total", "queries", labels=("result",))
+        c.inc(2, result="hit")
+        text = registry.expose_text()
+        assert "# HELP repro_q_total queries\n" in text
+        assert "# TYPE repro_q_total counter\n" in text
+        assert 'repro_q_total{result="hit"} 2\n' in text
+
+    def test_histogram_text_is_cumulative_with_inf_sum_count(self, registry):
+        h = registry.histogram("repro_lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(9.0)
+        text = registry.expose_text()
+        assert '# TYPE repro_lat histogram\n' in text
+        assert 'repro_lat_bucket{le="1"} 1\n' in text
+        assert 'repro_lat_bucket{le="2"} 2\n' in text  # cumulative
+        assert 'repro_lat_bucket{le="+Inf"} 3\n' in text
+        assert "repro_lat_sum 11\n" in text
+        assert "repro_lat_count 3\n" in text
+
+    def test_label_values_are_escaped(self, registry):
+        c = registry.counter("repro_q_total", labels=("tag",))
+        c.inc(tag='a"b\nc')
+        assert r'tag="a\"b\nc"' in registry.expose_text()
+
+    def test_invalid_metric_and_label_names_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("0starts_with_digit")
+        with pytest.raises(ValueError):
+            registry.counter("repro_ok_total", labels=("bad-label",))
+
+
+class TestRegistration:
+    def test_idempotent_when_shape_matches(self, registry):
+        a = registry.counter("repro_x_total", labels=("epoch",))
+        b = registry.counter("repro_x_total", labels=("epoch",))
+        assert a is b
+        assert len(registry) == 1
+
+    def test_type_mismatch_raises(self, registry):
+        registry.counter("repro_x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_x_total")
+
+    def test_label_mismatch_raises(self, registry):
+        registry.counter("repro_x_total", labels=("epoch",))
+        with pytest.raises(ValueError):
+            registry.counter("repro_x_total", labels=("shard",))
+
+    def test_names_and_contains(self, registry):
+        registry.gauge("repro_b")
+        registry.counter("repro_a_total")
+        assert registry.names() == ["repro_a_total", "repro_b"]
+        assert "repro_b" in registry
+        assert registry.get("repro_missing") is None
+
+
+class TestSnapshotRestore:
+    def _populated(self):
+        registry = MetricsRegistry()
+        c = registry.counter("repro_q_total", "q", labels=("epoch", "result"))
+        c.inc(4, epoch=0, result="hit")
+        c.inc(1, epoch=1, result="miss")
+        registry.gauge("repro_epoch").set(1)
+        h = registry.histogram("repro_lat", "lat", buckets=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.005, 0.05, 0.5):
+            h.observe(v)
+        return registry
+
+    def test_restore_round_trips_exposition(self):
+        original = self._populated()
+        restored = MetricsRegistry.restore(original.snapshot())
+        assert restored.expose_text() == original.expose_text()
+        assert restored.snapshot() == original.snapshot()
+
+    def test_snapshot_survives_json(self):
+        import json
+
+        original = self._populated()
+        snapshot = json.loads(original.dump_json())
+        restored = MetricsRegistry.restore(snapshot)
+        assert restored.expose_text() == original.expose_text()
+
+    def test_restore_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.restore({"repro_x": {"type": "summary"}})

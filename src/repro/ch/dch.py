@@ -30,11 +30,14 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.errors import UpdateError
 from repro.ch.shortcut_graph import Shortcut, ShortcutGraph
 from repro.graph.graph import WeightUpdate
 from repro.obs import names
 from repro.obs.trace import span
+from repro.perf import kernels
 from repro.utils.counters import OpCounter, resolve_counter
 from repro.utils.heap import AddressableHeap
 
@@ -162,16 +165,39 @@ def dch_increase(
                 # upward-pair partner it currently supports loses one support.
                 # Infinite weights (deleted roads) support nothing by convention,
                 # matching evaluate_equation's support counting.
-                for x, w_mid, y in index.scp_plus(u, v) if not math.isinf(old_weight) else ():
-                    ops.add("scp_plus_inspect")
-                    partner = index.key(w_mid, y)
-                    candidate = old_weight + index.weight(x, w_mid)
-                    if not math.isinf(candidate) and index.weight(*partner) == candidate:
+                triples = (
+                    list(index.scp_plus(u, v))
+                    if not math.isinf(old_weight)
+                    else []
+                )
+                ops.add("scp_plus_inspect", len(triples))
+                if len(triples) >= kernels.DCH_KERNEL_MIN_TRIPLES:
+                    # Batched: within one pop, x and y are fixed and only
+                    # the mid w varies, so the partner weights gathered up
+                    # front cannot be perturbed by the support writes below
+                    # (partners are pairwise distinct, legs never written).
+                    cands, currents = kernels.relax_arrays(
+                        index._adj, triples, old_weight
+                    )
+                    hits = np.nonzero(~np.isinf(cands) & (currents == cands))[0]
+                    for i in hits:
+                        _x, w_mid, y = triples[i]
+                        partner = index.key(w_mid, y)
                         sup = index.support(*partner) - 1
                         index.set_support(*partner, sup)
                         if sup == 0:
                             queue.push(partner, priority(partner))
                             ops.add("queue_push")
+                else:
+                    for x, w_mid, y in triples:
+                        partner = index.key(w_mid, y)
+                        candidate = old_weight + index.weight(x, w_mid)
+                        if not math.isinf(candidate) and index.weight(*partner) == candidate:
+                            sup = index.support(*partner) - 1
+                            index.set_support(*partner, sup)
+                            if sup == 0:
+                                queue.push(partner, priority(partner))
+                                ops.add("queue_push")
                 # Line 13: recompute weight and support from Equation (<>).
                 new_weight = index.recompute(u, v, counter)
                 if new_weight != old_weight:
@@ -246,25 +272,57 @@ def dch_decrease(
                 ops.add("queue_pop")
                 u, v = key
                 weight_e = index.weight(u, v)
-                inspected = 0
-                for x, w_mid, y in index.scp_plus(u, v):
-                    inspected += 1
-                    if (index.key(x, w_mid)) in queue:
-                        continue  # the other member's pop will evaluate this pair
-                    partner = index.key(w_mid, y)
-                    candidate = weight_e + index._adj[x][w_mid]
-                    current = index._adj[w_mid][y]
-                    if candidate < current:
-                        original.setdefault(partner, current)
-                        index.set_weight(*partner, candidate)
-                        index.set_support(*partner, 1)
-                        index.set_via(*partner, x)
-                        if partner not in queue:
-                            queue.push(partner, priority(partner))
-                            ops.add("queue_push")
-                    elif candidate == current and not math.isinf(candidate):
-                        index.set_support(*partner, index.support(*partner) + 1)
-                ops.add("scp_plus_inspect", inspected)
+                triples = list(index.scp_plus(u, v))
+                ops.add("scp_plus_inspect", len(triples))
+                if len(triples) >= kernels.DCH_KERNEL_MIN_TRIPLES:
+                    # Batched: x and y are fixed within one pop, so legs
+                    # (x, w) and partners (w, y) never coincide — the leg
+                    # gathers, partner gathers and queue-membership skip
+                    # mask computed up front all stay exact while the
+                    # relaxations below write partner weights.
+                    adj = index._adj
+                    cands, currents = kernels.relax_arrays(adj, triples, weight_e)
+                    live = np.fromiter(
+                        (index.key(x, w_mid) not in queue for x, w_mid, _y in triples),
+                        dtype=bool,
+                        count=len(triples),
+                    )
+                    finite = ~np.isinf(cands)
+                    acted = np.nonzero(
+                        live & ((cands < currents) | ((cands == currents) & finite))
+                    )[0]
+                    for i in acted:
+                        x, w_mid, y = triples[i]
+                        partner = index.key(w_mid, y)
+                        candidate = float(cands[i])
+                        current = adj[w_mid][y]
+                        if candidate < current:
+                            original.setdefault(partner, current)
+                            index.set_weight(*partner, candidate)
+                            index.set_support(*partner, 1)
+                            index.set_via(*partner, x)
+                            if partner not in queue:
+                                queue.push(partner, priority(partner))
+                                ops.add("queue_push")
+                        else:
+                            index.set_support(*partner, index.support(*partner) + 1)
+                else:
+                    for x, w_mid, y in triples:
+                        if (index.key(x, w_mid)) in queue:
+                            continue  # the other member's pop will evaluate this pair
+                        partner = index.key(w_mid, y)
+                        candidate = weight_e + index._adj[x][w_mid]
+                        current = index._adj[w_mid][y]
+                        if candidate < current:
+                            original.setdefault(partner, current)
+                            index.set_weight(*partner, candidate)
+                            index.set_support(*partner, 1)
+                            index.set_via(*partner, x)
+                            if partner not in queue:
+                                queue.push(partner, priority(partner))
+                                ops.add("queue_push")
+                        elif candidate == current and not math.isinf(candidate):
+                            index.set_support(*partner, index.support(*partner) + 1)
 
         changed = [
             (key, old, index.weight(*key))

@@ -44,7 +44,12 @@ from repro.graph.io import read_dimacs, read_edge_list, write_dimacs
 from repro.h2h.inch2h import inch2h_decrease, inch2h_increase
 from repro.h2h.indexing import h2h_indexing
 from repro.h2h.query import h2h_distance
-from repro.obs.bench import compare_bench, load_bench, write_bench
+from repro.obs.bench import (
+    compare_bench,
+    load_bench,
+    pair_bench_dirs,
+    write_bench,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import JsonlSink, TraceSchemaError, set_sink, validate_record
 from repro.persist import load_ch, load_h2h, save_ch, save_h2h
@@ -247,6 +252,8 @@ def _cmd_serve_bench(args) -> int:
         batch=args.batch,
         workers=args.workers,
         cache_capacity=args.cache_capacity,
+        throughput_edges=args.throughput_edges,
+        throughput_reports=args.throughput_reports,
     )
     sink = previous = None
     if args.trace:
@@ -266,6 +273,11 @@ def _cmd_serve_bench(args) -> int:
     print(f"  cold (first pass)   {result.cold_per_query_s * 1e6:8.1f} us/query")
     print(f"  warm (cache hits)   {result.warm_per_query_s * 1e6:8.1f} us/query")
     print(f"  speedup             {result.speedup:8.1f} x")
+    if result.update_throughput:
+        tput = result.update_throughput
+        print(f"  update throughput   {tput['sequential_updates_per_s']:8.1f} "
+              f"updates/s sequential, {tput['batched_updates_per_s']:8.1f} "
+              f"coalesced ({tput['batch_speedup']:.1f}x)")
     for pub in result.publishes:
         print(f"  epoch {pub['epoch']}: |V_aff|={pub['affected']} "
               f"carried={pub['carried']} evicted={pub['evicted']} "
@@ -286,6 +298,46 @@ def _cmd_serve_bench(args) -> int:
         record = result.to_bench_record(
             args.bench_name or f"serve_{config.oracle}"
         )
+        path = write_bench(record, args.bench_out)
+        print(f"wrote bench record -> {path}")
+    return 0
+
+
+def _cmd_perf_bench(args) -> int:
+    from repro.perf.bench import PerfBenchConfig, perf_bench
+
+    config = PerfBenchConfig(
+        vertices=args.vertices,
+        seed=args.seed,
+        latency_updates=args.latency_updates,
+        factor=args.factor,
+        stream_edges=args.stream_edges,
+        stream_reports=args.stream_reports,
+        processors=args.processors,
+    )
+    record = perf_bench(config)
+    coalescing = record.extra["coalescing"]
+    parallel = record.extra["parallel"]
+    print(f"perf-bench [inch2h] {config.vertices} vertices, "
+          f"{config.latency_updates} latency updates, stream of "
+          f"{coalescing['raw_updates']} raw updates over "
+          f"{coalescing['distinct_edges']} edges")
+    print(f"  build               {record.extra['build_s']:8.2f} s")
+    latency = record.latency_us
+    print(f"  apply latency       p50 {latency['p50']:8.1f} us   "
+          f"p95 {latency['p95']:8.1f} us")
+    print(f"  update throughput   {coalescing['sequential_updates_per_s']:8.1f} "
+          f"updates/s sequential, {coalescing['batched_updates_per_s']:8.1f} "
+          f"coalesced ({coalescing['batch_speedup']:.1f}x)")
+    if parallel.get("skipped"):
+        print(f"  parallel            skipped ({parallel['skipped']})")
+    elif parallel:
+        print(f"  parallel (P={parallel['processors']})      "
+              f"{parallel['measured_speedup']:.2f}x measured, "
+              f"{parallel['model_speedup']:.2f}x LPT model, "
+              f"exact={parallel['exact_match']}")
+    if args.bench_out:
+        record.name = args.bench_name or record.name
         path = write_bench(record, args.bench_out)
         print(f"wrote bench record -> {path}")
     return 0
@@ -328,12 +380,10 @@ def _cmd_obs_trace_tail(args) -> int:
     return 0
 
 
-def _cmd_obs_bench_compare(args) -> int:
-    old = load_bench(args.old)
-    new = load_bench(args.new)
-    comparison = compare_bench(old, new, threshold=args.threshold)
+def _print_comparison(comparison, threshold: float) -> bool:
+    """Print one BENCH diff; True when it clears the regression gate."""
     print(f"{comparison.old_name} -> {comparison.new_name} "
-          f"(regression threshold {args.threshold:.0%})")
+          f"(regression threshold {threshold:.0%})")
     for delta in comparison.deltas:
         pct = delta.pct
         pct_text = "    n/a" if math.isinf(pct) else f"{pct:+8.1%}"
@@ -344,11 +394,40 @@ def _cmd_obs_bench_compare(args) -> int:
     if not comparison.ok:
         for regression in comparison.regressions:
             print(f"REGRESSION: {regression.metric} moved "
-                  f"{regression.pct:+.1%} (threshold {args.threshold:.0%})",
+                  f"{regression.pct:+.1%} (threshold {threshold:.0%})",
                   file=sys.stderr)
-        return 3
+        return False
     print("no regressions")
-    return 0
+    return True
+
+
+def _cmd_obs_bench_compare(args) -> int:
+    if os.path.isdir(args.old) and os.path.isdir(args.new):
+        # Directory mode: every benchmark present on both sides must
+        # clear the gate; one-sided records are reported, never gated
+        # (a brand-new benchmark has no baseline to regress against).
+        pairs, only_old, only_new = pair_bench_dirs(args.old, args.new)
+        if not pairs and not only_old and not only_new:
+            print("no BENCH_*.json records in either directory",
+                  file=sys.stderr)
+            return 1
+        ok = True
+        for name, old_path, new_path in pairs:
+            print(f"== {name} ==")
+            comparison = compare_bench(
+                load_bench(old_path), load_bench(new_path),
+                threshold=args.threshold,
+            )
+            ok = _print_comparison(comparison, args.threshold) and ok
+        for name in only_old:
+            print(f"baseline-only record (skipped): {name}")
+        for name in only_new:
+            print(f"new record without baseline (skipped): {name}")
+        return 0 if ok else 3
+    old = load_bench(args.old)
+    new = load_bench(args.new)
+    comparison = compare_bench(old, new, threshold=args.threshold)
+    return 0 if _print_comparison(comparison, args.threshold) else 3
 
 
 def _cmd_cache_stats(args) -> int:
@@ -474,7 +553,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory to write BENCH_<name>.json into")
     p_serve.add_argument("--bench-name", default=None,
                          help="bench record name (default: serve_<oracle>)")
+    p_serve.add_argument("--throughput-edges", type=int, default=16,
+                         help="edges in the update-throughput phase "
+                              "(0 skips the phase)")
+    p_serve.add_argument("--throughput-reports", type=int, default=3,
+                         help="re-reports per edge in the raw stream")
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_perf = sub.add_parser(
+        "perf-bench",
+        help="benchmark the maintenance path: IncH2H latency, batch "
+             "coalescing, multiprocess ParIncH2H",
+    )
+    p_perf.add_argument("--vertices", type=int, default=400)
+    p_perf.add_argument("--seed", type=int, default=7)
+    p_perf.add_argument("--latency-updates", type=int, default=60,
+                        help="single-update latency samples")
+    p_perf.add_argument("--factor", type=float, default=2.0,
+                        help="weight-increase factor per sampled update")
+    p_perf.add_argument("--stream-edges", type=int, default=16,
+                        help="distinct edges in the coalescing stream")
+    p_perf.add_argument("--stream-reports", type=int, default=3,
+                        help="re-reports per edge in the raw stream")
+    p_perf.add_argument("--processors", type=int, default=2,
+                        help="workers for the multiprocess phase (0 skips)")
+    p_perf.add_argument("--bench-out", default=None,
+                        help="directory to write BENCH_<name>.json into")
+    p_perf.add_argument("--bench-name", default=None,
+                        help="bench record name (default: inch2h)")
+    p_perf.set_defaults(func=_cmd_perf_bench)
 
     p_obs = sub.add_parser(
         "obs", help="observability: metrics, traces, bench trajectory"
@@ -502,10 +609,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = obs_sub.add_parser(
         "bench-compare",
-        help="diff two BENCH_<name>.json files; non-zero exit on regression",
+        help="diff two BENCH_<name>.json files (or two directories of "
+             "them, paired by name); non-zero exit on regression",
     )
-    p_cmp.add_argument("old", help="baseline BENCH file")
-    p_cmp.add_argument("new", help="candidate BENCH file")
+    p_cmp.add_argument("old", help="baseline BENCH file or directory")
+    p_cmp.add_argument("new", help="candidate BENCH file or directory")
     p_cmp.add_argument("--threshold", type=float, default=0.20,
                        help="relative regression tolerance on p95 latency "
                             "and throughput (default 0.20 = 20%%)")

@@ -24,6 +24,7 @@ from repro.h2h.indexing import fill_distance_arrays, h2h_indexing
 from repro.h2h.query import h2h_distance
 from repro.h2h.tree import TreeDecomposition
 from repro.order.ordering import Ordering
+from repro.perf.coalesce import coalesce_updates
 from repro.utils.counters import OpCounter
 
 __all__ = ["DynamicCH", "DynamicH2H", "UpdateReport"]
@@ -43,6 +44,10 @@ class UpdateReport:
         Super-shortcuts whose value changed (AFF_3); 0 for CH.
     ops:
         Operation counts of the maintenance work, by channel.
+    superseded / dropped:
+        Raw updates absorbed by coalescing (0 when ``coalesce=False``):
+        later writes to the same edge, and edges whose net change was
+        zero.
     """
 
     increases: int = 0
@@ -50,6 +55,8 @@ class UpdateReport:
     changed_shortcuts: List = field(default_factory=list)
     changed_super_shortcuts: List = field(default_factory=list)
     ops: dict = field(default_factory=dict)
+    superseded: int = 0
+    dropped: int = 0
 
 
 def _split_batch(
@@ -130,11 +137,29 @@ class DynamicCH:
         """A shortest path with shortcuts unpacked to real edges."""
         return ch_path(self.index, s, t, self.counter)
 
-    def apply(self, updates: Sequence[WeightUpdate]) -> UpdateReport:
-        """Apply a (possibly mixed) weight-update batch with DCH."""
+    def apply(
+        self, updates: Sequence[WeightUpdate], *, coalesce: bool = False
+    ) -> UpdateReport:
+        """Apply a (possibly mixed) weight-update batch with DCH.
+
+        With *coalesce*, the raw stream is first merged into its net
+        effect (:func:`repro.perf.coalesce.coalesce_updates`): one DCH
+        propagation per direction for the whole batch, same final state
+        as applying the stream one update at a time.
+        """
+        superseded = dropped = 0
+        if coalesce:
+            batch = coalesce_updates(updates, self._graph.weight)
+            updates = batch.updates
+            superseded, dropped = batch.superseded, batch.dropped
         increases, decreases = _split_batch(self._graph, updates)
         ops = OpCounter()
-        report = UpdateReport(increases=len(increases), decreases=len(decreases))
+        report = UpdateReport(
+            increases=len(increases),
+            decreases=len(decreases),
+            superseded=superseded,
+            dropped=dropped,
+        )
         if increases:
             self._graph.apply_batch(increases)
             report.changed_shortcuts += dch_increase(self.index, increases, ops)
@@ -199,11 +224,29 @@ class DynamicH2H:
         """Shortest distance from the distance arrays (no search)."""
         return h2h_distance(self.index, s, t, self.counter)
 
-    def apply(self, updates: Sequence[WeightUpdate]) -> UpdateReport:
-        """Apply a (possibly mixed) weight-update batch with IncH2H."""
+    def apply(
+        self, updates: Sequence[WeightUpdate], *, coalesce: bool = False
+    ) -> UpdateReport:
+        """Apply a (possibly mixed) weight-update batch with IncH2H.
+
+        With *coalesce*, the raw stream is first merged into its net
+        effect (:func:`repro.perf.coalesce.coalesce_updates`): one
+        IncH2H propagation per direction for the whole batch, same final
+        state as applying the stream one update at a time.
+        """
+        superseded = dropped = 0
+        if coalesce:
+            batch = coalesce_updates(updates, self._graph.weight)
+            updates = batch.updates
+            superseded, dropped = batch.superseded, batch.dropped
         increases, decreases = _split_batch(self._graph, updates)
         ops = OpCounter()
-        report = UpdateReport(increases=len(increases), decreases=len(decreases))
+        report = UpdateReport(
+            increases=len(increases),
+            decreases=len(decreases),
+            superseded=superseded,
+            dropped=dropped,
+        )
         if increases:
             self._graph.apply_batch(increases)
             report.changed_super_shortcuts += inch2h_increase(

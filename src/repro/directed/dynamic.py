@@ -26,6 +26,7 @@ from repro.directed.h2h import (
 )
 from repro.errors import UpdateError
 from repro.order.ordering import Ordering
+from repro.perf.coalesce import coalesce_updates
 from repro.utils.counters import OpCounter
 
 __all__ = ["DynamicDiCH", "DynamicDiH2H", "DirectedUpdateReport"]
@@ -40,6 +41,8 @@ class DirectedUpdateReport:
     changed_shortcut_arcs: List = field(default_factory=list)
     changed_super_shortcuts: List = field(default_factory=list)
     ops: dict = field(default_factory=dict)
+    superseded: int = 0
+    dropped: int = 0
 
 
 def _split(
@@ -96,12 +99,27 @@ class DynamicDiCH:
         """``sd(s -> t)`` under current weights."""
         return directed_ch_distance(self.index, s, t, self.counter)
 
-    def apply(self, updates: Sequence[ArcUpdate]) -> DirectedUpdateReport:
-        """Apply a (possibly mixed) batch of arc-weight updates."""
+    def apply(
+        self, updates: Sequence[ArcUpdate], *, coalesce: bool = False
+    ) -> DirectedUpdateReport:
+        """Apply a (possibly mixed) batch of arc-weight updates.
+
+        With *coalesce*, the raw stream is first merged per ordered arc
+        (last write wins) so each direction of a road coalesces
+        independently; final state matches per-update application.
+        """
+        superseded = dropped = 0
+        if coalesce:
+            batch = coalesce_updates(updates, self._graph.weight, directed=True)
+            updates = batch.updates
+            superseded, dropped = batch.superseded, batch.dropped
         increases, decreases = _split(self._graph, updates)
         ops = OpCounter()
         report = DirectedUpdateReport(
-            increases=len(increases), decreases=len(decreases)
+            increases=len(increases),
+            decreases=len(decreases),
+            superseded=superseded,
+            dropped=dropped,
         )
         if increases:
             for (u, v), w in increases:
@@ -153,12 +171,27 @@ class DynamicDiH2H:
         """``sd(s -> t)`` read from the directed labels."""
         return directed_h2h_distance(self.index, s, t, self.counter)
 
-    def apply(self, updates: Sequence[ArcUpdate]) -> DirectedUpdateReport:
-        """Apply a (possibly mixed) batch of arc-weight updates."""
+    def apply(
+        self, updates: Sequence[ArcUpdate], *, coalesce: bool = False
+    ) -> DirectedUpdateReport:
+        """Apply a (possibly mixed) batch of arc-weight updates.
+
+        With *coalesce*, the raw stream is first merged per ordered arc
+        (last write wins) so each direction of a road coalesces
+        independently; final state matches per-update application.
+        """
+        superseded = dropped = 0
+        if coalesce:
+            batch = coalesce_updates(updates, self._graph.weight, directed=True)
+            updates = batch.updates
+            superseded, dropped = batch.superseded, batch.dropped
         increases, decreases = _split(self._graph, updates)
         ops = OpCounter()
         report = DirectedUpdateReport(
-            increases=len(increases), decreases=len(decreases)
+            increases=len(increases),
+            decreases=len(decreases),
+            superseded=superseded,
+            dropped=dropped,
         )
         if increases:
             for (u, v), w in increases:

@@ -51,6 +51,7 @@ from repro.h2h.tree import TreeDecomposition
 from repro.obs import names
 from repro.obs.trace import span
 from repro.order.ordering import Ordering
+from repro.perf import kernels
 from repro.utils.counters import OpCounter, resolve_counter
 from repro.utils.heap import AddressableHeap
 
@@ -178,7 +179,8 @@ def directed_h2h_indexing(
     ordering: Optional[Ordering] = None,
     counter: Optional[OpCounter] = None,
 ) -> DirectedH2HIndex:
-    """Build the directed H2H index (top-down directed Equation (*))."""
+    """Build the directed H2H index (top-down directed Equation (*),
+    vectorized per vertex by :func:`repro.perf.kernels.directed_fill_vertex`)."""
     sc = directed_ch_indexing(graph, ordering, counter)
     tree = TreeDecomposition(sc)  # duck-typed: needs ordering/upward/downward
     n = tree.n
@@ -190,13 +192,10 @@ def directed_h2h_indexing(
     sup_from = np.zeros((n, height), dtype=np.int32)
     index = DirectedH2HIndex(sc, tree, (dis_to, dis_from), (sup_to, sup_from))
 
+    ops = resolve_counter(counter)
     for u in tree.top_down_order:
-        du = int(depth[u])
-        dis_to[u, du] = 0.0
-        dis_from[u, du] = 0.0
-        for da in range(du):
-            index.recompute_entry(TO, u, da, counter)
-            index.recompute_entry(FROM, u, da, counter)
+        kernels.directed_fill_vertex(index, u)
+        ops.add("star_term", 2 * len(sc.upward(u)) * int(depth[u]))
     return index
 
 
@@ -277,22 +276,27 @@ def _directed_inch2h_increase_impl(
     weights = sc._w
     queue: AddressableHeap[Entry] = AddressableHeap()
 
-    # Seeds: per changed arc, test every entry of the lower endpoint.
+    # Seeds: per changed arc, test every entry of the lower endpoint —
+    # the whole ancestor slice at once with the directed Equation (*)
+    # kernel (same weight + sd additions, bit-identical hit test).
     for arc, old_w, _new_w in changed_arcs:
         if math.isinf(old_w):
             continue
         for direction, u, via in _seed_candidates(index, arc, old_w):
             du = int(depth[u])
+            ops.add("anc_scan", du)
+            if du == 0:
+                continue
             dis_dir = index.dis[direction]
             sup_dir = index.sup[direction]
-            for da in range(du):
-                ops.add("anc_scan")
-                tmp = old_w + index._sd(direction, u, via, da)
-                if not math.isinf(tmp) and tmp == dis_dir[u, da]:
-                    sup_dir[u, da] -= 1
-                    if sup_dir[u, da] == 0:
-                        queue.push((direction, u, da), (-rank[u], direction, da))
-                        ops.add("queue_push")
+            tmp = kernels.directed_candidate_row(index, direction, u, via, old_w)
+            hits = np.nonzero((tmp == dis_dir[u, :du]) & ~np.isinf(tmp))[0]
+            for da in hits:
+                da = int(da)
+                sup_dir[u, da] -= 1
+                if sup_dir[u, da] == 0:
+                    queue.push((direction, u, da), (-rank[u], direction, da))
+                    ops.add("queue_push")
 
     changed: List[Tuple[Entry, float, float]] = []
     while queue:
@@ -382,26 +386,28 @@ def _directed_inch2h_decrease_impl(
             du = int(depth[u])
             if du == 0:
                 continue
+            ops.add("anc_scan", du)
             dis_dir = index.dis[direction]
             sup_dir = index.sup[direction]
-            row = np.empty(du, dtype=np.float64)
-            for da in range(du):
-                ops.add("anc_scan")
-                row[da] = new_w + index._sd(direction, u, via, da)
+            # Whole ancestor slice at once (directed Equation (*) kernel);
+            # ties and improvements target distinct depths, so applying
+            # them from one pre-write gather matches the per-depth order.
+            row = kernels.directed_candidate_row(index, direction, u, via, new_w)
             seed_rows[(direction, u, via)] = row
-            for da in range(du):
-                tmp = row[da]
-                current = dis_dir[u, da]
-                if tmp < current:
-                    original.setdefault((direction, u, da), float(current))
-                    dis_dir[u, da] = tmp
-                    sup_dir[u, da] = 1
-                    if (direction, u, da) not in queue:
-                        queue.push((direction, u, da),
-                                   (-rank[u], direction, da))
-                        ops.add("queue_push")
-                elif tmp == current and not math.isinf(tmp):
-                    sup_dir[u, da] += 1
+            current_row = dis_dir[u, :du]
+            better = np.nonzero(row < current_row)[0]
+            ties = np.nonzero((row == current_row) & ~np.isinf(row))[0]
+            if len(ties):
+                sup_dir[u, ties] += 1
+            for da in better:
+                da = int(da)
+                original.setdefault((direction, u, da), float(dis_dir[u, da]))
+                dis_dir[u, da] = row[da]
+                sup_dir[u, da] = 1
+                if (direction, u, da) not in queue:
+                    queue.push((direction, u, da),
+                               (-rank[u], direction, da))
+                    ops.add("queue_push")
 
     while queue:
         (direction, u, da), _ = queue.pop()

@@ -156,45 +156,116 @@ def inch2h_increase(
 
         changed: List[ChangedSuperShortcut] = []
         # Lines 13-23: process in non-ascending rank of the descendant u.
+        #
+        # Entries of the same vertex pop consecutively — the priority is
+        # (-rank(u), depth) and every push targets a strictly lower-ranked
+        # (deeper) vertex — and they are mutually independent: the
+        # dependent scans read only rows of deeper vertices, the Equation
+        # (*) recompute only rows of ancestors.  Popping the whole depth
+        # group of a vertex at once therefore lets the vectorized kernels
+        # handle it in one pass, bit-identical to one entry at a time.
+        adj = sc._adj
         with span(names.SPAN_INCH2H_INCREASE_PROPAGATE) as sp_prop:
             while queue:
                 (u, da), _ = queue.pop()
                 ops.add("queue_pop")
-                a = int(tree.anc[u][da])
+                das = [da]
+                while True:
+                    head = queue.peek()
+                    if head is None or head[0][0] != u:
+                        break
+                    queue.pop()
+                    ops.add("queue_pop")
+                    das.append(head[0][1])
                 du = int(depth[u])
-                old_val = float(dis[u, da])
-                cost = len(sc.upward(u))
-                if not math.isinf(old_val):
-                    adj = sc._adj
-                    dis_col = dis[:, da]
-                    # Lines 15-18: entries (v, a) for downward neighbors v of u.
-                    # Infinite shortcut legs (deleted roads) support nothing, so
-                    # an inf == inf match must not decrement (dis inf => sup 0).
-                    for v in sc.downward(u):
-                        cost += 1
-                        candidate = adj[v][u] + old_val
-                        if candidate != _INF and candidate == dis_col[v]:
-                            sup[v, da] -= 1
-                            if sup[v, da] == 0:
-                                queue.push((v, da), (-rank[v], da))
+                up_count = len(sc.upward(u))
+                if len(das) == 1:
+                    # Scalar body: a one-entry group gains nothing from
+                    # numpy gathers (the common case for sparse batches).
+                    a = int(tree.anc[u][da])
+                    old_val = float(dis[u, da])
+                    cost = up_count
+                    if not math.isinf(old_val):
+                        dis_col = dis[:, da]
+                        # Lines 15-18: entries (v, a) for downward neighbors v
+                        # of u.  Infinite shortcut legs (deleted roads) support
+                        # nothing, so an inf == inf match must not decrement
+                        # (dis inf => sup 0).
+                        for v in sc.downward(u):
+                            cost += 1
+                            candidate = adj[v][u] + old_val
+                            if candidate != _INF and candidate == dis_col[v]:
+                                sup[v, da] -= 1
+                                if sup[v, da] == 0:
+                                    queue.push((v, da), (-rank[v], da))
+                                    ops.add("queue_push")
+                        dis_col_u = dis[:, du]
+                        # Lines 19-22: entries (v, u) for v in nbr-(a) ∩ des(u).
+                        for v in tree.down_in_descendants(a, u):
+                            cost += 1
+                            candidate = adj[v][a] + old_val
+                            if candidate != _INF and candidate == dis_col_u[v]:
+                                sup[v, du] -= 1
+                                if sup[v, du] == 0:
+                                    queue.push((v, du), (-rank[v], du))
+                                    ops.add("queue_push")
+                    ops.add("dependent_inspect", cost - up_count)
+                    # Line 23: recompute from Equation (*).
+                    new_val = index.recompute_entry(u, da, ops)
+                    if new_val != old_val:
+                        changed.append(((u, da), old_val, new_val))
+                    if work_log is not None:
+                        work_log.append((du, u, cost))
+                    continue
+                das_arr = np.asarray(das, dtype=np.intp)
+                old_vals = dis[u, das_arr].copy()
+                costs = [up_count] * len(das)
+                act = np.nonzero(~np.isinf(old_vals))[0]
+                if act.size:
+                    sub = das_arr[act]
+                    vals = old_vals[act]
+                    down = sc.downward(u)
+                    # Lines 15-18 for the whole group: one gather per
+                    # downward neighbor instead of one per (neighbor, depth).
+                    for v in down:
+                        cand = adj[v][u] + vals
+                        hits = np.nonzero((cand == dis[v, sub]) & ~np.isinf(cand))[0]
+                        for j in hits:
+                            td = int(sub[j])
+                            sup[v, td] -= 1
+                            if sup[v, td] == 0:
+                                queue.push((v, td), (-rank[v], td))
                                 ops.add("queue_push")
                     dis_col_u = dis[:, du]
-                    # Lines 19-22: entries (v, u) for v in nbr-(a) ∩ des(u).
-                    for v in tree.down_in_descendants(a, u):
-                        cost += 1
-                        candidate = adj[v][a] + old_val
-                        if candidate != _INF and candidate == dis_col_u[v]:
-                            sup[v, du] -= 1
-                            if sup[v, du] == 0:
-                                queue.push((v, du), (-rank[v], du))
-                                ops.add("queue_push")
-                ops.add("dependent_inspect", cost - len(sc.upward(u)))
-                # Line 23: recompute from Equation (*).
-                new_val = index.recompute_entry(u, da, ops)
-                if new_val != old_val:
-                    changed.append(((u, da), old_val, new_val))
-                if work_log is not None:
-                    work_log.append((du, u, cost))
+                    dep_total = len(down) * int(act.size)
+                    # Lines 19-22 stay per depth: each depth has its own
+                    # ancestor a, hence its own nbr-(a) ∩ des(u) range.
+                    for i in act:
+                        da_i = int(das_arr[i])
+                        val = float(old_vals[i])
+                        a = int(tree.anc[u][da_i])
+                        extra = 0
+                        for v in tree.down_in_descendants(a, u):
+                            extra += 1
+                            candidate = adj[v][a] + val
+                            if candidate != _INF and candidate == dis_col_u[v]:
+                                sup[v, du] -= 1
+                                if sup[v, du] == 0:
+                                    queue.push((v, du), (-rank[v], du))
+                                    ops.add("queue_push")
+                        costs[i] += len(down) + extra
+                        dep_total += extra
+                    ops.add("dependent_inspect", dep_total)
+                # Line 23, batched: one Equation (*) candidate block covers
+                # the group (same weight + sd additions, exact column min).
+                new_vals = index.recompute_entries(u, das_arr, ops)
+                for i, da_i in enumerate(das):
+                    if new_vals[i] != old_vals[i]:
+                        changed.append(
+                            ((u, da_i), float(old_vals[i]), float(new_vals[i]))
+                        )
+                    if work_log is not None:
+                        work_log.append((du, u, costs[i]))
             sp_prop.set(changed=len(changed))
         if sp.active:
             _trace_h2h_boundedness(
@@ -236,6 +307,50 @@ def inch2h_decrease(
     return changed
 
 
+def _decrease_seed_scan(index, changed_shortcuts, queue, original, ops) -> dict:
+    """Lines 3-12 of Algorithm 5: seed relaxations from the changed
+    shortcuts.  Supports are maintained exactly on the fly: every seed
+    candidate strictly decreased (its shortcut changed), so a tie means
+    one new supporting term and an improvement resets the support to
+    that term alone; any stale tie recorded against a not-yet-final sd
+    value is erased later by the relaxation that finalizes the entry
+    (which resets support).
+
+    Returns ``seed_rows``, a ``(u, v) -> candidate row`` memo: the pop
+    loops use it to tell whether a seed already applied a candidate at
+    its final value (the candidate's sd entry may have been finalized by
+    an earlier seed) and must not apply it twice.  Shared by the
+    sequential propagate loop and the multiprocess ParIncH2H backend.
+    """
+    rank = index.sc.ordering.rank
+    depth = index.tree.depth
+    dis = index.dis
+    sup = index.sup
+    seed_rows: dict = {}
+    for (a_end, b_end), _old_w, new_w in changed_shortcuts:
+        u, v = (a_end, b_end) if rank[a_end] < rank[b_end] else (b_end, a_end)
+        du = int(depth[u])
+        ops.add("anc_scan", du)
+        if du == 0:
+            continue
+        tmp = index.candidate_row(u, v, new_w)
+        seed_rows[(u, v)] = tmp
+        row = dis[u, :du]
+        better = np.nonzero(tmp < row)[0]
+        ties = np.nonzero((tmp == row) & ~np.isinf(tmp))[0]
+        if len(ties):
+            sup[u, ties] += 1
+        for da in better:
+            da = int(da)
+            original.setdefault((u, da), float(dis[u, da]))
+            dis[u, da] = tmp[da]
+            sup[u, da] = 1
+            if (u, da) not in queue:
+                queue.push((u, da), (-rank[u], da))
+                ops.add("queue_push")
+    return seed_rows
+
+
 def _inch2h_decrease_propagate(
     index: H2HIndex,
     updates: Sequence[WeightUpdate],
@@ -254,92 +369,139 @@ def _inch2h_decrease_propagate(
     original: dict = {}
     sup = index.sup
 
-    # Lines 3-12: seed relaxations from the changed shortcuts.  Supports
-    # are maintained exactly on the fly: every seed candidate strictly
-    # decreased (its shortcut changed), so a tie means one new supporting
-    # term and an improvement resets the support to that term alone; any
-    # stale tie recorded against a not-yet-final sd value is erased later
-    # by the relaxation that finalizes the entry (which resets support).
-    # seed_rows remembers each seed's evaluated candidates so the pop
-    # loops can tell whether a seed already applied a candidate at its
-    # final value (the candidate's sd entry may have been finalized by an
-    # earlier seed) and must not apply it twice.
-    seed_rows: dict = {}
     with span(names.SPAN_INCH2H_DECREASE_SEED, delta=len(updates)):
-        for (a_end, b_end), _old_w, new_w in changed_shortcuts:
-            u, v = (a_end, b_end) if rank[a_end] < rank[b_end] else (b_end, a_end)
-            du = int(depth[u])
-            ops.add("anc_scan", du)
-            if du == 0:
-                continue
-            tmp = index.candidate_row(u, v, new_w)
-            seed_rows[(u, v)] = tmp
-            row = dis[u, :du]
-            better = np.nonzero(tmp < row)[0]
-            ties = np.nonzero((tmp == row) & ~np.isinf(tmp))[0]
-            if len(ties):
-                sup[u, ties] += 1
-            for da in better:
-                da = int(da)
-                original.setdefault((u, da), float(dis[u, da]))
-                dis[u, da] = tmp[da]
-                sup[u, da] = 1
-                if (u, da) not in queue:
-                    queue.push((u, da), (-rank[u], da))
-                    ops.add("queue_push")
+        seed_rows = _decrease_seed_scan(
+            index, changed_shortcuts, queue, original, ops
+        )
 
-    # Lines 13-22: propagate relaxations downward.
     # Lines 13-22: propagate relaxations downward.  A popped entry is
     # final (its dependencies all rank higher and popped first), so each
     # dependent candidate is evaluated here exactly once with final
     # values: improvements reset the dependent's support, ties add one.
+    # A popped group's depth entries are independent exactly as in the
+    # increase direction: loop 1 writes column da < depth(u), loop 2
+    # column depth(u), never a row of u itself, so grouping the pops and
+    # vectorizing loop 1 across the depth slice is bit-identical to the
+    # one-entry-at-a-time order (distinct targets, live view reads).
     adj = sc._adj
     with span(names.SPAN_INCH2H_DECREASE_PROPAGATE):
         while queue:
             (u, da), _ = queue.pop()
             ops.add("queue_pop")
-            a = int(tree.anc[u][da])
+            das = [da]
+            while True:
+                head = queue.peek()
+                if head is None or head[0][0] != u:
+                    break
+                queue.pop()
+                ops.add("queue_pop")
+                das.append(head[0][1])
             du = int(depth[u])
-            val = float(dis[u, da])
-            cost = 0
-            if not math.isinf(val):
-                dis_col = dis[:, da]
-                for v in sc.downward(u):
-                    cost += 1
-                    candidate = adj[v][u] + val
+            if len(das) == 1:
+                # Scalar body (one-entry groups dominate sparse batches).
+                a = int(tree.anc[u][da])
+                val = float(dis[u, da])
+                cost = 0
+                if not math.isinf(val):
+                    dis_col = dis[:, da]
+                    for v in sc.downward(u):
+                        cost += 1
+                        candidate = adj[v][u] + val
+                        seed_row = seed_rows.get((v, u))
+                        if seed_row is not None and seed_row[da] == candidate:
+                            continue  # the seed already applied this candidate
+                        current = dis_col[v]
+                        if candidate < current:
+                            original.setdefault((v, da), float(current))
+                            dis_col[v] = candidate
+                            sup[v, da] = 1
+                            if (v, da) not in queue:
+                                queue.push((v, da), (-rank[v], da))
+                                ops.add("queue_push")
+                        elif candidate == current and candidate != _INF:
+                            sup[v, da] += 1
+                    dis_col_u = dis[:, du]
+                    for v in tree.down_in_descendants(a, u):
+                        cost += 1
+                        candidate = adj[v][a] + val
+                        seed_row = seed_rows.get((v, a))
+                        if seed_row is not None and seed_row[du] == candidate:
+                            continue  # the seed already applied this candidate
+                        current = dis_col_u[v]
+                        if candidate < current:
+                            original.setdefault((v, du), float(current))
+                            dis_col_u[v] = candidate
+                            sup[v, du] = 1
+                            if (v, du) not in queue:
+                                queue.push((v, du), (-rank[v], du))
+                                ops.add("queue_push")
+                        elif candidate == current and candidate != _INF:
+                            sup[v, du] += 1
+                ops.add("dependent_inspect", cost)
+                if work_log is not None:
+                    work_log.append((du, u, cost))
+                continue
+            das_arr = np.asarray(das, dtype=np.intp)
+            group_vals = dis[u, das_arr].copy()
+            costs = [0] * len(das)
+            act = np.nonzero(~np.isinf(group_vals))[0]
+            if act.size:
+                sub = das_arr[act]
+                vals = group_vals[act]
+                down = sc.downward(u)
+                # Lines 15-18 for the whole group, one gather per neighbor.
+                for v in down:
+                    cand = adj[v][u] + vals
                     seed_row = seed_rows.get((v, u))
-                    if seed_row is not None and seed_row[da] == candidate:
-                        continue  # the seed already applied this candidate
-                    current = dis_col[v]
-                    if candidate < current:
-                        original.setdefault((v, da), float(current))
-                        dis_col[v] = candidate
-                        sup[v, da] = 1
-                        if (v, da) not in queue:
-                            queue.push((v, da), (-rank[v], da))
+                    if seed_row is None:
+                        applicable = np.ones(len(sub), dtype=bool)
+                    else:
+                        applicable = seed_row[sub] != cand
+                    current = dis[v, sub]
+                    improve = np.nonzero(applicable & (cand < current))[0]
+                    ties = np.nonzero(
+                        applicable & (cand == current) & ~np.isinf(cand)
+                    )[0]
+                    for j in improve:
+                        td = int(sub[j])
+                        original.setdefault((v, td), float(dis[v, td]))
+                        dis[v, td] = cand[j]
+                        sup[v, td] = 1
+                        if (v, td) not in queue:
+                            queue.push((v, td), (-rank[v], td))
                             ops.add("queue_push")
-                    elif candidate == current and candidate != _INF:
-                        sup[v, da] += 1
+                    if len(ties):
+                        sup[v, sub[ties]] += 1
                 dis_col_u = dis[:, du]
-                for v in tree.down_in_descendants(a, u):
-                    cost += 1
-                    candidate = adj[v][a] + val
-                    seed_row = seed_rows.get((v, a))
-                    if seed_row is not None and seed_row[du] == candidate:
-                        continue  # the seed already applied this candidate
-                    current = dis_col_u[v]
-                    if candidate < current:
-                        original.setdefault((v, du), float(current))
-                        dis_col_u[v] = candidate
-                        sup[v, du] = 1
-                        if (v, du) not in queue:
-                            queue.push((v, du), (-rank[v], du))
-                            ops.add("queue_push")
-                    elif candidate == current and candidate != _INF:
-                        sup[v, du] += 1
-            ops.add("dependent_inspect", cost)
+                dep_total = len(down) * int(act.size)
+                # Lines 19-22 per depth (each has its own ancestor range).
+                for i in act:
+                    da_i = int(das_arr[i])
+                    val = float(group_vals[i])
+                    a = int(tree.anc[u][da_i])
+                    extra = 0
+                    for v in tree.down_in_descendants(a, u):
+                        extra += 1
+                        candidate = adj[v][a] + val
+                        seed_row = seed_rows.get((v, a))
+                        if seed_row is not None and seed_row[du] == candidate:
+                            continue  # the seed already applied this candidate
+                        current = dis_col_u[v]
+                        if candidate < current:
+                            original.setdefault((v, du), float(current))
+                            dis_col_u[v] = candidate
+                            sup[v, du] = 1
+                            if (v, du) not in queue:
+                                queue.push((v, du), (-rank[v], du))
+                                ops.add("queue_push")
+                        elif candidate == current and candidate != _INF:
+                            sup[v, du] += 1
+                    costs[i] += len(down) + extra
+                    dep_total += extra
+                ops.add("dependent_inspect", dep_total)
             if work_log is not None:
-                work_log.append((du, u, cost))
+                for i in range(len(das)):
+                    work_log.append((du, u, costs[i]))
 
     return [
         (key, old, float(dis[key[0], key[1]]))

@@ -31,6 +31,7 @@ import numpy as np
 from repro.errors import IndexError_
 from repro.ch.shortcut_graph import ShortcutGraph
 from repro.h2h.tree import TreeDecomposition
+from repro.perf import kernels
 from repro.utils.counters import OpCounter, resolve_counter
 
 __all__ = ["H2HIndex"]
@@ -146,7 +147,7 @@ class H2HIndex:
         return value
 
     # ------------------------------------------------------------------
-    # Vectorized Equation (*) kernels
+    # Vectorized Equation (*) kernels (implemented in repro.perf.kernels)
     # ------------------------------------------------------------------
     def candidate_row(self, u: int, v: int, weight: float) -> np.ndarray:
         """The Equation (*) candidates of *u* contributed by one upward
@@ -157,38 +158,20 @@ class H2HIndex:
         the *old* weight it reproduces the support test of IncH2H+, with
         the *new* weight the relaxation candidates of IncH2H-.
         """
-        tree = self.tree
-        du = int(tree.depth[u])
-        dv = int(tree.depth[v])
-        dis = self.dis
-        row = np.empty(du, dtype=np.float64)
-        split = min(dv + 1, du)
-        row[:split] = dis[v, :split]
-        if split < du:
-            row[split:] = dis[tree.anc[u][split:du], dv]
-        row += weight
-        return row
+        return kernels.candidate_row(self, u, v, weight)
 
     def candidate_block(self, u: int, depths: np.ndarray) -> np.ndarray:
         """Equation (*) candidates of *u* for the given ancestor depths,
         one row per upward neighbor (``|nbr+(u)| x len(depths)``)."""
-        tree = self.tree
-        dis = self.dis
-        anc_u = tree.anc[u]
-        depth = tree.depth
-        upward = self.sc.upward(u)
-        adj_u = self.sc._adj[u]
-        block = np.empty((len(upward), len(depths)), dtype=np.float64)
-        for i, v in enumerate(upward):
-            dv = int(depth[v])
-            shallow = depths <= dv
-            row = block[i]
-            row[shallow] = dis[v, depths[shallow]]
-            deep = ~shallow
-            if deep.any():
-                row[deep] = dis[anc_u[depths[deep]], dv]
-            row += adj_u[v]
-        return block
+        return kernels.candidate_block(self, u, depths)
+
+    def recompute_entries(
+        self, u: int, depths: np.ndarray, counter: Optional[OpCounter] = None
+    ) -> np.ndarray:
+        """Batched :meth:`recompute_entry` over one vertex's depth slice
+        (line 23 of Algorithm 4 for a whole popped group).  Returns the
+        new values; bit-identical to the per-depth scalar loop."""
+        return kernels.star_recompute(self, u, depths, counter)
 
     def refresh_support(self, u: int, depths: np.ndarray) -> None:
         """Vectorized support repair for the given entries of *u*.
@@ -198,12 +181,7 @@ class H2HIndex:
         the decrease algorithms' post-pass (Section 5.2's on-the-fly
         note) where a per-entry Python loop would dominate the run time.
         """
-        if len(depths) == 0:
-            return
-        block = self.candidate_block(u, depths)
-        best = self.dis[u, depths]
-        finite = ~np.isinf(block)
-        self.sup[u, depths] = ((block == best) & finite).sum(axis=0)
+        kernels.refresh_support(self, u, depths)
 
     # ------------------------------------------------------------------
     # Views for tests and experiments

@@ -30,6 +30,7 @@ from repro.ch.shortcut_graph import ShortcutGraph
 from repro.h2h.index import H2HIndex
 from repro.h2h.tree import TreeDecomposition
 from repro.order.ordering import Ordering
+from repro.perf import kernels
 from repro.utils.counters import OpCounter, resolve_counter
 
 __all__ = ["h2h_indexing", "fill_distance_arrays", "fill_row"]
@@ -42,37 +43,15 @@ def fill_row(
     sup: np.ndarray,
     u: int,
 ) -> None:
-    """Compute ``dis(u)`` / ``sup(u)`` from Equation (*), vectorized.
+    """Compute ``dis(u)`` / ``sup(u)`` from Equation (*), vectorized
+    (delegates to :func:`repro.perf.kernels.fill_row`).
 
     Requires the rows of every vertex in ``nbr+(u)`` (all ancestors of
     *u*) to be final already; any top-down processing order satisfies
     this.  Shared by full construction and the Section 7 subtree
     rebuilds after edge insertion.
     """
-    depth = tree.depth
-    du = int(depth[u])
-    if du == 0:
-        dis[u, 0] = 0.0
-        return
-    anc_u = tree.anc[u]
-    upward = sc.upward(u)
-    candidates = np.empty((len(upward), du), dtype=np.float64)
-    for i, v in enumerate(upward):
-        dv = int(depth[v])
-        w_uv = sc._adj[u][v]
-        row = candidates[i]
-        # Depths 0..dv: a is an ancestor of v (or v itself) -> dis(v)[da].
-        row[: dv + 1] = dis[v, : dv + 1]
-        # Depths dv+1..du-1: v is a proper ancestor of a -> dis(a)[dv].
-        if dv + 1 < du:
-            row[dv + 1 :] = dis[anc_u[dv + 1 : du], dv]
-        row += w_uv
-    best = candidates.min(axis=0)
-    dis[u, :du] = best
-    dis[u, du] = 0.0
-    finite = ~np.isinf(best)
-    sup[u, :du] = ((candidates == best) & finite).sum(axis=0)
-    sup[u, du] = 0
+    kernels.fill_row(sc, tree, dis, sup, u)
 
 
 def fill_distance_arrays(

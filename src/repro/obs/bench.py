@@ -29,6 +29,7 @@ __all__ = [
     "write_bench",
     "load_bench",
     "compare_bench",
+    "pair_bench_dirs",
 ]
 
 #: Format version embedded in every BENCH file.
@@ -171,6 +172,36 @@ def _flatten(record: dict) -> Dict[str, float]:
     if isinstance(tput, (int, float)) and not isinstance(tput, bool):
         flat["throughput_qps"] = float(tput)
     return flat
+
+
+def pair_bench_dirs(old_dir: str, new_dir: str):
+    """Match the ``BENCH_*.json`` files of two directories by file name.
+
+    Returns ``(pairs, only_old, only_new)`` where *pairs* is a sorted
+    list of ``(name, old_path, new_path)`` — the inputs ``repro obs
+    bench-compare <dir> <dir>`` feeds through :func:`compare_bench` one
+    benchmark at a time — and the ``only_*`` lists name records present
+    on just one side (reported, never gated on: a brand-new benchmark
+    has no baseline to regress against).
+    """
+    def _records(directory: str) -> Dict[str, str]:
+        out: Dict[str, str] = {}
+        for entry in sorted(os.listdir(directory)):
+            if entry.startswith("BENCH_") and entry.endswith(".json"):
+                out[entry[len("BENCH_") : -len(".json")]] = os.path.join(
+                    directory, entry
+                )
+        return out
+
+    old_records = _records(old_dir)
+    new_records = _records(new_dir)
+    pairs = [
+        (name, old_records[name], new_records[name])
+        for name in sorted(set(old_records) & set(new_records))
+    ]
+    only_old = sorted(set(old_records) - set(new_records))
+    only_new = sorted(set(new_records) - set(old_records))
+    return pairs, only_old, only_new
 
 
 def compare_bench(

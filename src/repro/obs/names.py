@@ -71,6 +71,7 @@ SPAN_INCH2H_DECREASE_SEED = "inch2h.decrease.seed"
 SPAN_INCH2H_DECREASE_PROPAGATE = "inch2h.decrease.propagate"
 
 SPAN_PARINCH2H_SIMULATE = "parinch2h.simulate"
+SPAN_PARINCH2H_APPLY = "parinch2h.apply"
 
 SPAN_DIRECTED_DCH_INCREASE = "directed.dch.increase"
 SPAN_DIRECTED_DCH_DECREASE = "directed.dch.decrease"
@@ -95,6 +96,7 @@ SPANS = frozenset(
         SPAN_INCH2H_DECREASE_SEED,
         SPAN_INCH2H_DECREASE_PROPAGATE,
         SPAN_PARINCH2H_SIMULATE,
+        SPAN_PARINCH2H_APPLY,
         SPAN_DIRECTED_DCH_INCREASE,
         SPAN_DIRECTED_DCH_DECREASE,
         SPAN_DIRECTED_INCH2H_INCREASE,

@@ -1,0 +1,31 @@
+"""Performance layer: vectorized kernels, batch coalescing, multiprocess
+ParIncH2H.
+
+Three coordinated pieces (see ``docs/performance.md``):
+
+* :mod:`repro.perf.kernels` — numpy kernels evaluating Equation (*)
+  for a whole (vertex, ancestor-slice) at once; the scalar inner loops
+  of ``h2h.indexing`` / ``h2h.inch2h`` and the directed variants
+  delegate here, and DCH± gets a gated batched shortcut-relaxation
+  kernel.
+* :mod:`repro.perf.coalesce` — merge a ``Sequence[WeightUpdate]`` into
+  one deduplicated per-edge net-change batch so DCH±/IncH2H± run one
+  CHANGED/AFF propagation per batch instead of per update.
+* :mod:`repro.perf.parallel` — the real multiprocess ParIncH2H backend
+  (Section 5.3): ``shared_memory``-backed ``dis``/``sup`` matrices,
+  level-synchronous barriers, per-vertex work groups pinned to worker
+  processes.  Imported lazily (``from repro.perf import parallel``)
+  because it depends on :mod:`repro.h2h`, which itself uses the
+  kernels of this package.
+
+Every fast path is differentially tested bit-identical against the
+scalar reference (``evaluate_entry`` / per-update application), which
+stays available for exactly that purpose.
+"""
+
+from __future__ import annotations
+
+from repro.perf import kernels
+from repro.perf.coalesce import CoalescedBatch, coalesce_updates
+
+__all__ = ["kernels", "CoalescedBatch", "coalesce_updates"]

@@ -1,0 +1,103 @@
+"""Batch coalescing: one net-change seed pass per update batch.
+
+A raw update stream may touch the same edge repeatedly (rush-hour feeds
+re-report segments every few seconds).  Applying such a stream one
+update at a time pays one full DCH±/IncH2H± CHANGED/AFF propagation per
+update; coalescing first merges the batch into its *net effect* — the
+last reported weight per edge — so the maintenance algorithms run one
+increase propagation and one decrease propagation for the whole batch.
+
+Semantics (``docs/performance.md`` § Coalescing):
+
+* **Last write wins** per edge (canonical endpoint pair; ordered arc
+  pair for directed networks) — exactly the state a sequential
+  per-update application would reach.
+* Edges whose final weight equals their current weight are dropped
+  (the sequential application would end where it started; intermediate
+  excursions are unobservable afterwards).
+* The surviving updates are split into an *increase set* and a
+  *decrease set* against the current weights, matching the facades'
+  mixed-batch dispatch (increases first, then decreases — the order the
+  paper's Exp-4 uses).
+
+The final index state is identical to sequential per-update application
+(the Equation (<>)/(*) fixpoints and exact support counts are functions
+of the final weights alone); the one unspecified bit is the ``via``
+witness on ties, where both orders pick an arbitrary attaining term.
+The hypothesis suite (``tests/test_perf_coalesce.py``) pins this down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from repro.graph.graph import WeightUpdate
+
+__all__ = ["CoalescedBatch", "coalesce_updates"]
+
+
+@dataclass(frozen=True)
+class CoalescedBatch:
+    """The net effect of a raw update batch against current weights."""
+
+    #: Net updates that raise a weight, in first-touched order.
+    increases: List[WeightUpdate] = field(default_factory=list)
+    #: Net updates that lower a weight, in first-touched order.
+    decreases: List[WeightUpdate] = field(default_factory=list)
+    #: Raw updates absorbed by a later write to the same edge.
+    superseded: int = 0
+    #: Distinct edges whose net change was zero (dropped entirely).
+    dropped: int = 0
+
+    @property
+    def updates(self) -> List[WeightUpdate]:
+        """The deduplicated net batch (increases then decreases)."""
+        return list(self.increases) + list(self.decreases)
+
+    def __len__(self) -> int:
+        return len(self.increases) + len(self.decreases)
+
+
+def coalesce_updates(
+    updates: Sequence[WeightUpdate],
+    weight_of: Callable[[int, int], float],
+    *,
+    directed: bool = False,
+) -> CoalescedBatch:
+    """Merge *updates* into one deduplicated net-change batch.
+
+    Parameters
+    ----------
+    updates:
+        Raw ``((u, v), weight)`` stream; the same edge may appear any
+        number of times.
+    weight_of:
+        Current weight accessor, ``(u, v) -> float`` (e.g.
+        ``graph.weight``); consulted once per distinct edge to classify
+        the net change and drop no-ops.  Unknown edges raise whatever
+        the accessor raises, so validation errors surface just like in
+        the uncoalesced path.
+    directed:
+        Key updates by ordered arc ``(u, v)`` instead of the canonical
+        undirected pair, so the two directions of a road coalesce
+        independently.
+    """
+    final: dict = {}
+    for (u, v), w in updates:
+        key = (u, v) if directed or u < v else (v, u)
+        final[key] = ((u, v), w)  # last write wins; insertion order kept
+    batch = CoalescedBatch(superseded=len(updates) - len(final))
+    dropped = 0
+    for (u, v), w in final.values():
+        current = weight_of(u, v)
+        if w > current:
+            batch.increases.append(((u, v), w))
+        elif w < current:
+            batch.decreases.append(((u, v), w))
+        else:
+            dropped += 1
+    # frozen dataclass: counters are set via object.__setattr__ so the
+    # lists stay the only mutable surface handed to callers.
+    object.__setattr__(batch, "dropped", dropped)
+    return batch

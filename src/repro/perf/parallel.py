@@ -1,0 +1,602 @@
+"""ParIncH2H — a real multiprocess backend for Section 5.3.
+
+:mod:`repro.h2h.parallel` prices the paper's level-synchronous schedule
+(the LPT makespan model); this module *executes* it.  CPython's GIL
+rules out the paper's OpenMP threads, so the backend uses processes
+around the one structure that makes that cheap: the ``dis``/``sup``
+matrices live in :mod:`multiprocessing.shared_memory` segments that
+every worker maps directly, and the weight-independent structure (the
+shortcut graph and tree decomposition) is shipped to each worker once
+at startup, with per-batch weight deltas broadcast afterwards.
+
+The schedule is exactly Section 5.3's:
+
+* super-shortcuts are processed level by level in non-descending
+  ``depth(u)`` — every Equation (*) dependency of ``<<u, a>>`` lives at
+  a strictly smaller depth, so all of a level is mutually independent;
+* within a level, the entries of one vertex form a *work group* pinned
+  to a single worker (:func:`repro.h2h.parallel.lpt_assign`), so no two
+  workers write the same matrix rows;
+* workers return their side effects on *other* vertices' entries
+  (support decrements in the increase direction, relaxation candidates
+  in the decrease direction) as messages, which the coordinator applies
+  between levels in deterministic order.
+
+The result is *bit-identical* to sequential IncH2H — not approximately:
+all cross-level reads see final values (writes only ever target the
+current level's rows), support decrements commute (the ``s0``-th
+decrement fires the queue push regardless of order), and the decrease
+relax rule ``min``/tie-count is order-independent over a fixed candidate
+multiset.  ``tests/test_perf_parallel.py`` asserts the exact match.
+
+Everything here is ``spawn``-safe: worker entry points are module-level
+functions, no lambdas or closures cross the process boundary, and
+:func:`shared_memory_available` lets callers (and tests) skip gracefully
+on platforms without POSIX shared memory.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import UpdateError
+from repro.ch.dch import dch_decrease, dch_increase
+from repro.graph.graph import WeightUpdate
+from repro.h2h.inch2h import (
+    ChangedSuperShortcut,
+    _ancestor_scan_increase,
+    _decrease_seed_scan,
+)
+from repro.h2h.index import H2HIndex
+from repro.h2h.parallel import ParallelReport, build_report, lpt_assign
+from repro.obs import names
+from repro.obs.trace import span
+from repro.perf import kernels
+from repro.utils.counters import resolve_counter
+from repro.utils.heap import AddressableHeap
+
+try:  # pragma: no cover - import succeeds on all supported platforms
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+
+__all__ = [
+    "ParallelIncH2H",
+    "ParallelApplyReport",
+    "shared_memory_available",
+]
+
+_INF = math.inf
+
+
+def shared_memory_available() -> bool:
+    """True when POSIX shared memory can actually be allocated here.
+
+    Probes with a tiny segment instead of trusting the import: sandboxed
+    environments ship the module but mount no ``/dev/shm``.
+    """
+    if shared_memory is None:
+        return False
+    try:
+        seg = shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, ValueError):
+        return False
+    seg.close()
+    try:
+        seg.unlink()
+    except OSError:  # pragma: no cover - already gone
+        pass
+    return True
+
+
+def _attach(name: str, shape, dtype) -> Tuple[np.ndarray, object]:
+    """Map an existing shared segment as an ndarray (worker side)."""
+    seg = shared_memory.SharedMemory(name=name)
+    # Attaching re-registers the segment with the resource tracker; the
+    # workers share the coordinator's tracker (its cache is a set), so
+    # that is an idempotent duplicate and the coordinator's unlink stays
+    # the single release point.  Do NOT unregister here: that would
+    # remove the coordinator's own registration from the shared tracker.
+    return np.ndarray(shape, dtype=dtype, buffer=seg.buf), seg
+
+
+# ----------------------------------------------------------------------
+# Per-group work (shared by the worker processes and in-process tests)
+# ----------------------------------------------------------------------
+def _process_increase_group(
+    index, u: int, das: Sequence[int]
+) -> Tuple[list, list, list]:
+    """One IncH2H+ work group: the popped entries ``(u, da)`` of a single
+    vertex at its level.
+
+    Mirrors the grouped pop body of :func:`repro.h2h.inch2h.inch2h_increase`
+    exactly, except that support decrements on *other* vertices' entries
+    are returned as ``(v, depth)`` messages for the coordinator instead
+    of being applied locally — the recompute of *u*'s own rows (line 23)
+    writes straight into shared memory, which this worker owns for *u*.
+    """
+    sc, tree = index.sc, index.tree
+    dis = index.dis
+    adj = sc._adj
+    du = int(tree.depth[u])
+    up_count = len(sc.upward(u))
+    das_arr = np.asarray(das, dtype=np.intp)
+    old_vals = dis[u, das_arr].copy()
+    costs = [float(up_count)] * len(das)
+    decrements: list = []
+    act = np.nonzero(~np.isinf(old_vals))[0]
+    if act.size:
+        sub = das_arr[act]
+        vals = old_vals[act]
+        down = sc.downward(u)
+        for v in down:
+            cand = adj[v][u] + vals
+            hits = np.nonzero((cand == dis[v, sub]) & ~np.isinf(cand))[0]
+            for j in hits:
+                decrements.append((v, int(sub[j])))
+        dis_col_u = dis[:, du]
+        for i in act:
+            da = int(das_arr[i])
+            val = float(old_vals[i])
+            a = int(tree.anc[u][da])
+            extra = 0
+            for v in tree.down_in_descendants(a, u):
+                extra += 1
+                candidate = adj[v][a] + val
+                if candidate != _INF and candidate == dis_col_u[v]:
+                    decrements.append((v, du))
+            costs[i] += len(down) + extra
+    new_vals = kernels.star_recompute(index, u, das_arr)
+    changed = [
+        ((u, int(da)), float(old), float(new))
+        for da, old, new in zip(das, old_vals, new_vals)
+        if new != old
+    ]
+    work = [(du, u, costs[i]) for i in range(len(das))]
+    return decrements, changed, work
+
+
+def _process_decrease_group(
+    index, u: int, das: Sequence[int]
+) -> Tuple[list, list, list]:
+    """One IncH2H- work group: read-only candidate generation.
+
+    The worker never writes in the decrease direction — relaxations on
+    dependent entries are returned as ``(v, depth, candidate, via)``
+    messages.  Candidates that cannot apply (``cand > dis[v, d]``) are
+    filtered here against the level's stable snapshot: distances only
+    decrease, so a candidate above the current value is above the final
+    value too and the sequential run would also have discarded it.
+    """
+    sc, tree = index.sc, index.tree
+    dis = index.dis
+    adj = sc._adj
+    du = int(tree.depth[u])
+    das_arr = np.asarray(das, dtype=np.intp)
+    group_vals = dis[u, das_arr].copy()
+    costs = [0.0] * len(das)
+    messages: list = []
+    act = np.nonzero(~np.isinf(group_vals))[0]
+    if act.size:
+        sub = das_arr[act]
+        vals = group_vals[act]
+        down = sc.downward(u)
+        for v in down:
+            cand = adj[v][u] + vals
+            keep = np.nonzero((cand <= dis[v, sub]) & ~np.isinf(cand))[0]
+            for j in keep:
+                messages.append((v, int(sub[j]), float(cand[j]), u))
+        dis_col_u = dis[:, du]
+        for i in act:
+            da = int(das_arr[i])
+            val = float(group_vals[i])
+            a = int(tree.anc[u][da])
+            extra = 0
+            for v in tree.down_in_descendants(a, u):
+                extra += 1
+                candidate = adj[v][a] + val
+                if candidate != _INF and candidate <= dis_col_u[v]:
+                    messages.append((v, du, candidate, a))
+            costs[i] += len(down) + extra
+    work = [(du, u, costs[i]) for i in range(len(das))]
+    return messages, [], work
+
+
+def _worker_main(conn, tree, dis_name, sup_name, shape) -> None:
+    """Worker process entry point (module-level: ``spawn``-picklable).
+
+    Receives the weight-independent structure once (*tree* carries its
+    shortcut graph), maps the shared matrices, and then serves level
+    dispatches until told to stop.  Weight deltas arrive as explicit
+    ``("weights", ...)`` messages after each coordinator-side DCH run.
+    """
+    dis, dis_seg = _attach(dis_name, shape, np.float64)
+    sup, sup_seg = _attach(sup_name, shape, np.int32)
+    index = H2HIndex(tree.sc, tree, dis, sup)
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            try:
+                if kind == "stop":
+                    break
+                elif kind == "weights":
+                    for u, v, w in message[1]:
+                        index.sc.set_weight(u, v, w)
+                    conn.send(("ok",))
+                elif kind in ("increase", "decrease"):
+                    process = (
+                        _process_increase_group
+                        if kind == "increase"
+                        else _process_decrease_group
+                    )
+                    out_msgs: list = []
+                    out_changed: list = []
+                    out_work: list = []
+                    for u, das in message[1]:
+                        msgs, changed, work = process(index, u, das)
+                        out_msgs.extend(msgs)
+                        out_changed.extend(changed)
+                        out_work.extend(work)
+                    conn.send(("ok", out_msgs, out_changed, out_work))
+                else:  # pragma: no cover - protocol error
+                    conn.send(("error", f"unknown message {kind!r}"))
+            except Exception:  # pragma: no cover - surfaced by coordinator
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover
+        pass
+    finally:
+        del index, dis, sup
+        dis_seg.close()
+        sup_seg.close()
+        conn.close()
+
+
+@dataclass
+class ParallelApplyReport:
+    """Outcome of one :meth:`ParallelIncH2H.apply` call.
+
+    ``model`` is the Section 5.3 LPT *price* of the same work log the
+    run actually executed, so ``model.speedup(processors)`` cross-checks
+    the measured ``wall_seconds`` against the simulation in
+    :mod:`repro.h2h.parallel`.
+    """
+
+    changed: List[ChangedSuperShortcut]
+    levels: int
+    processors: int
+    wall_seconds: float
+    propagate_seconds: float
+    model: ParallelReport
+
+    @property
+    def model_speedup(self) -> float:
+        """The LPT model's predicted ``T_1 / T_P`` for this batch."""
+        return self.model.speedup(self.processors)
+
+
+class ParallelIncH2H:
+    """Level-synchronous multiprocess IncH2H over shared-memory matrices.
+
+    The backend takes ownership of *index*: its ``dis``/``sup`` arrays
+    are moved into shared segments (the index keeps working — queries
+    read the same values through the mapped views) and ``P`` persistent
+    workers are spawned holding private copies of the shortcut graph.
+    :meth:`close` (or the context manager) restores private arrays and
+    releases the segments.
+
+    Example
+    -------
+    >>> from repro.graph import grid_network
+    >>> from repro.h2h.indexing import h2h_indexing
+    >>> index = h2h_indexing(grid_network(3, 3, seed=1))
+    >>> edge = next(iter(index.sc._edge_w))
+    >>> with ParallelIncH2H(index, processors=2) as par:
+    ...     report = par.apply([(edge, 99.0)], "increase")
+    >>> report.processors
+    2
+    """
+
+    def __init__(
+        self,
+        index: H2HIndex,
+        processors: int = 2,
+        start_method: str = "spawn",
+    ) -> None:
+        if processors < 1:
+            raise UpdateError(f"processors must be >= 1, got {processors}")
+        if not shared_memory_available():
+            raise UpdateError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform; use repro.h2h.parallel.simulate_parallel_update"
+            )
+        self.index = index
+        self.processors = processors
+        shape = index.dis.shape
+        self._shm_dis = shared_memory.SharedMemory(
+            create=True, size=max(16, index.dis.nbytes)
+        )
+        self._shm_sup = shared_memory.SharedMemory(
+            create=True, size=max(16, index.sup.nbytes)
+        )
+        dis_view = np.ndarray(shape, dtype=np.float64, buffer=self._shm_dis.buf)
+        sup_view = np.ndarray(shape, dtype=np.int32, buffer=self._shm_sup.buf)
+        dis_view[:] = index.dis
+        sup_view[:] = index.sup
+        index.dis = dis_view
+        index.sup = sup_view
+        ctx = multiprocessing.get_context(start_method)
+        self._workers: List[Tuple[object, object]] = []
+        self._closed = False
+        try:
+            for _ in range(processors):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        child,
+                        index.tree,
+                        self._shm_dis.name,
+                        self._shm_sup.name,
+                        shape,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._workers.append((proc, parent))
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Worker pool plumbing
+    # ------------------------------------------------------------------
+    def _collect(self, worker_ids: Sequence[int]) -> List[tuple]:
+        """Receive one reply per worker, in worker order (determinism)."""
+        replies = []
+        for p in worker_ids:
+            reply = self._workers[p][1].recv()
+            if reply[0] == "error":
+                raise UpdateError(f"ParIncH2H worker {p} failed:\n{reply[1]}")
+            replies.append(reply)
+        return replies
+
+    def _broadcast_weights(self, changed_shortcuts) -> None:
+        deltas = [
+            (key[0], key[1], float(new)) for key, _old, new in changed_shortcuts
+        ]
+        for _proc, conn in self._workers:
+            conn.send(("weights", deltas))
+        self._collect(range(len(self._workers)))
+
+    # ------------------------------------------------------------------
+    # The level-synchronous schedule
+    # ------------------------------------------------------------------
+    def _drain_queue(self, queue: AddressableHeap) -> Dict[int, Dict[int, list]]:
+        """Empty the seed queue into ``level -> vertex -> [depths]``."""
+        depth = self.index.tree.depth
+        pending: Dict[int, Dict[int, list]] = {}
+        while queue:
+            (u, da), _ = queue.pop()
+            pending.setdefault(int(depth[u]), {}).setdefault(u, []).append(da)
+        return pending
+
+    def _schedule(self, pending, level) -> Tuple[list, List[int], list]:
+        """LPT-assign one level's vertex groups to the workers.
+
+        Returns (per-worker task lists, the ids of workers with work,
+        group descriptors for bookkeeping).
+        """
+        sc = self.index.sc
+        groups = sorted((u, sorted(das)) for u, das in pending.pop(level).items())
+        costs = [
+            len(sc.upward(u)) + (len(sc.downward(u)) + 1) * len(das)
+            for u, das in groups
+        ]
+        buckets = lpt_assign(costs, self.processors)
+        tasks = [[groups[i] for i in bucket] for bucket in buckets]
+        active = [p for p, t in enumerate(tasks) if t]
+        return tasks, active, groups
+
+    def apply(
+        self,
+        updates: Sequence[WeightUpdate],
+        direction: str,
+    ) -> ParallelApplyReport:
+        """Apply a weight-update batch with the multiprocess schedule.
+
+        Bit-identical to running :func:`repro.h2h.inch2h.inch2h_increase`
+        (or ``_decrease``) on the same index: same ``dis``/``sup``
+        matrices, same shortcut state, same changed-set contents.
+        """
+        if self._closed:
+            raise UpdateError("ParallelIncH2H is closed")
+        if direction not in ("increase", "decrease"):
+            raise UpdateError(
+                f"direction must be 'increase' or 'decrease', got {direction!r}"
+            )
+        with span(
+            names.SPAN_PARINCH2H_APPLY,
+            direction=direction,
+            processors=self.processors,
+        ) as sp:
+            t_start = perf_counter()
+            ops = resolve_counter(None)
+            index = self.index
+            sc = index.sc
+            # Line 2 of Algorithms 4/5: the shortcut graph is maintained
+            # sequentially by the coordinator (DCH's pop loop is a serial
+            # dependency chain), then the weight deltas are broadcast so
+            # every worker's private graph copy matches.
+            if direction == "increase":
+                changed_shortcuts = dch_increase(sc, updates, None)
+            else:
+                changed_shortcuts = dch_decrease(sc, updates, None)
+            self._broadcast_weights(changed_shortcuts)
+
+            queue: AddressableHeap = AddressableHeap()
+            original: dict = {}
+            seed_rows: dict = {}
+            if direction == "increase":
+                _ancestor_scan_increase(index, changed_shortcuts, queue, ops)
+            else:
+                seed_rows = _decrease_seed_scan(
+                    index, changed_shortcuts, queue, original, ops
+                )
+            pending = self._drain_queue(queue)
+            scheduled = {
+                (u, da)
+                for per_vertex in pending.values()
+                for u, das in per_vertex.items()
+                for da in das
+            }
+
+            t_prop = perf_counter()
+            changed: List[ChangedSuperShortcut] = []
+            work_log: list = []
+            levels = 0
+            kind = direction
+            while pending:
+                level = min(pending)
+                levels += 1
+                tasks, active, _groups = self._schedule(pending, level)
+                for p in active:
+                    self._workers[p][1].send((kind, tasks[p]))
+                replies = self._collect(active)
+                # Apply cross-vertex side effects between levels, in
+                # worker order then message order — deterministic, and
+                # (as argued in the module docstring) order-independent
+                # in effect.
+                for reply in replies:
+                    _tag, messages, reply_changed, work = reply
+                    changed.extend(reply_changed)
+                    work_log.extend(work)
+                    if kind == "increase":
+                        self._apply_decrements(messages, pending, scheduled)
+                    else:
+                        self._apply_candidates(
+                            messages, pending, scheduled, original, seed_rows
+                        )
+            propagate_seconds = perf_counter() - t_prop
+
+            if direction == "decrease":
+                dis = index.dis
+                changed = [
+                    (key, old, float(dis[key[0], key[1]]))
+                    for key, old in original.items()
+                    if dis[key[0], key[1]] != old
+                ]
+            report = ParallelApplyReport(
+                changed=changed,
+                levels=levels,
+                processors=self.processors,
+                wall_seconds=perf_counter() - t_start,
+                propagate_seconds=propagate_seconds,
+                model=build_report(work_log),
+            )
+            if sp.active:
+                sp.set(
+                    delta=len(updates),
+                    changed=len(report.changed),
+                    levels=report.levels,
+                    wall_seconds=report.wall_seconds,
+                    model_speedup=report.model_speedup,
+                )
+        return report
+
+    def _apply_decrements(self, messages, pending, scheduled) -> None:
+        """IncH2H+ side effects: aggregate support decrements.
+
+        The ``s0``-th decrement of an entry fires its queue push exactly
+        as in the sequential run — decrement counts per entry match, so
+        the zero crossing (and hence the scheduled set) matches.
+        """
+        index = self.index
+        sup = index.sup
+        depth = index.tree.depth
+        for v, td in messages:
+            sup[v, td] -= 1
+            if sup[v, td] == 0:
+                pending.setdefault(int(depth[v]), {}).setdefault(v, []).append(td)
+                scheduled.add((v, td))
+
+    def _apply_candidates(
+        self, messages, pending, scheduled, original, seed_rows
+    ) -> None:
+        """IncH2H- side effects: the relax rule over returned candidates.
+
+        Re-compares against the live value (a candidate from another
+        group may have improved the entry first) and honors the same
+        seed memo as the sequential pop loop.
+        """
+        index = self.index
+        dis = index.dis
+        sup = index.sup
+        depth = index.tree.depth
+        for v, td, cand, via in messages:
+            row = seed_rows.get((v, via))
+            if row is not None and row[td] == cand:
+                continue  # the seed already applied this candidate
+            current = float(dis[v, td])
+            if cand < current:
+                original.setdefault((v, td), current)
+                dis[v, td] = cand
+                sup[v, td] = 1
+                if (v, td) not in scheduled:
+                    scheduled.add((v, td))
+                    pending.setdefault(int(depth[v]), {}).setdefault(
+                        v, []
+                    ).append(td)
+            elif cand == current and cand != _INF:
+                sup[v, td] += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers, detach the index, release shared memory."""
+        if self._closed:
+            return
+        self._closed = True
+        for _proc, conn in self._workers:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - worker gone
+                pass
+        for proc, conn in self._workers:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=10)
+            conn.close()
+        self._workers = []
+        # Give the index private arrays back before unmapping the views.
+        self.index.dis = np.array(self.index.dis, copy=True)
+        self.index.sup = np.array(self.index.sup, copy=True)
+        for seg in (self._shm_dis, self._shm_sup):
+            seg.close()
+            try:
+                seg.unlink()
+            except OSError:  # pragma: no cover - already unlinked
+                pass
+
+    def __enter__(self) -> "ParallelIncH2H":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC ordering varies
+        try:
+            if not getattr(self, "_closed", True):
+                self.close()
+        except Exception:
+            pass

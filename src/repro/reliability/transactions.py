@@ -149,11 +149,18 @@ def atomic_apply(oracle, updates: Sequence[WeightUpdate]):
         raise
 
 
-def cow_apply(oracle, updates: Sequence[WeightUpdate]):
+def cow_apply(
+    oracle, updates: Sequence[WeightUpdate], *, coalesce: bool = False
+):
     """Copy-on-write apply: build the *next* version, never touch this one.
 
     Clones *oracle* (graph and index) and applies the batch to the clone
-    through :func:`atomic_apply`.  Returns ``(next_oracle, report)``;
+    through :func:`atomic_apply`.  With *coalesce*, the raw stream is
+    first merged into its per-edge net effect against the oracle's
+    current weights (:func:`repro.perf.coalesce.coalesce_updates`; keyed
+    per ordered arc for directed oracles) — the deduplicated batch also
+    passes :func:`validate_batch`'s duplicate check, so repeated-edge
+    streams become applicable here.  Returns ``(next_oracle, report)``;
     *oracle* itself is left bit-identical, so readers holding it keep
     answering consistently the whole time the update is in flight.  This
     is the maintenance primitive behind :mod:`repro.serve`'s epoch
@@ -174,6 +181,13 @@ def cow_apply(oracle, updates: Sequence[WeightUpdate]):
             f"{type(oracle).__name__} does not support copy-on-write "
             "(no clone() method)"
         )
+    if coalesce:
+        from repro.perf.coalesce import coalesce_updates
+
+        graph = oracle.graph
+        updates = coalesce_updates(
+            updates, graph.weight, directed=hasattr(graph, "arcs")
+        ).updates
     next_oracle = clone()
     index = getattr(next_oracle, "index", None)
     if index is None or isinstance(index, (ShortcutGraph, H2HIndex)):

@@ -57,6 +57,8 @@ class BenchConfig:
     factor: float = 2.0  #: weight-increase factor of each batch
     workers: int = 4
     cache_capacity: int = 65536
+    throughput_edges: int = 16  #: edges in the update-throughput phase (0 = skip)
+    throughput_reports: int = 3  #: re-reports per edge in the raw stream
 
 
 @dataclass
@@ -77,6 +79,9 @@ class BenchResult:
     ratios: dict = field(default_factory=dict)
     #: Index size figures (shortcuts, super-shortcuts, bytes).
     index: dict = field(default_factory=dict)
+    #: Update-throughput phase: per-update publishes vs one coalesced
+    #: publish of the same raw stream (empty when the phase is skipped).
+    update_throughput: dict = field(default_factory=dict)
     #: The server's MetricsRegistry snapshot (``repro obs metrics-dump``).
     metrics: dict = field(default_factory=dict, repr=False)
 
@@ -106,6 +111,7 @@ class BenchResult:
             "latency_us": latency_percentiles(self.hit_latency_samples_s),
             "ratios": self.ratios,
             "index": self.index,
+            "update_throughput": self.update_throughput,
             "publishes": self.publishes,
             "stats": self.stats,
         }
@@ -125,6 +131,7 @@ class BenchResult:
                 "cold_per_query_us": self.cold_per_query_s * 1e6,
                 "warm_per_query_us": self.warm_per_query_s * 1e6,
                 "speedup": self.speedup,
+                "update_throughput": dict(self.update_throughput),
             },
         )
 
@@ -264,6 +271,43 @@ def serve_bench(config: BenchConfig = BenchConfig()) -> BenchResult:
             key: sum(row[key] for row in ratio_rows) / len(ratio_rows)
             for key in (ratio_rows[0] if ratio_rows else {})
         }
+
+        # Update-throughput phase: the same raw re-report stream applied
+        # one publish per update vs one coalesced publish.  The restore
+        # batch between the two measurements puts the weights back, so
+        # both runs start (and end) at identical state.
+        update_throughput: dict = {}
+        if config.throughput_edges > 0 and config.throughput_reports > 0:
+            t_graph = server.snapshot().graph
+            base_w = {
+                (u, v): t_graph.weight(u, v)
+                for u, v, _w in sample_edges(
+                    t_graph, config.throughput_edges, rng=rng
+                )
+            }
+            stream = [
+                (edge, weight * (1.2 + 0.4 * rep))
+                for rep in range(config.throughput_reports)
+                for edge, weight in base_w.items()
+            ]
+            t0 = perf_counter()
+            for update in stream:
+                server.apply([update], coalesce=False)
+            sequential_s = perf_counter() - t0
+            server.apply([(edge, w) for edge, w in base_w.items()])
+            t0 = perf_counter()
+            server.apply(stream, coalesce=True)
+            batched_s = perf_counter() - t0
+            update_throughput = {
+                "raw_updates": len(stream),
+                "distinct_edges": len(base_w),
+                "sequential_s": sequential_s,
+                "batched_s": batched_s,
+                "sequential_updates_per_s": len(stream) / sequential_s,
+                "batched_updates_per_s": len(stream) / batched_s,
+                "batch_speedup": sequential_s / batched_s,
+            }
+
         index_stats = _index_stats(server.snapshot().oracle)
         stats = server.stats()
         metrics_snapshot = server.metrics.snapshot()
@@ -279,5 +323,6 @@ def serve_bench(config: BenchConfig = BenchConfig()) -> BenchResult:
         hit_latency_samples_s=samples,
         ratios=mean_ratios,
         index=index_stats,
+        update_throughput=update_throughput,
         metrics=metrics_snapshot,
     )

@@ -255,7 +255,7 @@ class DistanceServer:
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
-    def apply(self, updates) -> ServeReport:
+    def apply(self, updates, *, coalesce: bool = True) -> ServeReport:
         """Apply a weight-update batch and publish the next epoch.
 
         Builds the next version copy-on-write (readers keep answering on
@@ -263,12 +263,19 @@ class DistanceServer:
         evicts exactly the cached pairs the update's AFF set can have
         changed.  Writers are serialized; on failure nothing is
         published and the cache is untouched.
+
+        *coalesce* (default on — serving feeds re-report edges) merges
+        the raw stream into its per-edge net effect before maintenance,
+        so one propagation pass covers the whole batch; the published
+        index is identical to per-update application.
         """
         with self._write_lock:
             start = perf_counter()
             with span(names.SPAN_SERVE_PUBLISH) as sp:
                 current = self._epochs.current
-                next_oracle, report = cow_apply(current.oracle, updates)
+                next_oracle, report = cow_apply(
+                    current.oracle, updates, coalesce=coalesce
+                )
                 aff = affected_vertices(next_oracle, report)
                 snapshot = self._epochs.publish(next_oracle, affected=aff)
                 carried, evicted = self.cache.migrate(snapshot.epoch, aff)

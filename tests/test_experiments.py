@@ -226,6 +226,17 @@ class TestExperimentRuns:
         single = result.series_by_name("one-by-one").y
         assert len(batched) == len(single) == 2
 
+    def test_ablation_coalescing_small(self):
+        from repro.experiments import ablation
+
+        result = ablation.run_coalescing(
+            network="NY", profile="small", stream_edges=6, reports=(1, 4)
+        )
+        seq = result.series_by_name("one publish per update")
+        bat = result.series_by_name("coalesced")
+        assert seq.x == bat.x == [1, 4]
+        assert len(seq.y) == len(bat.y) == 2
+
 
 class TestRunnerCli:
     def test_cli_runs_table2(self, capsys, tmp_path):

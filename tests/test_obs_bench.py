@@ -11,6 +11,7 @@ from repro.obs.bench import (
     compare_bench,
     latency_percentiles,
     load_bench,
+    pair_bench_dirs,
     write_bench,
 )
 
@@ -136,6 +137,38 @@ class TestCompare:
             compare_bench(*self._pair(), threshold=-0.1)
 
 
+class TestPairBenchDirs:
+    def _dirs(self, tmp_path, old_names, new_names):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        for names, directory in ((old_names, old_dir), (new_names, new_dir)):
+            for name in names:
+                write_bench(
+                    BenchRecord(name=name, latency_us={"p95": 1.0}),
+                    str(directory),
+                )
+        return str(old_dir), str(new_dir)
+
+    def test_pairs_matching_names(self, tmp_path):
+        old_dir, new_dir = self._dirs(
+            tmp_path, ["a", "b", "only_old"], ["b", "a", "only_new"]
+        )
+        pairs, only_old, only_new = pair_bench_dirs(old_dir, new_dir)
+        assert [name for name, _o, _n in pairs] == ["a", "b"]
+        assert only_old == ["only_old"]
+        assert only_new == ["only_new"]
+        for name, old_path, new_path in pairs:
+            assert load_bench(old_path)["name"] == name
+            assert load_bench(new_path)["name"] == name
+
+    def test_ignores_non_bench_files(self, tmp_path):
+        old_dir, new_dir = self._dirs(tmp_path, ["a"], ["a"])
+        (tmp_path / "old" / "report.txt").write_text("not a record")
+        (tmp_path / "new" / "BENCH_partial.tmp").write_text("{}")
+        pairs, only_old, only_new = pair_bench_dirs(old_dir, new_dir)
+        assert [name for name, _o, _n in pairs] == ["a"]
+        assert only_old == only_new == []
+
+
 class TestObsCli:
     def _write(self, tmp_path, p95):
         record = BenchRecord(name="cli", latency_us={"p95": p95})
@@ -152,6 +185,65 @@ class TestObsCli:
         new = self._write(tmp_path / "new", 150.0)
         assert main(["obs", "bench-compare", old, new, "--threshold", "0.2"]) == 3
         assert "REGRESSION" in capsys.readouterr().err
+
+    def test_bench_compare_directory_mode_exit_zero(self, tmp_path, capsys):
+        for directory in ("old", "new"):
+            for name in ("serve", "inch2h"):
+                write_bench(
+                    BenchRecord(name=name, latency_us={"p95": 100.0}),
+                    str(tmp_path / directory),
+                )
+        code = main(
+            ["obs", "bench-compare", str(tmp_path / "old"), str(tmp_path / "new")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== inch2h ==" in out and "== serve ==" in out
+
+    def test_bench_compare_directory_mode_exit_three_on_any_regression(
+        self, tmp_path, capsys
+    ):
+        write_bench(BenchRecord(name="ok", latency_us={"p95": 100.0}),
+                    str(tmp_path / "old"))
+        write_bench(BenchRecord(name="ok", latency_us={"p95": 100.0}),
+                    str(tmp_path / "new"))
+        write_bench(BenchRecord(name="bad", latency_us={"p95": 100.0}),
+                    str(tmp_path / "old"))
+        write_bench(BenchRecord(name="bad", latency_us={"p95": 200.0}),
+                    str(tmp_path / "new"))
+        code = main(
+            [
+                "obs", "bench-compare",
+                str(tmp_path / "old"), str(tmp_path / "new"),
+                "--threshold", "0.2",
+            ]
+        )
+        assert code == 3
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_bench_compare_directory_mode_reports_one_sided_records(
+        self, tmp_path, capsys
+    ):
+        write_bench(BenchRecord(name="both", latency_us={"p95": 1.0}),
+                    str(tmp_path / "old"))
+        write_bench(BenchRecord(name="both", latency_us={"p95": 1.0}),
+                    str(tmp_path / "new"))
+        write_bench(BenchRecord(name="fresh", latency_us={"p95": 1.0}),
+                    str(tmp_path / "new"))
+        code = main(
+            ["obs", "bench-compare", str(tmp_path / "old"), str(tmp_path / "new")]
+        )
+        captured = capsys.readouterr()
+        assert code == 0  # a brand-new benchmark has no baseline to gate on
+        assert "fresh" in captured.out + captured.err
+
+    def test_bench_compare_empty_directories_exit_one(self, tmp_path):
+        (tmp_path / "old").mkdir()
+        (tmp_path / "new").mkdir()
+        code = main(
+            ["obs", "bench-compare", str(tmp_path / "old"), str(tmp_path / "new")]
+        )
+        assert code == 1
 
     def test_metrics_dump_renders_saved_snapshot(self, tmp_path, capsys):
         from repro.obs.registry import MetricsRegistry

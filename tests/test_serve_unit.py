@@ -328,6 +328,7 @@ def test_serve_bench_smoke():
         BenchConfig(
             oracle="ch", vertices=120, queries=60, repeats=2,
             updates=1, batch=3, workers=2,
+            throughput_edges=4, throughput_reports=2,
         )
     )
     assert result.speedup > 2.0
@@ -336,7 +337,13 @@ def test_serve_bench_smoke():
     assert math.isfinite(result.baseline_per_query_s)
     payload = result.as_dict()
     assert payload["config"]["oracle"] == "ch"
-    assert payload["stats"]["epoch"] == 1
+    # Epochs: 1 update batch + 8 per-update publishes + the restore
+    # batch + 1 coalesced publish from the update-throughput phase.
+    assert payload["stats"]["epoch"] == 1 + 4 * 2 + 2
+    throughput = payload["update_throughput"]
+    assert throughput["raw_updates"] == 8
+    assert throughput["distinct_edges"] == 4
+    assert throughput["batch_speedup"] > 0
 
 
 def test_serve_bench_rejects_unknown_oracle():

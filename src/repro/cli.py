@@ -54,7 +54,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import JsonlSink, TraceSchemaError, set_sink, validate_record
 from repro.persist import load_ch, load_h2h, save_ch, save_h2h
 from repro.reliability import ReliableStore, verify_index
-from repro.serve.bench import BenchConfig, serve_bench
+from repro.serve.bench import BenchConfig, overload_bench, serve_bench
 from repro.utils.timer import Timer
 
 __all__ = ["main"]
@@ -203,6 +203,8 @@ def _cmd_stats(args) -> int:
 def _cmd_verify(args) -> int:
     kind, index = _load_index(args.index)
     graph = _read_network(args.network) if args.network else None
+    if args.bounded:
+        return _verify_bounded(args, kind, index, graph)
     with Timer() as timer:
         checked = verify_index(index, graph,
                                sample=args.sample, seed=args.seed)
@@ -210,6 +212,73 @@ def _cmd_verify(args) -> int:
     against = " against network" if graph is not None else ""
     print(f"[{kind}] integrity OK{against}: {checked} entries checked "
           f"({scope}) in {timer.elapsed * 1e3:.2f}ms")
+    return 0
+
+
+def _verify_bounded(args, kind, index, graph) -> int:
+    """``repro verify --bounded``: accept an index that lags the network
+    by at most the ε bound (docs/degraded-mode.md).
+
+    The index must still be internally consistent (exhaustive
+    ``verify_index`` sweep of every weight / support / distance entry —
+    degradation defers updates, it never corrupts), but its edge weights
+    may deviate from the network's true weights by a factor of up to
+    ``1 + ε`` per edge.  Reports the worst observed per-edge stretch
+    (which bounds query stretch by construction) and, with
+    ``--stretch-queries``, the worst observed *query* stretch of a
+    sampled differential sweep against Dijkstra on the true weights.
+    """
+    import random as _random
+
+    from repro.core.oracle import DijkstraOracle
+    from repro.reliability.degrade import check_stretch
+
+    if graph is None:
+        print("error: --bounded needs --network (the true weights to "
+              "bound against)", file=sys.stderr)
+        return 2
+    epsilon = args.epsilon
+    with Timer() as timer:
+        checked = verify_index(index, None, sample=args.sample,
+                               seed=args.seed)
+        sc = index.sc if kind == "h2h" else index
+        worst_edge = 0.0
+        for u, v, w in graph.edges():
+            iw = sc.edge_weight(u, v)
+            if iw <= 0 or w <= 0:
+                if iw != w:
+                    worst_edge = math.inf
+                continue
+            worst_edge = max(worst_edge, max(iw / w, w / iw) - 1.0)
+    print(f"[{kind}] bounded integrity: {checked} entries internally "
+          f"consistent; worst edge stretch {worst_edge:.4f} vs "
+          f"ε bound {epsilon:.4f} ({timer.elapsed * 1e3:.2f}ms)")
+    ok = worst_edge <= epsilon + 1e-9
+    if args.stretch_queries > 0:
+        rng = _random.Random(args.seed)
+        distance = h2h_distance if kind == "h2h" else ch_distance
+        truth = DijkstraOracle(graph)
+        worst_query = 0.0
+        violations = 0
+        for _ in range(args.stretch_queries):
+            s = rng.randrange(graph.n)
+            t = rng.randrange(graph.n)
+            served = distance(index, s, t)
+            exact = truth.distance(s, t)
+            if not check_stretch(served, exact, epsilon):
+                violations += 1
+            if math.isfinite(served) and math.isfinite(exact) \
+                    and served > 0 and exact > 0:
+                worst_query = max(
+                    worst_query, max(served / exact, exact / served) - 1.0
+                )
+        print(f"  query sweep: {args.stretch_queries} pairs, worst query "
+              f"stretch {worst_query:.4f}, {violations} beyond the bound")
+        ok = ok and violations == 0
+    if not ok:
+        print(f"error: observed stretch exceeds the ε bound {epsilon}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -254,7 +323,16 @@ def _cmd_serve_bench(args) -> int:
         cache_capacity=args.cache_capacity,
         throughput_edges=args.throughput_edges,
         throughput_reports=args.throughput_reports,
+        overload_batches=args.overload_batches,
+        overload_batch=args.overload_batch,
+        overload_factor=args.overload_factor,
+        threshold_c=args.threshold_c,
+        high_watermark=args.high_watermark,
+        low_watermark=args.low_watermark,
+        stretch_queries=args.stretch_queries,
     )
+    if args.overload:
+        return _serve_bench_overload(args, config)
     sink = previous = None
     if args.trace:
         sink = JsonlSink(args.trace)
@@ -300,6 +378,61 @@ def _cmd_serve_bench(args) -> int:
         )
         path = write_bench(record, args.bench_out)
         print(f"wrote bench record -> {path}")
+    return 0
+
+
+def _serve_bench_overload(args, config: BenchConfig) -> int:
+    """``repro serve-bench --overload``: the degraded-tier scenario."""
+    sink = previous = None
+    if args.trace:
+        sink = JsonlSink(args.trace)
+        previous = set_sink(sink)
+    try:
+        result = overload_bench(config)
+    finally:
+        if sink is not None:
+            set_sink(previous)
+            sink.close()
+    print(f"serve-bench --overload [{config.oracle}] {config.vertices} "
+          f"vertices, {config.overload_batches} batches of "
+          f"{config.overload_batch} (factor {config.overload_factor}), "
+          f"threshold-c {config.threshold_c}, watermarks "
+          f"{config.high_watermark}/{config.low_watermark}")
+    print(f"  build               {result.build_s:8.2f} s")
+    print(f"  exact baseline      {result.exact_updates_per_s:8.1f} updates/s "
+          f"({result.exact_updates} updates in {result.exact_s:.3f}s)")
+    print(f"  degraded sustained  {result.degraded_updates_per_s:8.1f} updates/s "
+          f"({result.degraded_updates} updates, "
+          f"{result.degraded_publishes} partial publishes)")
+    print(f"  speedup             {result.speedup:8.1f} x "
+          f"(acceptance gate: >= 3x)")
+    print(f"  max ε observed      {result.max_epsilon:8.4f} "
+          f"(budget {result.epsilon_budget:.4f})")
+    print(f"  catch-up            {result.caught_up} deltas folded in "
+          f"{result.catchup_s * 1e3:.1f}ms")
+    for phase, row in result.stretch.items():
+        print(f"  stretch[{phase:<8}]  {row['queries']} queries, "
+              f"worst {row['worst_stretch']:.4f}, "
+              f"{row['violations']} violations ({row['state']})")
+    if args.json:
+        _ensure_parent(args.json)
+        with open(args.json, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=2)
+        print(f"wrote stats -> {args.json}")
+    if args.trace:
+        print(f"wrote trace -> {args.trace}")
+    if args.metrics:
+        _ensure_parent(args.metrics)
+        with open(args.metrics, "w") as handle:
+            json.dump(result.metrics, handle, indent=2, sort_keys=True)
+        print(f"wrote metrics snapshot -> {args.metrics}")
+    if args.bench_out:
+        record = result.to_bench_record(args.bench_name or "serve_degraded")
+        path = write_bench(record, args.bench_out)
+        print(f"wrote bench record -> {path}")
+    if result.total_violations or result.max_epsilon > result.epsilon_budget:
+        print("error: stretch bound violated", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -505,6 +638,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--sample", type=int, default=None,
                           help="check only N random entries (default: all)")
     p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument("--bounded", action="store_true",
+                          help="accept a boundedly-stale index: require "
+                               "internal consistency plus per-edge stretch "
+                               "<= --epsilon against --network")
+    p_verify.add_argument("--epsilon", type=float, default=0.25,
+                          help="the ε bound to verify against "
+                               "(default 0.25 = threshold-c 1.25)")
+    p_verify.add_argument("--stretch-queries", type=int, default=200,
+                          help="differential query sweep size in --bounded "
+                               "mode (0 skips it)")
     p_verify.set_defaults(func=_cmd_verify)
 
     p_recover = sub.add_parser(
@@ -558,6 +701,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "(0 skips the phase)")
     p_serve.add_argument("--throughput-reports", type=int, default=3,
                          help="re-reports per edge in the raw stream")
+    p_serve.add_argument("--overload", action="store_true",
+                         help="run the degraded-tier overload scenario "
+                              "instead (docs/degraded-mode.md)")
+    p_serve.add_argument("--overload-batches", type=int, default=40,
+                         help="minor-update batches flooding the server")
+    p_serve.add_argument("--overload-batch", type=int, default=8,
+                         help="edges per overload batch")
+    p_serve.add_argument("--overload-factor", type=float, default=1.15,
+                         help="per-update weight factor (< threshold-c)")
+    p_serve.add_argument("--threshold-c", type=float, default=1.25,
+                         help="deferral threshold of the degrade policy")
+    p_serve.add_argument("--high-watermark", type=int, default=4,
+                         help="backlog depth that enters degraded mode")
+    p_serve.add_argument("--low-watermark", type=int, default=1,
+                         help="backlog depth that triggers the catch-up")
+    p_serve.add_argument("--stretch-queries", type=int, default=1200,
+                         help="differential queries across the "
+                              "degraded/catch-up/healthy transitions")
     p_serve.set_defaults(func=_cmd_serve_bench)
 
     p_perf = sub.add_parser(

@@ -36,6 +36,18 @@ SERVE_CACHE_CARRIED = "repro_serve_cache_carried_total"
 SERVE_SNAPSHOT_PINS = "repro_serve_snapshot_pins_total"
 SERVE_AFFECTED_VERTICES = "repro_serve_affected_vertices"
 
+# Degraded-tier metrics (docs/degraded-mode.md): the admission-control
+# state machine, the deferral journal and the coalescer's per-apply
+# counters, all registered by DistanceServer.
+SERVE_STATE = "repro_serve_state"
+SERVE_EPSILON = "repro_serve_epsilon"
+SERVE_DEFERRED_EDGES = "repro_serve_deferred_edges"
+SERVE_DEFERRAL_ACTIONS = "repro_serve_deferral_actions_total"
+SERVE_PENDING_BATCHES = "repro_serve_pending_batches"
+SERVE_PENDING_AGE = "repro_serve_pending_age_seconds"
+SERVE_COALESCE_SUPERSEDED = "repro_serve_coalesce_superseded_total"
+SERVE_COALESCE_DROPPED = "repro_serve_coalesce_dropped_total"
+
 #: Every metric name the library itself registers.
 METRICS = frozenset(
     {
@@ -50,6 +62,14 @@ METRICS = frozenset(
         SERVE_CACHE_CARRIED,
         SERVE_SNAPSHOT_PINS,
         SERVE_AFFECTED_VERTICES,
+        SERVE_STATE,
+        SERVE_EPSILON,
+        SERVE_DEFERRED_EDGES,
+        SERVE_DEFERRAL_ACTIONS,
+        SERVE_PENDING_BATCHES,
+        SERVE_PENDING_AGE,
+        SERVE_COALESCE_SUPERSEDED,
+        SERVE_COALESCE_DROPPED,
     }
 )
 
@@ -79,6 +99,9 @@ SPAN_DIRECTED_INCH2H_INCREASE = "directed.inch2h.increase"
 SPAN_DIRECTED_INCH2H_DECREASE = "directed.inch2h.decrease"
 
 SPAN_SERVE_PUBLISH = "serve.publish"
+SPAN_SERVE_CATCHUP = "serve.catchup"
+
+SPAN_DEGRADE_CLASSIFY = "degrade.classify"
 
 #: Every span name the library itself opens.
 SPANS = frozenset(
@@ -102,5 +125,7 @@ SPANS = frozenset(
         SPAN_DIRECTED_INCH2H_INCREASE,
         SPAN_DIRECTED_INCH2H_DECREASE,
         SPAN_SERVE_PUBLISH,
+        SPAN_SERVE_CATCHUP,
+        SPAN_DEGRADE_CLASSIFY,
     }
 )

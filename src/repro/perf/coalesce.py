@@ -29,12 +29,13 @@ The hypothesis suite (``tests/test_perf_coalesce.py``) pins this down.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Sequence, Tuple
 
 from repro.graph.graph import WeightUpdate
 
-__all__ = ["CoalescedBatch", "coalesce_updates"]
+__all__ = ["CoalescedBatch", "coalesce_updates", "split_by_threshold"]
 
 
 @dataclass(frozen=True)
@@ -101,3 +102,49 @@ def coalesce_updates(
     # lists stay the only mutable surface handed to callers.
     object.__setattr__(batch, "dropped", dropped)
     return batch
+
+
+def split_by_threshold(
+    updates: Sequence[WeightUpdate],
+    weight_of: Callable[[int, int], float],
+    threshold_c: float,
+) -> Tuple[List[WeightUpdate], List[WeightUpdate]]:
+    """Split a net update batch into *(major, minor)* against a threshold-c.
+
+    This is the Fig. 2f congestion-threshold rule applied to maintenance
+    admission (``docs/degraded-mode.md``): an update is **minor** when
+    its multiplicative deviation from the weight the served index still
+    reflects — ``max(new / current, current / new)`` — stays within
+    *threshold_c*, and **major** otherwise.  Minor updates can be parked
+    in a deferral journal while preserving a per-edge (hence per-path)
+    stretch bound of ``threshold_c``; major updates must be applied
+    exactly.
+
+    Updates whose deviation is unbounded (a zero, negative, or
+    non-finite weight on either side — edge deletions, re-insertions)
+    are always major: no finite stretch factor covers them.
+
+    *updates* is expected to be a net batch (one entry per edge, e.g.
+    the output of :func:`coalesce_updates`); the split preserves order
+    within each part.
+    """
+    if threshold_c <= 1.0:
+        raise ValueError(f"threshold_c must be > 1, got {threshold_c}")
+    major: List[WeightUpdate] = []
+    minor: List[WeightUpdate] = []
+    for (u, v), w in updates:
+        current = weight_of(u, v)
+        if (
+            w <= 0.0
+            or current <= 0.0
+            or not math.isfinite(w)
+            or not math.isfinite(current)
+        ):
+            major.append(((u, v), w))
+            continue
+        deviation = max(w / current, current / w)
+        if deviation > threshold_c:
+            major.append(((u, v), w))
+        else:
+            minor.append(((u, v), w))
+    return major, minor

@@ -18,11 +18,28 @@ hardware:
 * :mod:`~repro.reliability.resilient` — :class:`ResilientOracle`,
   which degrades to exact Dijkstra answers and self-heals when the
   index fails;
+* :mod:`~repro.reliability.degrade` — the bounded-error rung between
+  healthy and fallback (:class:`DeferredMaintenance`,
+  :class:`DegradePolicy`, :class:`OracleState`): sub-threshold weight
+  changes are parked in a journal and answers carry a tracked
+  max-stretch guarantee ``ε`` (``docs/degraded-mode.md``);
 * :mod:`~repro.reliability.faults` — a seeded :class:`FaultInjector`
   so every one of those paths is actually exercised in tests.
 """
 
-from repro.reliability.faults import FaultInjector, FaultyOracle, InjectedFault
+from repro.reliability.degrade import (
+    BoundedDistance,
+    DeferredMaintenance,
+    DegradePolicy,
+    OracleState,
+    check_stretch,
+)
+from repro.reliability.faults import (
+    DEFERRAL_LABELS,
+    FaultInjector,
+    FaultyOracle,
+    InjectedFault,
+)
 from repro.reliability.resilient import ResilientOracle
 from repro.reliability.store import (
     RecoveryResult,
@@ -41,16 +58,22 @@ from repro.reliability.verify import verify_ch, verify_h2h, verify_index
 from repro.reliability.wal import WalRecord, WriteAheadLog
 
 __all__ = [
+    "DEFERRAL_LABELS",
+    "BoundedDistance",
+    "DeferredMaintenance",
+    "DegradePolicy",
     "FaultInjector",
     "FaultyOracle",
     "IndexSnapshot",
     "InjectedFault",
+    "OracleState",
     "RecoveryResult",
     "ReliableStore",
     "ResilientOracle",
     "WalRecord",
     "WriteAheadLog",
     "atomic_apply",
+    "check_stretch",
     "cow_apply",
     "graph_from_index",
     "restore_index",

@@ -1,0 +1,405 @@
+"""Bounded-error degraded maintenance: defer small deltas, bound the stretch.
+
+Under heavy update traffic, exact maintenance is the bottleneck the
+paper's boundedness analysis predicts (batched IncH2H sustains roughly
+an order of magnitude fewer updates/s than DCH, and both are finite).
+This module supplies the middle rung of the degradation ladder between
+"exact index" and "fall back to Dijkstra":
+
+* **threshold-c classification** — each coalesced update batch is split
+  by :func:`repro.perf.coalesce.split_by_threshold`: deltas whose
+  multiplicative deviation from the served weight exceeds ``c`` are
+  applied exactly, the rest are *parked* in a journal of pending
+  deltas (the Fig. 2f congestion-threshold machinery of
+  ``graph/traffic.py``, repurposed for maintenance admission);
+* **ε accounting** — the journal maintains the accumulated error bound
+  ``ε = max over parked edges of max(w_true/w_served, w_served/w_true) - 1``.
+  Because every parked edge deviates by at most ``c``, ``ε <= c - 1``
+  always holds by construction;
+* **bounded-stretch guarantee** — a served distance ``d`` satisfies
+  ``d_exact / (1 + ε) <= d <= d_exact * (1 + ε)`` (proof: every path's
+  served weight is within a factor ``1 + ε`` of its true weight edge by
+  edge, and ``min`` over paths preserves multiplicative envelopes).
+  :class:`BoundedDistance` stamps answers with the bound and
+  :func:`check_stretch` re-checks it differentially;
+* **catch-up** — :meth:`DeferredMaintenance.fold` merges the whole
+  journal into the next exact batch (one coalesced catch-up apply), so
+  deferred deltas are never lost, only delayed.
+
+The two consumers are :class:`~repro.reliability.ResilientOracle`
+(state ``DEGRADED_BOUNDED`` between ``HEALTHY`` and ``FALLBACK``) and
+:class:`~repro.serve.server.DistanceServer` (overload-aware admission
+control driven by :class:`DegradePolicy` watermarks).  See
+``docs/degraded-mode.md`` for the state machine and the ε proof.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import ReproError
+from repro.graph.graph import WeightUpdate
+from repro.obs import names
+from repro.obs.trace import span
+from repro.perf.coalesce import split_by_threshold
+
+__all__ = [
+    "BoundedDistance",
+    "DeferredDelta",
+    "DeferredMaintenance",
+    "DegradePolicy",
+    "OracleState",
+    "check_stretch",
+]
+
+
+class OracleState(Enum):
+    """The degradation ladder (docs/degraded-mode.md).
+
+    ``HEALTHY`` — the index is exact; answers carry no error.
+    ``DEGRADED_BOUNDED`` — sub-threshold deltas are parked; answers are
+    served from the index with a tracked max-stretch guarantee ``ε``.
+    ``FALLBACK`` — the index is unusable; answers come from ground-truth
+    Dijkstra on the current graph (exact, slow).
+    """
+
+    HEALTHY = "healthy"
+    DEGRADED_BOUNDED = "degraded_bounded"
+    FALLBACK = "fallback"
+
+
+class BoundedDistance(NamedTuple):
+    """A served distance stamped with its max-stretch guarantee.
+
+    ``distance`` is the answer the (possibly boundedly stale) index
+    gave; ``max_stretch`` is the ``ε`` in force when it was served.
+    The guarantee, proven by construction (see the module docstring):
+
+        ``exact / (1 + ε) <= distance <= exact * (1 + ε)``
+    """
+
+    distance: float
+    max_stretch: float
+
+    @property
+    def lower(self) -> float:
+        """The smallest the exact distance can be."""
+        return self.distance / (1.0 + self.max_stretch)
+
+    @property
+    def upper(self) -> float:
+        """The largest the exact distance can be."""
+        return self.distance * (1.0 + self.max_stretch)
+
+    @property
+    def exact(self) -> bool:
+        """True when the answer carries no error (``ε == 0``)."""
+        return self.max_stretch == 0.0
+
+
+def check_stretch(
+    served: float, exact: float, max_stretch: float, rel_slack: float = 1e-9
+) -> bool:
+    """Differentially re-check one stamped answer against ground truth.
+
+    True when *served* lies within the ``(1 + max_stretch)`` envelope of
+    *exact* in both directions (with a tiny relative *rel_slack* for
+    float accumulation).  Infinite distances must agree exactly — no
+    finite stretch factor bridges reachability.
+    """
+    if math.isinf(served) or math.isinf(exact):
+        return served == exact
+    bound = (1.0 + max_stretch) * (1.0 + rel_slack)
+    return served <= exact * bound and exact <= served * bound
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """Knobs of the degraded tier and the server's admission control.
+
+    Attributes
+    ----------
+    threshold_c:
+        Fig. 2f threshold: deltas whose multiplicative deviation from
+        the served weight stays within ``c`` may be deferred, so the
+        served stretch ``ε`` never exceeds ``c - 1``.
+    high_watermark / low_watermark:
+        Pending-batch depth (offered, not yet applied) at which
+        :class:`~repro.serve.server.DistanceServer` enters degraded
+        mode, and the depth at which load counts as subsided and a
+        catch-up apply folds the journal back in (hysteresis:
+        ``low < high``).
+    max_batch_age_s:
+        Oldest queued batch age that triggers degraded mode even when
+        the depth watermark has not been reached.
+    max_deferred:
+        Parked-edge count beyond which the journal is promoted into the
+        next exact batch regardless of load.
+    max_deferred_applies:
+        Parked-delta age, in applies, beyond which the journal is
+        promoted (bounds how stale any one answer can get).
+    """
+
+    threshold_c: float = 1.25
+    high_watermark: int = 8
+    low_watermark: int = 2
+    max_batch_age_s: float = 0.5
+    max_deferred: int = 4096
+    max_deferred_applies: int = 256
+
+    def __post_init__(self) -> None:
+        if self.threshold_c <= 1.0:
+            raise ReproError(
+                f"threshold_c must be > 1, got {self.threshold_c}"
+            )
+        if not 0 <= self.low_watermark < self.high_watermark:
+            raise ReproError(
+                f"watermarks must satisfy 0 <= low < high, got "
+                f"low={self.low_watermark} high={self.high_watermark}"
+            )
+
+
+@dataclass
+class DeferredDelta:
+    """One parked weight change: the journal entry for one edge."""
+
+    edge: Tuple[int, int]  #: the update's endpoint pair, as reported
+    target: float  #: the true (latest reported) weight
+    served: float  #: the weight the index still reflects
+    born: int  #: value of the apply counter when first parked
+
+    @property
+    def deviation(self) -> float:
+        """``max(target/served, served/target)`` — the stretch factor."""
+        return max(self.target / self.served, self.served / self.target)
+
+
+class DeferredMaintenance:
+    """The deferral journal + ε accounting behind ``DEGRADED_BOUNDED``.
+
+    One instance belongs to one oracle/server; it is deliberately
+    oblivious to *how* updates are applied — callers classify a net
+    batch, :meth:`park` the minor part, :meth:`note_exact` the major
+    part, and eventually :meth:`fold` the journal into an exact batch.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`DegradePolicy` thresholds/watermarks in force.
+    directed:
+        Key journal entries per ordered arc instead of per canonical
+        undirected edge (directed oracles).
+    injector:
+        Optional :class:`~repro.reliability.FaultInjector`; the
+        deferral path checks the labels ``defer`` / ``promote`` /
+        ``catchup`` so tests can crash it at every stage.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[DegradePolicy] = None,
+        *,
+        directed: bool = False,
+        injector=None,
+    ) -> None:
+        self.policy = policy if policy is not None else DegradePolicy()
+        self.directed = directed
+        self._injector = injector
+        self._journal: Dict[Tuple[int, int], DeferredDelta] = {}
+        self._applies = 0
+        #: Lifetime counters by action (mirrors the obs registry).
+        self.counters: Dict[str, int] = {
+            "defer": 0, "promote": 0, "catchup": 0
+        }
+
+    # ------------------------------------------------------------------
+    # Classification and journal maintenance
+    # ------------------------------------------------------------------
+    def _key(self, u: int, v: int) -> Tuple[int, int]:
+        return (u, v) if self.directed or u < v else (v, u)
+
+    def _check(self, label: str) -> None:
+        if self._injector is not None:
+            self._injector.check(label)
+
+    def classify(
+        self,
+        updates: Sequence[WeightUpdate],
+        weight_of: Callable[[int, int], float],
+    ) -> Tuple[List[WeightUpdate], List[WeightUpdate]]:
+        """Split a net batch into *(exact, deferrable)* at threshold-c.
+
+        *weight_of* must report the weight the **served index** still
+        reflects (for both consumers that is the oracle's own graph,
+        which in degraded mode deliberately lags reality for parked
+        edges).
+        """
+        with span(names.SPAN_DEGRADE_CLASSIFY) as sp:
+            major, minor = split_by_threshold(
+                updates, weight_of, self.policy.threshold_c
+            )
+            if sp.active:
+                sp.set(
+                    batch=len(updates),
+                    exact=len(major),
+                    deferrable=len(minor),
+                    pending=len(self._journal),
+                )
+        return major, minor
+
+    def park(
+        self,
+        minor: Sequence[WeightUpdate],
+        weight_of: Callable[[int, int], float],
+    ) -> int:
+        """Journal sub-threshold deltas (last write per edge wins).
+
+        A delta that lands back on the served weight cancels the edge's
+        entry — the sequential application would end where it started.
+        Returns the number of edges whose entry changed.
+        """
+        if not minor:
+            return 0
+        self._check("defer")
+        touched = 0
+        for (u, v), w in minor:
+            key = self._key(u, v)
+            entry = self._journal.get(key)
+            served = entry.served if entry is not None else weight_of(u, v)
+            if w == served:
+                if entry is not None:
+                    del self._journal[key]
+                    touched += 1
+                continue
+            self._journal[key] = DeferredDelta(
+                edge=(u, v),
+                target=w,
+                served=served,
+                born=entry.born if entry is not None else self._applies,
+            )
+            touched += 1
+        self.counters["defer"] += touched
+        return touched
+
+    def note_exact(self, exact: Iterable[WeightUpdate]) -> None:
+        """Drop journal entries superseded by an exactly-applied batch."""
+        for (u, v), _w in exact:
+            self._journal.pop(self._key(u, v), None)
+
+    def tick(self) -> None:
+        """Advance the apply counter (ages every parked delta by one)."""
+        self._applies += 1
+
+    # ------------------------------------------------------------------
+    # Catch-up
+    # ------------------------------------------------------------------
+    def should_promote(self) -> bool:
+        """True when the journal itself breaches a watermark (depth or
+        age) and must fold into the next exact batch regardless of
+        load."""
+        if not self._journal:
+            return False
+        policy = self.policy
+        return (
+            len(self._journal) > policy.max_deferred
+            or self.oldest_age > policy.max_deferred_applies
+        )
+
+    def fold(
+        self,
+        exact: Sequence[WeightUpdate] = (),
+        *,
+        reason: str = "catchup",
+    ) -> List[WeightUpdate]:
+        """Merge the whole journal into *exact* and clear it.
+
+        The result is one coalesced catch-up batch — unique per edge,
+        with entries of *exact* (newer) winning over parked targets
+        (older).  *reason* is the fault-injection label checked first
+        (``catchup`` or ``promote``); an injected crash here leaves the
+        journal untouched, so no deferred delta can be lost.
+        """
+        self._check(reason)
+        merged: Dict[Tuple[int, int], WeightUpdate] = {
+            key: (entry.edge, entry.target)
+            for key, entry in self._journal.items()
+        }
+        for (u, v), w in exact:
+            merged[self._key(u, v)] = ((u, v), w)
+        self.counters[reason] = (
+            self.counters.get(reason, 0) + len(self._journal)
+        )
+        self._journal.clear()
+        return list(merged.values())
+
+    def clear(self) -> List[WeightUpdate]:
+        """Drain the journal without applying (the fallback flush):
+        returns the pending true-weight assignments and forgets them."""
+        pending = self.pending_updates()
+        self._journal.clear()
+        return pending
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Parked edges right now."""
+        return len(self._journal)
+
+    @property
+    def oldest_age(self) -> int:
+        """Applies since the oldest parked delta was first parked."""
+        if not self._journal:
+            return 0
+        return self._applies - min(
+            entry.born for entry in self._journal.values()
+        )
+
+    @property
+    def epsilon(self) -> float:
+        """The accumulated error bound ε (0.0 with an empty journal).
+
+        By construction ``ε <= threshold_c - 1``: every parked delta
+        passed the threshold test against the weight the index still
+        serves.
+        """
+        if not self._journal:
+            return 0.0
+        return max(
+            entry.deviation for entry in self._journal.values()
+        ) - 1.0
+
+    def pending_updates(self) -> List[WeightUpdate]:
+        """The journal as a weight-update batch (true target weights)."""
+        return [
+            (entry.edge, entry.target) for entry in self._journal.values()
+        ]
+
+    def stats(self) -> dict:
+        """Journal state as one dict (for reports and benchmarks)."""
+        return {
+            "pending": self.pending,
+            "oldest_age": self.oldest_age,
+            "epsilon": self.epsilon,
+            "threshold_c": self.policy.threshold_c,
+            "counters": dict(self.counters),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DeferredMaintenance(pending={self.pending}, "
+            f"epsilon={self.epsilon:.4f}, c={self.policy.threshold_c})"
+        )

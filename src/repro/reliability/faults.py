@@ -25,9 +25,25 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ReproError
 
-__all__ = ["FaultInjector", "FaultyOracle", "InjectedFault"]
+__all__ = ["DEFERRAL_LABELS", "FaultInjector", "FaultyOracle", "InjectedFault"]
 
 PathLike = Union[str, "os.PathLike[str]"]
+
+#: The :meth:`FaultInjector.check` labels wired into the deferred
+#: maintenance path (``repro.reliability.degrade``):
+#:
+#: * ``"defer"``   — just before a sub-threshold batch is parked in the
+#:   journal;
+#: * ``"promote"`` — just before the journal is folded into an exact
+#:   batch because it breached its own depth/age watermark;
+#: * ``"catchup"`` — just before a load-subsided catch-up fold.
+#:
+#: An injected fault at any of these models a process crash at that
+#: point; crash recovery goes through :class:`ReliableStore`, whose WAL
+#: already holds every accepted batch — replay is idempotent (absolute
+#: weight assignments), so no deferred delta is lost or double-applied
+#: (``tests/test_degrade.py``).
+DEFERRAL_LABELS = ("defer", "promote", "catchup")
 
 
 class InjectedFault(ReproError):

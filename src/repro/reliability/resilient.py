@@ -20,7 +20,16 @@ fault costs latency, never correctness:
   unbounded retries;
 * **durability** — with a :class:`ReliableStore` attached, accepted
   batches are journaled before being applied and a checkpoint is taken
-  whenever the oracle (re)enters healthy state.
+  whenever the oracle (re)enters healthy state;
+* **bounded degradation** — with a :class:`DegradePolicy` attached, a
+  third rung appears between healthy and fallback: sub-threshold weight
+  changes are parked in a :class:`DeferredMaintenance` journal and
+  answers are served from the boundedly-stale index with a tracked
+  max-stretch guarantee ``ε <= threshold_c - 1``
+  (``docs/degraded-mode.md``).  On any transition to the Dijkstra
+  fallback the journal is flushed into the graph first, so fallback
+  answers stay *exact* — the stretch bound only ever applies to the
+  fast path.
 """
 
 from __future__ import annotations
@@ -30,6 +39,12 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.oracle import DijkstraOracle
 from repro.errors import IntegrityError, ReproError
 from repro.graph.graph import RoadNetwork, WeightUpdate
+from repro.reliability.degrade import (
+    BoundedDistance,
+    DeferredMaintenance,
+    DegradePolicy,
+    OracleState,
+)
 from repro.reliability.transactions import atomic_apply, validate_batch
 from repro.reliability.verify import verify_index
 
@@ -57,6 +72,20 @@ class ResilientOracle:
     verify_sample:
         When set, a successful rebuild is only trusted after a sampled
         :func:`verify_index` pass of this many entries.
+    degrade:
+        ``None`` (default) keeps the two-state behaviour.  A
+        :class:`DegradePolicy` (or ``True`` for the default policy)
+        enables the ``DEGRADED_BOUNDED`` rung: batches are split at the
+        policy's threshold-c, the sub-threshold part is parked in a
+        deferral journal, and :attr:`epsilon` /
+        :meth:`distance_bounded` expose the resulting stretch bound.
+    injector:
+        Optional :class:`FaultInjector` threaded into the deferral
+        journal (labels ``defer`` / ``promote`` / ``catchup``).  An
+        injected fault models a process crash at that point: it
+        propagates to the caller, and recovery goes through the
+        attached :class:`ReliableStore` (whose WAL already holds every
+        accepted batch, so no deferred delta is lost or double-applied).
     """
 
     def __init__(
@@ -66,6 +95,8 @@ class ResilientOracle:
         store=None,
         max_rebuild_attempts: int = 3,
         verify_sample: Optional[int] = None,
+        degrade=None,
+        injector=None,
     ) -> None:
         self._primary = primary
         self._graph: RoadNetwork = primary.graph
@@ -74,6 +105,15 @@ class ResilientOracle:
         self._max_attempts = max_rebuild_attempts
         self._attempts_left = max_rebuild_attempts
         self._verify_sample = verify_sample
+        if degrade is None or degrade is False:
+            self._deferral: Optional[DeferredMaintenance] = None
+        else:
+            policy = degrade if isinstance(degrade, DegradePolicy) else DegradePolicy()
+            self._deferral = DeferredMaintenance(
+                policy,
+                directed=hasattr(self._graph, "arcs"),
+                injector=injector,
+            )
         self.degraded = False
         #: Chronological ``(event, detail)`` record of failures/recoveries.
         self.events: List[Tuple[str, str]] = []
@@ -96,8 +136,31 @@ class ResilientOracle:
         """The index-free ground-truth oracle used while degraded."""
         return self._fallback
 
+    @property
+    def deferral(self) -> Optional[DeferredMaintenance]:
+        """The deferral journal, or ``None`` without a degrade policy."""
+        return self._deferral
+
+    @property
+    def state(self) -> OracleState:
+        """Where on the degradation ladder this oracle currently sits."""
+        if self.degraded:
+            return OracleState.FALLBACK
+        if self._deferral is not None and self._deferral.pending:
+            return OracleState.DEGRADED_BOUNDED
+        return OracleState.HEALTHY
+
+    @property
+    def epsilon(self) -> float:
+        """The max-stretch bound currently in force (0.0 ⇒ exact)."""
+        if self._deferral is None:
+            return 0.0
+        return self._deferral.epsilon
+
     def distance(self, s: int, t: int) -> float:
-        """Exact shortest distance, whatever state the index is in."""
+        """Shortest distance — exact in ``HEALTHY`` and ``FALLBACK``,
+        within a factor ``1 + epsilon`` of exact in ``DEGRADED_BOUNDED``
+        (use :meth:`distance_bounded` to get the stamp)."""
         if self.degraded:
             self._try_rebuild()
         if not self.degraded:
@@ -106,6 +169,15 @@ class ResilientOracle:
             except ReproError as exc:
                 self._degrade("query", exc)
         return self._fallback.distance(s, t)
+
+    def distance_bounded(self, s: int, t: int) -> BoundedDistance:
+        """:meth:`distance` stamped with the ε bound it was served under.
+
+        The guarantee (proven by construction, re-checked differentially
+        by the hypothesis suite and ``repro verify --bounded``):
+        ``exact / (1 + ε) <= distance <= exact * (1 + ε)``.
+        """
+        return BoundedDistance(self.distance(s, t), self.epsilon)
 
     def apply(self, updates: Sequence[WeightUpdate]):
         """Accept a batch; the graph always advances, the index only if
@@ -124,6 +196,8 @@ class ResilientOracle:
             self._graph.apply_batch(updates)
             self._try_rebuild()
             return None
+        if self._deferral is not None:
+            return self._apply_bounded(updates)
         try:
             report = atomic_apply(self._primary, updates)
         except ReproError as exc:
@@ -135,8 +209,63 @@ class ResilientOracle:
             return None
         return report
 
+    def _apply_bounded(self, updates: Sequence[WeightUpdate]):
+        """Threshold-c admission: park the sub-threshold part of the
+        batch, apply the rest exactly (folding the journal back in when
+        it breaches its own depth/age watermark)."""
+        deferral = self._deferral
+        major, minor = deferral.classify(updates, self._graph.weight)
+        deferral.park(minor, self._graph.weight)
+        if deferral.should_promote():
+            to_apply = deferral.fold(major, reason="promote")
+        else:
+            # An exact write supersedes any parked delta on its edge.
+            deferral.note_exact(major)
+            to_apply = major
+        deferral.tick()
+        if not to_apply:
+            return None
+        try:
+            report = atomic_apply(self._primary, to_apply)
+        except ReproError as exc:
+            self._graph.apply_batch(to_apply)
+            self._degrade("apply", exc)  # flushes the journal first
+            self._try_rebuild()
+            return None
+        return report
+
+    def catch_up(self):
+        """Fold the whole deferral journal into one exact catch-up
+        apply, returning the oracle to ``HEALTHY`` (ε back to 0).
+
+        No-op (returns ``None``) when nothing is parked.  On success
+        the attached store is checkpointed — the index is exact again,
+        so the WAL can be truncated.  A maintenance failure during the
+        catch-up degrades to the Dijkstra fallback with the journal
+        flushed into the graph, so answers stay exact either way.
+        """
+        if self._deferral is None or not self._deferral.pending:
+            return None
+        pending = self._deferral.pending
+        batch = self._deferral.fold(reason="catchup")
+        try:
+            report = atomic_apply(self._primary, batch)
+        except ReproError as exc:
+            self._graph.apply_batch(batch)
+            self._degrade("catchup", exc)
+            self._try_rebuild()
+            return None
+        self.events.append(("caught-up", f"{pending} deferred delta(s)"))
+        if self._store is not None:
+            self._store.checkpoint(self._primary)
+        return report
+
     def rebuild(self) -> None:
         """Force a full rebuild now and reset the retry budget."""
+        if self._deferral is not None and self._deferral.pending:
+            # Bring the graph to the true weights so the rebuilt index
+            # reflects reality, not the served (stale) state.
+            self._graph.apply_batch(self._deferral.clear())
         self._attempts_left = self._max_attempts
         self._primary.rebuild()
         self._mark_healthy("manual rebuild")
@@ -171,6 +300,11 @@ class ResilientOracle:
         self._attempts_left = self._max_attempts
 
     def _degrade(self, event: str, exc: Exception) -> None:
+        if self._deferral is not None and self._deferral.pending:
+            # The fallback runs Dijkstra on the graph: flush the parked
+            # true weights into it so fallback answers are exact rather
+            # than inheriting the bounded staleness.
+            self._graph.apply_batch(self._deferral.clear())
         self.degraded = True
         self.events.append((f"degraded:{event}", str(exc)))
 
@@ -206,8 +340,7 @@ class ResilientOracle:
         return True
 
     def __repr__(self) -> str:
-        state = "degraded" if self.degraded else "healthy"
         return (
-            f"ResilientOracle({type(self._primary).__name__}, {state}, "
-            f"attempts_left={self._attempts_left})"
+            f"ResilientOracle({type(self._primary).__name__}, "
+            f"{self.state.value}, attempts_left={self._attempts_left})"
         )

@@ -181,17 +181,27 @@ def cow_apply(
             f"{type(oracle).__name__} does not support copy-on-write "
             "(no clone() method)"
         )
+    superseded = dropped = 0
     if coalesce:
         from repro.perf.coalesce import coalesce_updates
 
         graph = oracle.graph
-        updates = coalesce_updates(
+        batch = coalesce_updates(
             updates, graph.weight, directed=hasattr(graph, "arcs")
-        ).updates
+        )
+        updates = batch.updates
+        superseded, dropped = batch.superseded, batch.dropped
     next_oracle = clone()
     index = getattr(next_oracle, "index", None)
     if index is None or isinstance(index, (ShortcutGraph, H2HIndex)):
         report = atomic_apply(next_oracle, updates)
     else:
         report = next_oracle.apply(updates)
+    if coalesce and report is not None and hasattr(report, "superseded"):
+        # Coalescing happened here, not inside the facade (which ran
+        # with its own coalesce off) — surface the counters on the
+        # report so per-apply consumers (the serve layer's obs
+        # registry) see them.  docs/performance.md § Coalescing.
+        report.superseded = superseded
+        report.dropped = dropped
     return next_oracle, report

@@ -15,10 +15,20 @@ payoff the acceptance criteria gate on (>= 5x), and the per-epoch
 carried/evicted counts show AFF-scoped invalidation keeping the cache
 warm across updates.  Everything is seeded — two runs with the same
 arguments produce the same workload.
+
+:func:`overload_bench` (``repro serve-bench --overload``) is the
+degraded-tier companion (``docs/degraded-mode.md``): it floods two
+servers with the identical minor-update stream — one exact, one behind
+a :class:`DegradePolicy` — and measures the sustained update throughput
+of degraded admission against the exact baseline, the catch-up cost,
+and (differentially, against per-state Dijkstra ground truth) that no
+answer ever exceeded its stamped max-stretch across the
+degraded → catch-up → healthy transitions.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -31,10 +41,17 @@ from repro.core.oracle import DijkstraOracle
 from repro.errors import ReproError
 from repro.graph.generators import road_network
 from repro.obs.bench import BenchRecord, latency_percentiles
+from repro.reliability.degrade import DegradePolicy, OracleState, check_stretch
 from repro.serve.server import DistanceServer
 from repro.workloads.updates import increase_batch, sample_edges
 
-__all__ = ["BenchConfig", "BenchResult", "serve_bench"]
+__all__ = [
+    "BenchConfig",
+    "BenchResult",
+    "OverloadResult",
+    "overload_bench",
+    "serve_bench",
+]
 
 _ORACLES = {
     "ch": DynamicCH,
@@ -59,6 +76,14 @@ class BenchConfig:
     cache_capacity: int = 65536
     throughput_edges: int = 16  #: edges in the update-throughput phase (0 = skip)
     throughput_reports: int = 3  #: re-reports per edge in the raw stream
+    # Overload-scenario knobs (used by overload_bench only).
+    overload_batches: int = 40  #: minor-update batches flooding the server
+    overload_batch: int = 8  #: edges per overload batch
+    overload_factor: float = 1.15  #: per-update weight factor (< threshold_c)
+    threshold_c: float = 1.25  #: deferral threshold (DegradePolicy)
+    high_watermark: int = 4  #: backlog depth that enters degraded mode
+    low_watermark: int = 1  #: backlog depth that triggers the catch-up
+    stretch_queries: int = 1200  #: differential queries across the transitions
 
 
 @dataclass
@@ -326,3 +351,269 @@ def serve_bench(config: BenchConfig = BenchConfig()) -> BenchResult:
         update_throughput=update_throughput,
         metrics=metrics_snapshot,
     )
+
+
+@dataclass
+class OverloadResult:
+    """What one overload run measured; feeds ``BENCH_serve_degraded.json``.
+
+    The acceptance gates (ISSUE 6 / docs/degraded-mode.md): degraded
+    admission must sustain >= 3x the exact baseline's update throughput
+    with ``max_epsilon <= threshold_c - 1``, and the differential sweep
+    must find zero stretch-bound violations.
+    """
+
+    config: BenchConfig
+    build_s: float
+    #: Exact baseline: every batch published through full maintenance.
+    exact_s: float = 0.0
+    exact_updates: int = 0
+    #: Degraded phase: batches pumped while admission was in overload.
+    degraded_s: float = 0.0
+    degraded_updates: int = 0
+    degraded_publishes: int = 0
+    #: Largest ε observed at any point of the degraded phase.
+    max_epsilon: float = 0.0
+    #: The catch-up apply that folded the journal back in.
+    catchup_s: float = 0.0
+    caught_up: int = 0
+    #: Healthy tail: exact applies after the catch-up.
+    healthy_s: float = 0.0
+    healthy_updates: int = 0
+    #: Differential stretch sweep, one row per phase (see _stretch_sweep).
+    stretch: dict = field(default_factory=dict)
+    #: Per-query wall times of the bounded-query sweeps, in seconds.
+    query_samples_s: List[float] = field(default_factory=list, repr=False)
+    stats: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def exact_updates_per_s(self) -> float:
+        return self.exact_updates / self.exact_s if self.exact_s > 0 else 0.0
+
+    @property
+    def degraded_updates_per_s(self) -> float:
+        if self.degraded_s <= 0:
+            return 0.0
+        return self.degraded_updates / self.degraded_s
+
+    @property
+    def speedup(self) -> float:
+        """Sustained degraded update throughput over the exact baseline."""
+        if self.exact_updates_per_s <= 0:
+            return float("inf")
+        return self.degraded_updates_per_s / self.exact_updates_per_s
+
+    @property
+    def epsilon_budget(self) -> float:
+        """The ε ceiling the policy guarantees by construction."""
+        return self.config.threshold_c - 1.0
+
+    @property
+    def total_violations(self) -> int:
+        return sum(row["violations"] for row in self.stretch.values())
+
+    @property
+    def worst_stretch(self) -> float:
+        if not self.stretch:
+            return 0.0
+        return max(row["worst_stretch"] for row in self.stretch.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "config": self.config.__dict__,
+            "build_s": self.build_s,
+            "exact": {
+                "updates": self.exact_updates,
+                "seconds": self.exact_s,
+                "updates_per_s": self.exact_updates_per_s,
+            },
+            "degraded": {
+                "updates": self.degraded_updates,
+                "seconds": self.degraded_s,
+                "updates_per_s": self.degraded_updates_per_s,
+                "publishes": self.degraded_publishes,
+                "max_epsilon": self.max_epsilon,
+                "epsilon_budget": self.epsilon_budget,
+            },
+            "catchup": {"folded": self.caught_up, "seconds": self.catchup_s},
+            "healthy": {
+                "updates": self.healthy_updates,
+                "seconds": self.healthy_s,
+            },
+            "speedup": self.speedup,
+            "stretch": self.stretch,
+            "latency_us": latency_percentiles(self.query_samples_s),
+            "stats": self.stats,
+        }
+
+    def to_bench_record(self, name: str = "serve_degraded") -> BenchRecord:
+        """This run in the shared BENCH shape.  ``throughput_qps`` is
+        the degraded-phase sustained update throughput — the figure the
+        exit-3 regression gate watches — and ``latency_us`` the
+        bounded-query percentiles across all three sweep phases."""
+        return BenchRecord(
+            name=name,
+            config=dict(self.config.__dict__),
+            latency_us=latency_percentiles(self.query_samples_s),
+            throughput_qps=self.degraded_updates_per_s,
+            ratios={},
+            index={},
+            extra={
+                "build_s": self.build_s,
+                "exact_updates_per_s": self.exact_updates_per_s,
+                "degraded_updates_per_s": self.degraded_updates_per_s,
+                "speedup": self.speedup,
+                "max_epsilon": self.max_epsilon,
+                "epsilon_budget": self.epsilon_budget,
+                "catchup_s": self.catchup_s,
+                "caught_up": self.caught_up,
+                "stretch_queries": sum(
+                    row["queries"] for row in self.stretch.values()
+                ),
+                "stretch_violations": self.total_violations,
+                "worst_stretch": self.worst_stretch,
+                "stretch": dict(self.stretch),
+            },
+        )
+
+
+def _stretch_sweep(
+    server: DistanceServer,
+    truth: DijkstraOracle,
+    count: int,
+    rng: random.Random,
+    samples: List[float],
+) -> dict:
+    """Differentially check *count* bounded answers against per-state
+    Dijkstra ground truth; returns the sweep's verdict row."""
+    n = truth.graph.n
+    violations = 0
+    worst = 0.0
+    for _ in range(count):
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        t0 = perf_counter()
+        bounded = server.distance_bounded(s, t)
+        samples.append(perf_counter() - t0)
+        exact = truth.distance(s, t)
+        if not check_stretch(bounded.distance, exact, bounded.max_stretch):
+            violations += 1
+        if (
+            math.isfinite(exact)
+            and math.isfinite(bounded.distance)
+            and exact > 0
+            and bounded.distance > 0
+        ):
+            worst = max(
+                worst,
+                max(bounded.distance / exact, exact / bounded.distance) - 1.0,
+            )
+    return {
+        "queries": count,
+        "violations": violations,
+        "worst_stretch": worst,
+        "epsilon": server.epsilon,
+        "state": server.state.value,
+    }
+
+
+def overload_bench(config: BenchConfig = BenchConfig()) -> OverloadResult:
+    """Run the overload scenario; see the module docstring.
+
+    Both servers see the *identical* pre-generated batch sequence (same
+    absolute target weights), so the throughput comparison is
+    apples-to-apples and both end at the same final weights.
+    """
+    if config.oracle not in _ORACLES:
+        raise ReproError(
+            f"unknown oracle {config.oracle!r}; pick one of {sorted(_ORACLES)}"
+        )
+    rng = random.Random(config.seed)
+    graph = road_network(config.vertices, seed=config.seed)
+    t0 = perf_counter()
+    base = _ORACLES[config.oracle](graph)
+    build_s = perf_counter() - t0
+    result = OverloadResult(config=config, build_s=build_s)
+
+    # Pre-generate the batch stream against an evolving truth copy, so
+    # each update's absolute target weight is fixed up front.
+    plan_graph = graph.copy()
+    batches: List[List] = []
+    for _ in range(config.overload_batches):
+        edges = sample_edges(plan_graph, config.overload_batch, rng=rng)
+        batch = increase_batch(edges, config.overload_factor)
+        for (u, v), w in batch:
+            plan_graph.set_weight(u, v, w)
+        batches.append(batch)
+    total_updates = sum(len(batch) for batch in batches)
+
+    # Exact baseline: one full maintenance publish per batch.
+    with DistanceServer(base.clone(), workers=1) as exact_server:
+        t0 = perf_counter()
+        for batch in batches:
+            exact_server.apply(batch)
+        result.exact_s = perf_counter() - t0
+        result.exact_updates = total_updates
+
+    # Degraded run: flood the admission queue, then pump it dry.
+    policy = DegradePolicy(
+        threshold_c=config.threshold_c,
+        high_watermark=config.high_watermark,
+        low_watermark=config.low_watermark,
+        max_batch_age_s=3600.0,  # depth, not age, drives this scenario
+    )
+    truth_graph = graph.copy()
+    truth = DijkstraOracle(truth_graph)
+    with DistanceServer(base.clone(), workers=1, degrade=policy) as server:
+        for batch in batches:
+            server.offer(batch)
+        mid = len(batches) // 2
+        sweep_share = max(1, config.stretch_queries // 3)
+        for i, batch in enumerate(batches):
+            t0 = perf_counter()
+            report = server.pump()
+            step_s = perf_counter() - t0
+            # Ground truth advances exactly as fast as admission accepts.
+            for (u, v), w in batch:
+                truth_graph.set_weight(u, v, w)
+            if report.caught_up:
+                result.catchup_s += step_s
+                result.caught_up += report.caught_up
+                result.healthy_updates += len(batch)
+            elif report.state == OracleState.DEGRADED_BOUNDED.value:
+                result.degraded_s += step_s
+                result.degraded_updates += len(batch)
+                if report.affected is not None and report.epoch:
+                    result.degraded_publishes += 1
+                result.max_epsilon = max(result.max_epsilon, report.epsilon)
+            else:
+                result.healthy_s += step_s
+                result.healthy_updates += len(batch)
+            if i + 1 == mid:
+                result.stretch["degraded"] = _stretch_sweep(
+                    server, truth, sweep_share, rng, result.query_samples_s
+                )
+            if report.caught_up:
+                result.stretch["catchup"] = _stretch_sweep(
+                    server, truth, sweep_share, rng, result.query_samples_s
+                )
+        # Anything still parked (possible when the queue emptied before
+        # the low watermark fired) folds in one final catch-up.
+        tail = server.pump()
+        if tail is not None and tail.caught_up:
+            result.caught_up += tail.caught_up
+        if "catchup" not in result.stretch:
+            result.stretch["catchup"] = _stretch_sweep(
+                server, truth, sweep_share, rng, result.query_samples_s
+            )
+        result.stretch["healthy"] = _stretch_sweep(
+            server,
+            truth,
+            max(1, config.stretch_queries - 2 * sweep_share),
+            rng,
+            result.query_samples_s,
+        )
+        result.stats = server.stats()
+        result.metrics = server.metrics.snapshot()
+    return result

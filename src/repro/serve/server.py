@@ -16,25 +16,51 @@ Write path (serialized):
     V_aff = affected_vertices(next_oracle, report)
     publish(next_oracle)               # atomic epoch swap
     cache.migrate(new_epoch, V_aff)    # evict only pairs touching V_aff
+
+With a :class:`~repro.reliability.degrade.DegradePolicy` attached the
+write path gains overload-aware admission control
+(``docs/degraded-mode.md``): batches are queued with :meth:`offer` and
+drained with :meth:`pump`; once the backlog breaches the policy's
+depth/age watermark the server enters ``DEGRADED_BOUNDED`` — each batch
+is split at threshold-c, only the super-threshold part is published and
+the rest is parked in a deferral journal, bounding publish cost while
+:meth:`distance_bounded` stamps every answer with the journal's ε.
+When the backlog subsides below the low watermark, one coalesced
+catch-up apply folds the journal back in and the server is exact again.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from time import monotonic, perf_counter
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import names
 from repro.obs.registry import COUNT_BUCKETS, MetricsRegistry
 from repro.obs.trace import span
+from repro.perf.coalesce import coalesce_updates
+from repro.reliability.degrade import (
+    BoundedDistance,
+    DeferredMaintenance,
+    DegradePolicy,
+    OracleState,
+)
 from repro.reliability.transactions import cow_apply
 from repro.serve.aff import affected_vertices
 from repro.serve.cache import QueryCache
 from repro.serve.epoch import EpochManager, EpochSnapshot
 
 __all__ = ["DistanceServer", "ServeReport", "EpochCounters"]
+
+#: Gauge encoding of the degradation ladder (docs/degraded-mode.md).
+_STATE_VALUES = {
+    OracleState.HEALTHY: 0,
+    OracleState.DEGRADED_BOUNDED: 1,
+    OracleState.FALLBACK: 2,
+}
 
 
 @dataclass
@@ -80,6 +106,20 @@ class ServeReport:
     carried: int  #: cache entries that survived migration
     evicted: int  #: cache entries dropped by migration
     report: object = field(default=None, repr=False)  #: the oracle's own report
+    #: Serving state after this apply (an :class:`OracleState` value).
+    state: str = OracleState.HEALTHY.value
+    #: Sub-threshold deltas parked in the deferral journal by this apply.
+    deferred: int = 0
+    #: Journal deltas folded in because the journal breached its own watermark.
+    promoted: int = 0
+    #: Journal deltas folded in by a load-subsided catch-up apply.
+    caught_up: int = 0
+    #: The max-stretch bound ε in force after this apply (0.0 ⇒ exact).
+    epsilon: float = 0.0
+    #: Raw updates absorbed by coalescing in this apply (later writes to
+    #: the same edge / zero net change) — docs/performance.md § Coalescing.
+    superseded: int = 0
+    dropped: int = 0
 
 
 class DistanceServer:
@@ -103,6 +143,18 @@ class DistanceServer:
         serving metrics in (exposed as :attr:`metrics`); by default each
         server gets its own.  Sharing one registry across servers is
         safe — registration is idempotent — but their counters merge.
+    degrade:
+        ``None`` (default) keeps every apply exact.  A
+        :class:`DegradePolicy` (or ``True`` for the default policy)
+        enables the bounded-error degraded tier: :meth:`offer` /
+        :meth:`pump` gain overload-aware admission control and
+        :meth:`distance_bounded` stamps answers with the journal's ε
+        (``docs/degraded-mode.md``).
+    injector:
+        Optional :class:`~repro.reliability.FaultInjector` threaded
+        into the deferral journal (labels ``defer`` / ``promote`` /
+        ``catchup``); injected faults propagate out of the apply, the
+        journal is never left half-folded.
 
     Example
     -------
@@ -121,6 +173,8 @@ class DistanceServer:
         cache_capacity: int = 65536,
         workers: int = 4,
         registry: Optional[MetricsRegistry] = None,
+        degrade=None,
+        injector=None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -129,6 +183,16 @@ class DistanceServer:
         # the cache must keep (s, t) and (t, s) apart.
         symmetric = not hasattr(getattr(oracle, "graph", None), "arcs")
         self.cache = QueryCache(cache_capacity, symmetric=symmetric)
+        if degrade is None or degrade is False:
+            self._deferral: Optional[DeferredMaintenance] = None
+        else:
+            policy = degrade if isinstance(degrade, DegradePolicy) else DegradePolicy()
+            self._deferral = DeferredMaintenance(
+                policy, directed=not symmetric, injector=injector
+            )
+        self._overloaded = False
+        self._ingress: Deque[Tuple[float, List]] = deque()
+        self._ingress_lock = threading.Lock()
         self._write_lock = threading.Lock()
         self._workers = workers
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -178,6 +242,44 @@ class DistanceServer:
             "|V_aff| per publish (Equation (star) seeds, see serve/aff.py).",
             buckets=COUNT_BUCKETS,
         )
+        # Degraded-tier instrumentation (docs/degraded-mode.md) —
+        # registered unconditionally so the catalogue check holds for
+        # servers built without a degrade policy too.
+        self._m_state = m.gauge(
+            names.SERVE_STATE,
+            "Degradation ladder rung: 0 healthy, 1 degraded_bounded, 2 fallback.",
+        )
+        self._m_epsilon = m.gauge(
+            names.SERVE_EPSILON,
+            "Max-stretch bound of served answers right now (0 = exact).",
+        )
+        self._m_deferred = m.gauge(
+            names.SERVE_DEFERRED_EDGES,
+            "Edges currently parked in the deferral journal.",
+        )
+        self._m_deferral_actions = m.counter(
+            names.SERVE_DEFERRAL_ACTIONS,
+            "Deferral-journal deltas by action (defer/promote/catchup).",
+            ("action",),
+        )
+        self._m_pending_batches = m.gauge(
+            names.SERVE_PENDING_BATCHES,
+            "Batches offered but not yet pumped through admission control.",
+        )
+        self._m_pending_age = m.gauge(
+            names.SERVE_PENDING_AGE,
+            "Age of the oldest offered-but-unapplied batch, in seconds.",
+        )
+        self._m_coalesce_superseded = m.counter(
+            names.SERVE_COALESCE_SUPERSEDED,
+            "Raw updates absorbed by a later write to the same edge, per apply.",
+        )
+        self._m_coalesce_dropped = m.counter(
+            names.SERVE_COALESCE_DROPPED,
+            "Distinct edges whose net change was zero, per apply.",
+        )
+        for action in ("defer", "promote", "catchup"):
+            self._m_deferral_actions.inc(0, action=action)
         self._m_epoch.set(0)
         self._m_cache_capacity.set(cache_capacity)
         self._materialize_epoch(0)
@@ -195,6 +297,38 @@ class DistanceServer:
         """The currently served epoch."""
         return self._epochs.epoch
 
+    @property
+    def deferral(self) -> Optional[DeferredMaintenance]:
+        """The deferral journal, or ``None`` without a degrade policy."""
+        return self._deferral
+
+    @property
+    def overloaded(self) -> bool:
+        """True while admission control considers the server overloaded."""
+        return self._overloaded
+
+    @property
+    def state(self) -> OracleState:
+        """Where on the degradation ladder the served answers sit.
+
+        ``DEGRADED_BOUNDED`` whenever admission control is in overload
+        or deltas are still parked (answers carry ε > 0 until the
+        catch-up apply lands); the server never reaches ``FALLBACK`` —
+        that rung belongs to :class:`ResilientOracle`.
+        """
+        if self._deferral is not None and (
+            self._overloaded or self._deferral.pending
+        ):
+            return OracleState.DEGRADED_BOUNDED
+        return OracleState.HEALTHY
+
+    @property
+    def epsilon(self) -> float:
+        """The max-stretch bound currently in force (0.0 ⇒ exact)."""
+        if self._deferral is None:
+            return 0.0
+        return self._deferral.epsilon
+
     def snapshot(self) -> EpochSnapshot:
         """The current epoch snapshot (hold it to pin a version)."""
         current = self._epochs.current
@@ -204,6 +338,16 @@ class DistanceServer:
     def distance(self, s: int, t: int) -> float:
         """``sd(s, t)`` on the current snapshot, cache first."""
         return self.distance_on(self._epochs.current, s, t)
+
+    def distance_bounded(self, s: int, t: int) -> BoundedDistance:
+        """:meth:`distance` stamped with the ε bound it was served under.
+
+        The guarantee: ``exact / (1 + ε) <= distance <= exact * (1 + ε)``
+        where *exact* is the distance under the true (latest reported)
+        weights.  ε is 0 whenever the journal is empty — parked deltas
+        are the only divergence between served and true weights.
+        """
+        return BoundedDistance(self.distance(s, t), self.epsilon)
 
     def distance_on(self, snapshot: EpochSnapshot, s: int, t: int) -> float:
         """``sd(s, t)`` on a pinned *snapshot*, cache first.
@@ -268,40 +412,239 @@ class DistanceServer:
         the raw stream into its per-edge net effect before maintenance,
         so one propagation pass covers the whole batch; the published
         index is identical to per-update application.
+
+        With a degrade policy attached, the batch goes through the same
+        admission control as :meth:`pump` — under overload it is split
+        at threshold-c and only partially published (the report's
+        ``state`` / ``deferred`` / ``epsilon`` fields say what happened).
         """
+        if self._deferral is not None:
+            with self._ingress_lock:
+                depth_after = len(self._ingress)
+                age = self._oldest_age_locked()
+            return self._admit(
+                updates, depth_after + 1, depth_after, age, coalesce=coalesce
+            )
         with self._write_lock:
-            start = perf_counter()
-            with span(names.SPAN_SERVE_PUBLISH) as sp:
-                current = self._epochs.current
-                next_oracle, report = cow_apply(
-                    current.oracle, updates, coalesce=coalesce
-                )
-                aff = affected_vertices(next_oracle, report)
-                snapshot = self._epochs.publish(next_oracle, affected=aff)
-                carried, evicted = self.cache.migrate(snapshot.epoch, aff)
-                self._materialize_epoch(snapshot.epoch)
-                self._m_publishes.inc()
-                self._m_epoch.set(snapshot.epoch)
-                self._m_cache_evicted.inc(evicted)
-                self._m_cache_carried.inc(carried)
-                self._m_cache_entries.set(len(self.cache))
-                if aff is not None:
-                    self._m_affected.observe(len(aff))
-                self._m_publish_duration.observe(perf_counter() - start)
-                if sp.active:
-                    sp.set(
-                        epoch=snapshot.epoch,
-                        affected=None if aff is None else len(aff),
-                        carried=carried,
-                        evicted=evicted,
-                    )
-                return ServeReport(
+            return self._publish_locked(updates, coalesce=coalesce)
+
+    def _publish_locked(self, updates, *, coalesce: bool) -> ServeReport:
+        """The core copy-on-write publish; caller holds ``_write_lock``."""
+        start = perf_counter()
+        with span(names.SPAN_SERVE_PUBLISH) as sp:
+            current = self._epochs.current
+            next_oracle, report = cow_apply(
+                current.oracle, updates, coalesce=coalesce
+            )
+            aff = affected_vertices(next_oracle, report)
+            snapshot = self._epochs.publish(next_oracle, affected=aff)
+            carried, evicted = self.cache.migrate(snapshot.epoch, aff)
+            self._materialize_epoch(snapshot.epoch)
+            superseded = getattr(report, "superseded", 0) or 0
+            dropped = getattr(report, "dropped", 0) or 0
+            self._m_coalesce_superseded.inc(superseded)
+            self._m_coalesce_dropped.inc(dropped)
+            self._m_publishes.inc()
+            self._m_epoch.set(snapshot.epoch)
+            self._m_cache_evicted.inc(evicted)
+            self._m_cache_carried.inc(carried)
+            self._m_cache_entries.set(len(self.cache))
+            if aff is not None:
+                self._m_affected.observe(len(aff))
+            self._m_publish_duration.observe(perf_counter() - start)
+            if sp.active:
+                sp.set(
                     epoch=snapshot.epoch,
                     affected=None if aff is None else len(aff),
                     carried=carried,
                     evicted=evicted,
-                    report=report,
                 )
+            return ServeReport(
+                epoch=snapshot.epoch,
+                affected=None if aff is None else len(aff),
+                carried=carried,
+                evicted=evicted,
+                report=report,
+                state=self.state.value,
+                epsilon=self.epsilon,
+                superseded=superseded,
+                dropped=dropped,
+            )
+
+    # ------------------------------------------------------------------
+    # Overload-aware admission control (docs/degraded-mode.md)
+    # ------------------------------------------------------------------
+    def offer(self, updates) -> int:
+        """Enqueue a batch for admission-controlled application.
+
+        Returns the backlog depth after enqueueing.  Nothing is applied
+        until :meth:`pump` drains the queue; the depth and the age of
+        the oldest queued batch are the overload signals the admission
+        watermarks act on.  Requires a degrade policy.
+        """
+        if self._deferral is None:
+            raise RuntimeError("offer() requires a degrade policy")
+        with self._ingress_lock:
+            self._ingress.append((monotonic(), list(updates)))
+            depth = len(self._ingress)
+            age = self._oldest_age_locked()
+        self._m_pending_batches.set(depth)
+        self._m_pending_age.set(age)
+        return depth
+
+    def pump(self) -> Optional[ServeReport]:
+        """Drain one step of the ingress queue through admission control.
+
+        Pops the oldest offered batch and applies it in whatever mode
+        the watermarks dictate.  With an empty queue it performs the
+        pending catch-up apply if one is due, else returns ``None``.
+        """
+        if self._deferral is None:
+            raise RuntimeError("pump() requires a degrade policy")
+        with self._ingress_lock:
+            depth_before = len(self._ingress)
+            age = self._oldest_age_locked()
+            item = self._ingress.popleft() if self._ingress else None
+        if item is None:
+            if self._deferral.pending:
+                with self._write_lock:
+                    self._overloaded = False
+                    report = self._catch_up_locked(reason="catchup")
+                    self._update_degrade_gauges()
+                    return report
+            return None
+        return self._admit(
+            item[1], depth_before, depth_before - 1, age, coalesce=True
+        )
+
+    def drain(self) -> List[ServeReport]:
+        """:meth:`pump` until the queue is empty and the journal folded."""
+        reports: List[ServeReport] = []
+        while True:
+            report = self.pump()
+            if report is None:
+                return reports
+            reports.append(report)
+
+    def _oldest_age_locked(self) -> float:
+        return monotonic() - self._ingress[0][0] if self._ingress else 0.0
+
+    def _admit(
+        self,
+        updates,
+        depth_before: int,
+        depth_after: int,
+        age: float,
+        *,
+        coalesce: bool,
+    ) -> ServeReport:
+        """Route one batch by the overload watermarks (hysteresis:
+        enter degraded at the high watermark, catch up at the low)."""
+        policy = self._deferral.policy
+        with self._write_lock:
+            if (
+                depth_before >= policy.high_watermark
+                or age >= policy.max_batch_age_s
+            ):
+                self._overloaded = True
+            if self._overloaded and depth_after <= policy.low_watermark:
+                # Load has subsided: this batch becomes the catch-up.
+                self._overloaded = False
+            if self._overloaded:
+                report = self._apply_degraded(updates)
+            elif self._deferral.pending:
+                report = self._catch_up_locked(updates, reason="catchup")
+            else:
+                report = self._publish_locked(updates, coalesce=coalesce)
+            self._update_degrade_gauges(depth_after)
+            return report
+
+    def _net_batch(self, updates):
+        """Coalesce against the served snapshot, counting the absorption."""
+        graph = self._epochs.current.oracle.graph
+        batch = coalesce_updates(
+            updates, graph.weight, directed=hasattr(graph, "arcs")
+        )
+        return batch, graph.weight
+
+    def _apply_degraded(self, updates) -> ServeReport:
+        """One overloaded apply: publish the super-threshold part only,
+        park the rest; caller holds ``_write_lock``."""
+        deferral = self._deferral
+        batch, weight_of = self._net_batch(updates)
+        self._m_coalesce_superseded.inc(batch.superseded)
+        self._m_coalesce_dropped.inc(batch.dropped)
+        major, minor = deferral.classify(batch.updates, weight_of)
+        parked = deferral.park(minor, weight_of)
+        promoted = 0
+        if deferral.should_promote():
+            promoted = deferral.pending
+            to_apply = deferral.fold(major, reason="promote")
+            self._m_deferral_actions.inc(promoted, action="promote")
+        else:
+            deferral.note_exact(major)
+            to_apply = major
+        deferral.tick()
+        self._m_deferral_actions.inc(parked, action="defer")
+        if to_apply:
+            report = self._publish_locked(to_apply, coalesce=False)
+        else:
+            report = ServeReport(
+                epoch=self._epochs.epoch, affected=0, carried=0, evicted=0
+            )
+        report.state = self.state.value
+        report.epsilon = self.epsilon
+        report.deferred = parked
+        report.promoted = promoted
+        report.superseded += batch.superseded
+        report.dropped += batch.dropped
+        return report
+
+    def _catch_up_locked(self, updates=(), *, reason: str) -> ServeReport:
+        """Fold the whole journal (plus *updates*) into one exact
+        publish; caller holds ``_write_lock``."""
+        deferral = self._deferral
+        with span(names.SPAN_SERVE_CATCHUP) as sp:
+            extra: List = []
+            superseded = dropped = 0
+            if updates:
+                batch, _weight_of = self._net_batch(updates)
+                extra = batch.updates
+                superseded, dropped = batch.superseded, batch.dropped
+                self._m_coalesce_superseded.inc(superseded)
+                self._m_coalesce_dropped.inc(dropped)
+            folded = deferral.pending
+            to_apply = deferral.fold(extra, reason=reason)
+            deferral.tick()
+            self._m_deferral_actions.inc(folded, action=reason)
+            if to_apply:
+                report = self._publish_locked(to_apply, coalesce=False)
+            else:
+                report = ServeReport(
+                    epoch=self._epochs.epoch, affected=0, carried=0, evicted=0
+                )
+            report.state = self.state.value
+            report.epsilon = self.epsilon
+            report.caught_up = folded
+            report.superseded += superseded
+            report.dropped += dropped
+            if sp.active:
+                sp.set(epoch=report.epoch, folded=folded, extra=len(extra))
+            return report
+
+    def _update_degrade_gauges(self, depth: Optional[int] = None) -> None:
+        self._m_state.set(_STATE_VALUES[self.state])
+        self._m_epsilon.set(self.epsilon)
+        self._m_deferred.set(self._deferral.pending)
+        if depth is None:
+            with self._ingress_lock:
+                depth = len(self._ingress)
+                age = self._oldest_age_locked()
+        else:
+            with self._ingress_lock:
+                age = self._oldest_age_locked()
+        self._m_pending_batches.set(depth)
+        self._m_pending_age.set(age)
 
     # ------------------------------------------------------------------
     # Instrumentation / lifecycle
@@ -331,13 +674,25 @@ class DistanceServer:
     def stats(self) -> dict:
         """Everything ``repro cache-stats`` prints, as one dict."""
         epochs = {e: c.as_dict() for e, c in self.counters().items()}
-        return {
+        out = {
             "epoch": self.epoch,
             "cache_size": len(self.cache),
             "cache_capacity": self.cache.capacity,
             "cache": self.cache.stats.as_dict(),
             "epochs": epochs,
         }
+        if self._deferral is not None:
+            with self._ingress_lock:
+                depth = len(self._ingress)
+                age = self._oldest_age_locked()
+            out["degraded"] = {
+                "state": self.state.value,
+                "overloaded": self._overloaded,
+                "pending_batches": depth,
+                "pending_age_s": age,
+                **self._deferral.stats(),
+            }
+        return out
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:

@@ -1,0 +1,360 @@
+"""The bounded-error degraded tier: journal, ε accounting, transitions.
+
+Unit coverage of :mod:`repro.reliability.degrade` plus the
+:class:`ResilientOracle` side of the degradation ladder
+(docs/degraded-mode.md): threshold-c classification, last-write-wins
+parking, catch-up folding, the stretch guarantee against ground-truth
+Dijkstra, and — via injected faults at every deferral label — that a
+crash mid-catch-up recovers through :class:`ReliableStore` with no
+deferred delta lost or double-applied.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.dynamic import DynamicCH, DynamicH2H
+from repro.core.oracle import DijkstraOracle
+from repro.errors import ReproError
+from repro.reliability import (
+    DEFERRAL_LABELS,
+    BoundedDistance,
+    DeferredMaintenance,
+    DegradePolicy,
+    FaultInjector,
+    InjectedFault,
+    OracleState,
+    ReliableStore,
+    ResilientOracle,
+    check_stretch,
+)
+from repro.workloads.updates import sample_edges
+
+from conftest import random_pairs
+
+
+def scaled_batch(graph, count, factor, seed):
+    edges = sample_edges(graph, count, seed=seed)
+    return [((u, v), w * factor) for u, v, w in edges]
+
+
+def assert_within_bound(oracle, truth_graph, pairs):
+    """Every stamped answer satisfies its own max-stretch guarantee."""
+    ground = DijkstraOracle(truth_graph)
+    for s, t in pairs:
+        stamped = oracle.distance_bounded(s, t)
+        exact = ground.distance(s, t)
+        assert check_stretch(stamped.distance, exact, stamped.max_stretch)
+
+
+class TestDegradePolicy:
+    def test_defaults_are_valid(self):
+        policy = DegradePolicy()
+        assert policy.threshold_c > 1.0
+        assert 0 <= policy.low_watermark < policy.high_watermark
+
+    @pytest.mark.parametrize("c", [1.0, 0.5, 0.0, -2.0])
+    def test_threshold_must_exceed_one(self, c):
+        with pytest.raises(ReproError):
+            DegradePolicy(threshold_c=c)
+
+    @pytest.mark.parametrize("low,high", [(3, 3), (5, 2), (-1, 4)])
+    def test_watermarks_must_be_ordered(self, low, high):
+        with pytest.raises(ReproError):
+            DegradePolicy(low_watermark=low, high_watermark=high)
+
+
+class TestBoundedDistance:
+    def test_exact_stamp(self):
+        stamped = BoundedDistance(10.0, 0.0)
+        assert stamped.exact
+        assert stamped.lower == stamped.upper == 10.0
+
+    def test_envelope(self):
+        stamped = BoundedDistance(10.0, 0.25)
+        assert not stamped.exact
+        assert stamped.lower == pytest.approx(8.0)
+        assert stamped.upper == pytest.approx(12.5)
+
+
+class TestCheckStretch:
+    def test_exact_and_within(self):
+        assert check_stretch(10.0, 10.0, 0.0)
+        assert check_stretch(12.0, 10.0, 0.25)
+        assert check_stretch(8.5, 10.0, 0.25)
+
+    def test_beyond_the_bound(self):
+        assert not check_stretch(13.0, 10.0, 0.25)
+        assert not check_stretch(7.0, 10.0, 0.25)
+
+    def test_infinities_must_agree(self):
+        assert check_stretch(math.inf, math.inf, 0.25)
+        assert not check_stretch(math.inf, 10.0, 0.25)
+        assert not check_stretch(10.0, math.inf, 0.25)
+
+
+class TestDeferredMaintenance:
+    def make(self, **kwargs):
+        policy = DegradePolicy(**kwargs) if kwargs else DegradePolicy()
+        return DeferredMaintenance(policy)
+
+    def test_classify_splits_at_threshold(self):
+        journal = self.make(threshold_c=1.5)
+        weights = {(0, 1): 10.0, (1, 2): 10.0, (2, 3): 10.0}
+        weight_of = lambda u, v: weights[(u, v)]
+        major, minor = journal.classify(
+            [((0, 1), 12.0), ((1, 2), 20.0), ((2, 3), 8.0)], weight_of
+        )
+        assert major == [((1, 2), 20.0)]
+        assert minor == [((0, 1), 12.0), ((2, 3), 8.0)]
+
+    def test_park_last_write_wins_and_cancel(self):
+        journal = self.make()
+        weight_of = lambda u, v: 10.0
+        journal.park([((0, 1), 12.0)], weight_of)
+        journal.park([((1, 0), 11.0)], weight_of)  # canonical key: same edge
+        assert journal.pending == 1
+        assert journal.pending_updates()[0][1] == 11.0
+        assert journal.epsilon == pytest.approx(0.1)
+        journal.park([((0, 1), 10.0)], weight_of)  # back to served: cancelled
+        assert journal.pending == 0
+        assert journal.epsilon == 0.0
+
+    def test_directed_keys_are_per_arc(self):
+        journal = DeferredMaintenance(DegradePolicy(), directed=True)
+        weight_of = lambda u, v: 10.0
+        journal.park([((0, 1), 12.0), ((1, 0), 11.0)], weight_of)
+        assert journal.pending == 2
+
+    def test_note_exact_supersedes_parked(self):
+        journal = self.make()
+        journal.park([((0, 1), 12.0)], lambda u, v: 10.0)
+        journal.note_exact([((1, 0), 30.0)])
+        assert journal.pending == 0
+
+    def test_epsilon_bounded_by_construction(self):
+        journal = self.make(threshold_c=1.25)
+        weights = {(0, 1): 10.0, (1, 2): 4.0}
+        weight_of = lambda u, v: weights[(u, v)]
+        major, minor = journal.classify(
+            [((0, 1), 12.5), ((1, 2), 3.2)], weight_of
+        )
+        assert not major
+        journal.park(minor, weight_of)
+        assert journal.epsilon <= journal.policy.threshold_c - 1.0
+        assert journal.epsilon == pytest.approx(0.25)
+
+    def test_should_promote_on_depth_and_age(self):
+        journal = self.make(max_deferred=1, max_deferred_applies=10)
+        weight_of = lambda u, v: 10.0
+        journal.park([((0, 1), 12.0)], weight_of)
+        assert not journal.should_promote()
+        journal.park([((1, 2), 12.0)], weight_of)
+        assert journal.should_promote()  # depth 2 > max_deferred 1
+
+        aged = self.make(max_deferred_applies=2)
+        aged.park([((0, 1), 12.0)], weight_of)
+        for _ in range(3):
+            assert not aged.should_promote()
+            aged.tick()
+        assert aged.should_promote()  # age 3 > max_deferred_applies 2
+
+    def test_fold_merges_with_exact_winning(self):
+        journal = self.make()
+        weight_of = lambda u, v: 10.0
+        journal.park([((0, 1), 12.0), ((1, 2), 11.0)], weight_of)
+        batch = journal.fold([((0, 1), 30.0)], reason="promote")
+        assert journal.pending == 0
+        assert sorted(batch) == [((0, 1), 30.0), ((1, 2), 11.0)]
+        assert journal.counters["promote"] == 2
+
+    def test_clear_drains_without_applying(self):
+        journal = self.make()
+        journal.park([((0, 1), 12.0)], lambda u, v: 10.0)
+        pending = journal.clear()
+        assert pending == [((0, 1), 12.0)]
+        assert journal.pending == 0
+
+    def test_stats_shape(self):
+        journal = self.make()
+        journal.park([((0, 1), 12.0)], lambda u, v: 10.0)
+        stats = journal.stats()
+        assert stats["pending"] == 1
+        assert stats["epsilon"] == pytest.approx(0.2)
+        assert set(stats["counters"]) == set(DEFERRAL_LABELS)
+
+
+class TestResilientOracleLadder:
+    @pytest.mark.parametrize("oracle_cls", [DynamicCH, DynamicH2H])
+    def test_minor_batch_degrades_bounded(self, small_grid, oracle_cls):
+        truth = small_grid.copy()
+        oracle = ResilientOracle(
+            oracle_cls(small_grid.copy()),
+            degrade=DegradePolicy(threshold_c=1.5),
+        )
+        assert oracle.state is OracleState.HEALTHY
+        batch = scaled_batch(truth, 4, 1.2, seed=1)
+        truth.apply_batch(batch)
+        oracle.apply(batch)
+        assert oracle.state is OracleState.DEGRADED_BOUNDED
+        assert 0.0 < oracle.epsilon <= 0.5
+        assert_within_bound(oracle, truth, random_pairs(truth.n, 20, seed=2))
+
+    def test_major_batch_stays_healthy(self, small_grid):
+        truth = small_grid.copy()
+        oracle = ResilientOracle(
+            DynamicCH(small_grid.copy()), degrade=DegradePolicy(threshold_c=1.5)
+        )
+        batch = scaled_batch(truth, 3, 3.0, seed=3)
+        truth.apply_batch(batch)
+        report = oracle.apply(batch)
+        assert report is not None
+        assert oracle.state is OracleState.HEALTHY
+        assert oracle.epsilon == 0.0
+        ground = DijkstraOracle(truth)
+        for s, t in random_pairs(truth.n, 15, seed=4):
+            assert check_stretch(oracle.distance(s, t), ground.distance(s, t), 0.0)
+
+    def test_catch_up_returns_to_exact(self, small_grid):
+        truth = small_grid.copy()
+        oracle = ResilientOracle(
+            DynamicCH(small_grid.copy()), degrade=DegradePolicy(threshold_c=1.5)
+        )
+        batch = scaled_batch(truth, 4, 1.3, seed=5)
+        truth.apply_batch(batch)
+        oracle.apply(batch)
+        assert oracle.state is OracleState.DEGRADED_BOUNDED
+
+        report = oracle.catch_up()
+        assert report is not None
+        assert oracle.state is OracleState.HEALTHY
+        assert oracle.epsilon == 0.0
+        assert any(event == "caught-up" for event, _ in oracle.events)
+        ground = DijkstraOracle(truth)
+        for s, t in random_pairs(truth.n, 15, seed=6):
+            assert check_stretch(oracle.distance(s, t), ground.distance(s, t), 0.0)
+        assert oracle.catch_up() is None  # idempotent once empty
+
+    def test_promotion_by_depth_folds_inline(self, small_grid):
+        truth = small_grid.copy()
+        oracle = ResilientOracle(
+            DynamicCH(small_grid.copy()),
+            degrade=DegradePolicy(threshold_c=1.5, max_deferred=1),
+        )
+        batch = scaled_batch(truth, 3, 1.2, seed=7)
+        truth.apply_batch(batch)
+        oracle.apply(batch)  # parks 3 > max_deferred 1: folds immediately
+        assert oracle.state is OracleState.HEALTHY
+        assert oracle.deferral.counters["promote"] == 3
+        ground = DijkstraOracle(truth)
+        for s, t in random_pairs(truth.n, 10, seed=8):
+            assert check_stretch(oracle.distance(s, t), ground.distance(s, t), 0.0)
+
+    def test_fallback_entry_flushes_journal(self, small_grid):
+        truth = small_grid.copy()
+        injector = FaultInjector(seed=11)
+        primary = injector.wrap_oracle(DynamicCH(small_grid.copy()))
+        oracle = ResilientOracle(
+            primary,
+            max_rebuild_attempts=0,
+            degrade=DegradePolicy(threshold_c=1.5),
+        )
+        minor = scaled_batch(truth, 3, 1.2, seed=9)
+        truth.apply_batch(minor)
+        oracle.apply(minor)
+        assert oracle.state is OracleState.DEGRADED_BOUNDED
+
+        injector.fail_next("apply")
+        major = scaled_batch(truth, 2, 4.0, seed=10)
+        truth.apply_batch(major)
+        oracle.apply(major)
+        assert oracle.state is OracleState.FALLBACK
+        assert oracle.deferral.pending == 0  # journal flushed into the graph
+        ground = DijkstraOracle(truth)
+        for s, t in random_pairs(truth.n, 15, seed=11):
+            assert check_stretch(oracle.distance(s, t), ground.distance(s, t), 0.0)
+
+
+class TestCrashRecoveryAcrossDeferral:
+    """An injected fault at any deferral label models a crash at that
+    point; recovery must go through the WAL with every accepted batch
+    applied exactly once."""
+
+    @pytest.mark.parametrize("label", DEFERRAL_LABELS)
+    def test_injected_fault_leaves_journal_intact(self, small_grid, label):
+        injector = FaultInjector(seed=13)
+        oracle = ResilientOracle(
+            DynamicCH(small_grid.copy()),
+            degrade=DegradePolicy(threshold_c=1.5, max_deferred=1),
+            injector=injector,
+        )
+        seeded = scaled_batch(small_grid, 1, 1.2, seed=20)
+        oracle.apply(seeded)
+        before = dict(
+            (entry.edge, entry.target)
+            for entry in oracle.deferral._journal.values()
+        )
+
+        injector.fail_next(label)
+        batch = scaled_batch(small_grid, 2, 1.2, seed=21)
+        with pytest.raises(InjectedFault):
+            if label == "catchup":
+                oracle.catch_up()
+            else:
+                oracle.apply(batch)  # defer on park; promote via depth
+        after = dict(
+            (entry.edge, entry.target)
+            for entry in oracle.deferral._journal.values()
+        )
+        if label == "promote":
+            # The batch parked before the fold crashed: the journal grew
+            # by the new minors but every earlier delta is still there.
+            assert set(before.items()) <= set(after.items())
+        else:
+            assert after == before  # the check fires before any mutation
+
+    @pytest.mark.parametrize("oracle_cls", [DynamicCH, DynamicH2H])
+    def test_crash_mid_catch_up_recovers_exactly(
+        self, small_grid, tmp_path, oracle_cls
+    ):
+        truth = small_grid.copy()
+        injector = FaultInjector(seed=17)
+        store = ReliableStore(tmp_path / "store")
+        primary = oracle_cls(small_grid.copy())
+        store.checkpoint(primary)
+        oracle = ResilientOracle(
+            primary,
+            store=store,
+            degrade=DegradePolicy(threshold_c=1.5),
+            injector=injector,
+        )
+
+        major = scaled_batch(truth, 2, 3.0, seed=30)
+        truth.apply_batch(major)
+        oracle.apply(major)
+        minor = scaled_batch(truth, 3, 1.2, seed=31)
+        truth.apply_batch(minor)
+        oracle.apply(minor)
+        assert oracle.state is OracleState.DEGRADED_BOUNDED
+        parked = oracle.deferral.pending
+        assert parked > 0
+
+        # Crash exactly at the catch-up fold: the journal is untouched
+        # and the process is "gone" — all in-memory state is dropped.
+        injector.fail_next("catchup")
+        with pytest.raises(InjectedFault):
+            oracle.catch_up()
+        assert oracle.deferral.pending == parked
+
+        # Recovery replays the WAL: every accepted batch — including the
+        # deferred one — is applied exactly once, so the recovered index
+        # reflects the true weights with no delta lost or double-applied.
+        result = store.recover()
+        recovered = result.oracle
+        assert result.replayed_batches == 2
+        assert recovered.graph == truth
+        ground = DijkstraOracle(truth)
+        for s, t in random_pairs(truth.n, 15, seed=32):
+            assert check_stretch(recovered.distance(s, t), ground.distance(s, t), 0.0)

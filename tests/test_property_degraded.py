@@ -1,0 +1,139 @@
+"""Property test of the bounded-stretch guarantee (docs/degraded-mode.md).
+
+Hypothesis drives random deferred-update streams through a
+:class:`DistanceServer` held in degraded mode by admission control, on
+all four dynamic facades.  After every pumped batch the served answer
+is compared against a fresh Dijkstra on the true (latest admitted)
+weights: the stamped ``max_stretch`` must always contain the exact
+distance, and after the final catch-up the answers must be exact again.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dijkstra import dijkstra
+from repro.core.dynamic import DynamicCH, DynamicH2H
+from repro.directed.dijkstra import directed_distance
+from repro.directed.dynamic import DynamicDiCH, DynamicDiH2H
+from repro.directed.graph import DiRoadNetwork
+from repro.reliability import DegradePolicy, check_stretch
+from repro.serve.server import DistanceServer
+
+from test_property_oracles import connected_graphs
+
+#: A mix of sub-threshold (minor, c = 1.5) and super-threshold factors.
+_FACTORS = [0.75, 0.85, 1.1, 1.2, 1.35, 0.4, 2.8]
+
+common_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _policy():
+    # high=2 keeps the server degraded while the queue is deep; low=0
+    # makes the final pumped batch the catch-up.
+    return DegradePolicy(
+        threshold_c=1.5,
+        high_watermark=2,
+        low_watermark=0,
+        max_batch_age_s=3600.0,
+    )
+
+
+@st.composite
+def update_streams(draw):
+    """(graph, batches) — each batch is [(edge_index, factor), ...]."""
+    graph = draw(connected_graphs(max_vertices=12))
+    batches = []
+    for _ in range(draw(st.integers(min_value=3, max_value=5))):
+        k = draw(st.integers(min_value=1, max_value=3))
+        indices = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=10_000),
+                min_size=k, max_size=k, unique=True,
+            )
+        )
+        factors = draw(
+            st.lists(
+                st.sampled_from(_FACTORS), min_size=k, max_size=k
+            )
+        )
+        batches.append(list(zip(indices, factors)))
+    return graph, batches
+
+
+def _run_stream(server, truth, batches, edge_keys, exact_of, seed):
+    """Offer everything, pump batch by batch, check the stamp each time."""
+    rng = random.Random(seed)
+    pairs = [
+        (rng.randrange(truth.n), rng.randrange(truth.n)) for _ in range(4)
+    ]
+    materialized = []
+    for spec in batches:
+        seen = set()
+        batch = []
+        for index, factor in spec:
+            u, v = edge_keys[index % len(edge_keys)]
+            if (u, v) in seen:
+                continue
+            seen.add((u, v))
+            batch.append(((u, v), truth.weight(u, v) * factor))
+        materialized.append(batch)
+        server.offer(batch)
+
+    for batch in materialized:
+        server.pump()
+        for (u, v), w in batch:
+            truth.set_weight(u, v, w)
+        for s, t in pairs:
+            stamped = server.distance_bounded(s, t)
+            assert check_stretch(
+                stamped.distance, exact_of(truth, s, t), stamped.max_stretch
+            )
+
+    server.drain()  # fold whatever is still parked
+    assert server.deferral.pending == 0
+    assert server.epsilon == 0.0
+    for s, t in pairs:
+        assert check_stretch(
+            server.distance(s, t), exact_of(truth, s, t), 0.0
+        )
+
+
+class TestUndirectedFacades:
+    @common_settings
+    @given(update_streams(), st.sampled_from([DynamicCH, DynamicH2H]))
+    def test_stretch_never_exceeded(self, stream, facade):
+        graph, batches = stream
+        truth = graph.copy()
+        edge_keys = [(u, v) for u, v, _w in graph.edges()]
+        exact_of = lambda g, s, t: dijkstra(g, s)[t]
+        with DistanceServer(
+            facade(graph.copy()), workers=1, degrade=_policy()
+        ) as server:
+            _run_stream(server, truth, batches, edge_keys, exact_of, seed=1)
+
+
+class TestDirectedFacades:
+    @common_settings
+    @given(update_streams(), st.sampled_from([DynamicDiCH, DynamicDiH2H]))
+    def test_stretch_never_exceeded(self, stream, facade):
+        base, batches = stream
+        digraph = DiRoadNetwork(base.n)
+        for u, v, w in base.edges():
+            digraph.add_arc(u, v, w)
+            digraph.add_arc(v, u, w * 1.25)
+        truth = digraph.copy()
+        edge_keys = [(u, v) for u, v, _w in digraph.arcs()]
+        with DistanceServer(
+            facade(digraph.copy()), workers=1, degrade=_policy()
+        ) as server:
+            _run_stream(
+                server, truth, batches, edge_keys, directed_distance, seed=2
+            )

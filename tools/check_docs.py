@@ -40,6 +40,16 @@ _SPAN_TOKEN_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)`")
 #: Documentation files whose relative links are checked.
 DOC_FILES = ("README.md", "EXPERIMENTS.md")
 
+#: Pages the docs suite must always contain (each one is load-bearing:
+#: other pages and module docstrings link to them by name).
+REQUIRED_DOCS = (
+    "docs/architecture.md",
+    "docs/boundedness.md",
+    "docs/degraded-mode.md",
+    "docs/observability.md",
+    "docs/performance.md",
+)
+
 
 def _doc_paths() -> List[str]:
     paths = [os.path.join(REPO_ROOT, name) for name in DOC_FILES]
@@ -51,6 +61,18 @@ def _doc_paths() -> List[str]:
             if name.endswith(".md")
         ]
     return [p for p in paths if os.path.isfile(p)]
+
+
+def check_required_docs() -> List[str]:
+    """Every load-bearing docs page exists and is non-empty."""
+    errors: List[str] = []
+    for rel in REQUIRED_DOCS:
+        path = os.path.join(REPO_ROOT, rel)
+        if not os.path.isfile(path):
+            errors.append(f"required doc {rel} is missing")
+        elif os.path.getsize(path) == 0:
+            errors.append(f"required doc {rel} is empty")
+    return errors
 
 
 def check_links() -> List[str]:
@@ -196,6 +218,7 @@ def check_spans_instrumented() -> List[str]:
 def run_all() -> List[str]:
     """Run every check; return the combined error list."""
     errors: List[str] = []
+    errors += check_required_docs()
     errors += check_links()
     errors += check_anchors()
     errors += check_observability_catalogue()

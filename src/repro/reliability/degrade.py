@@ -220,8 +220,10 @@ class DeferredMaintenance:
         self._journal: Dict[Tuple[int, int], DeferredDelta] = {}
         self._applies = 0
         #: Lifetime counters by action (mirrors the obs registry).
+        #: ``cancel`` counts journal entries *removed* because a later
+        #: delta landed back on the served weight — not parked deltas.
         self.counters: Dict[str, int] = {
-            "defer": 0, "promote": 0, "catchup": 0
+            "defer": 0, "promote": 0, "catchup": 0, "cancel": 0
         }
 
     # ------------------------------------------------------------------
@@ -263,17 +265,20 @@ class DeferredMaintenance:
         self,
         minor: Sequence[WeightUpdate],
         weight_of: Callable[[int, int], float],
-    ) -> int:
+    ) -> Tuple[int, int]:
         """Journal sub-threshold deltas (last write per edge wins).
 
         A delta that lands back on the served weight cancels the edge's
         entry — the sequential application would end where it started.
-        Returns the number of edges whose entry changed.
+        Returns ``(parked, cancelled)``: edges whose entry was added or
+        updated, and edges whose entry was removed by such a revert.
+        Only the former count as ``defer`` actions; cancellations are
+        tracked under ``cancel``.
         """
         if not minor:
-            return 0
+            return 0, 0
         self._check("defer")
-        touched = 0
+        parked = cancelled = 0
         for (u, v), w in minor:
             key = self._key(u, v)
             entry = self._journal.get(key)
@@ -281,7 +286,7 @@ class DeferredMaintenance:
             if w == served:
                 if entry is not None:
                     del self._journal[key]
-                    touched += 1
+                    cancelled += 1
                 continue
             self._journal[key] = DeferredDelta(
                 edge=(u, v),
@@ -289,9 +294,33 @@ class DeferredMaintenance:
                 served=served,
                 born=entry.born if entry is not None else self._applies,
             )
-            touched += 1
-        self.counters["defer"] += touched
-        return touched
+            parked += 1
+        self.counters["defer"] += parked
+        self.counters["cancel"] += cancelled
+        return parked, cancelled
+
+    def effective_weight(
+        self, weight_of: Callable[[int, int], float]
+    ) -> Callable[[int, int], float]:
+        """*weight_of* overlaid with the journal's parked targets.
+
+        Returns an accessor reporting the *effective true* weight of an
+        edge: the parked target when the edge has a journal entry, the
+        served weight otherwise.  Coalescing an incoming batch must use
+        this accessor, **not** the served weight — against the served
+        weight, an update that reverts a parked edge back to its served
+        value looks like a net no-op and is dropped before it can reach
+        :meth:`park`'s cancellation, leaving the journal's superseded
+        target to win the catch-up fold (a last-write-wins violation).
+        """
+        if not self._journal:
+            return weight_of
+
+        def effective(u: int, v: int) -> float:
+            entry = self._journal.get(self._key(u, v))
+            return entry.target if entry is not None else weight_of(u, v)
+
+        return effective
 
     def note_exact(self, exact: Iterable[WeightUpdate]) -> None:
         """Drop journal entries superseded by an exactly-applied batch."""

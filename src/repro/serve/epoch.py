@@ -38,11 +38,33 @@ class EpochSnapshot:
         ``V_aff`` of the update that *created* this epoch (``None`` for
         the initial epoch, or when the update's AFF set was unknown and
         the whole cache was flushed).
+    epsilon:
+        The max-stretch bound ε of answers served from this snapshot
+        (0.0 ⇒ exact).  Recorded at publish time from the deferral
+        journal and raised in place by the writer when it parks more
+        deltas without publishing (:meth:`raise_epsilon`), so readers
+        can stamp an answer with the ε of the very snapshot that served
+        it — reading a global ε after the fact races with a concurrent
+        catch-up publish (docs/degraded-mode.md).
     """
 
     epoch: int
     oracle: object
     affected: Optional[frozenset] = field(default=None, compare=False)
+    epsilon: float = field(default=0.0, compare=False)
+
+    def raise_epsilon(self, value: float) -> None:
+        """Raise this snapshot's recorded stretch bound (writer only).
+
+        The one sanctioned mutation of a snapshot: the serialized
+        writer raises ε when a degraded apply parks deltas without
+        publishing a new epoch.  Monotone — ε never decreases for a
+        given snapshot, so a reader that stamps an answer with a value
+        read *after* computing the distance can only over-state the
+        bound, never violate it.
+        """
+        if value > self.epsilon:
+            object.__setattr__(self, "epsilon", value)
 
     def distance(self, s: int, t: int) -> float:
         """Shortest distance on this snapshot (no cache)."""
@@ -75,17 +97,20 @@ class EpochManager:
         """The latest published epoch number."""
         return self._current.epoch
 
-    def publish(self, oracle, affected=None) -> EpochSnapshot:
+    def publish(self, oracle, affected=None, *, epsilon: float = 0.0) -> EpochSnapshot:
         """Atomically swap in *oracle* as the next epoch's snapshot.
 
         Returns the new snapshot.  Readers that fetched the previous
         snapshot keep using it unharmed; new readers see the new one.
+        *epsilon* is the stretch bound in force for the new snapshot
+        (the deferral journal's ε at publish time; 0.0 ⇒ exact).
         """
         with self._lock:
             snapshot = EpochSnapshot(
                 epoch=self._current.epoch + 1,
                 oracle=oracle,
                 affected=None if affected is None else frozenset(affected),
+                epsilon=epsilon,
             )
             self._current = snapshot
             return snapshot

@@ -259,7 +259,7 @@ class DistanceServer:
         )
         self._m_deferral_actions = m.counter(
             names.SERVE_DEFERRAL_ACTIONS,
-            "Deferral-journal deltas by action (defer/promote/catchup).",
+            "Deferral-journal deltas by action (defer/cancel/promote/catchup).",
             ("action",),
         )
         self._m_pending_batches = m.gauge(
@@ -278,7 +278,7 @@ class DistanceServer:
             names.SERVE_COALESCE_DROPPED,
             "Distinct edges whose net change was zero, per apply.",
         )
-        for action in ("defer", "promote", "catchup"):
+        for action in ("defer", "cancel", "promote", "catchup"):
             self._m_deferral_actions.inc(0, action=action)
         self._m_epoch.set(0)
         self._m_cache_capacity.set(cache_capacity)
@@ -346,8 +346,19 @@ class DistanceServer:
         where *exact* is the distance under the true (latest reported)
         weights.  ε is 0 whenever the journal is empty — parked deltas
         are the only divergence between served and true weights.
+
+        The stamp comes from the snapshot that served the answer, not
+        from the live journal: a catch-up publish landing between the
+        snapshot capture and the ε read would otherwise zero ε and mark
+        an answer computed on the stale pre-catch-up snapshot as exact.
+        Each snapshot's ε is recorded at publish time and only ever
+        raised in place (:meth:`EpochSnapshot.raise_epsilon`), so
+        reading it *after* the distance can at worst over-state the
+        bound.
         """
-        return BoundedDistance(self.distance(s, t), self.epsilon)
+        snapshot = self._epochs.current
+        distance = self.distance_on(snapshot, s, t)
+        return BoundedDistance(distance, snapshot.epsilon)
 
     def distance_on(self, snapshot: EpochSnapshot, s: int, t: int) -> float:
         """``sd(s, t)`` on a pinned *snapshot*, cache first.
@@ -417,16 +428,47 @@ class DistanceServer:
         admission control as :meth:`pump` — under overload it is split
         at threshold-c and only partially published (the report's
         ``state`` / ``deferred`` / ``epsilon`` fields say what happened).
+        If batches are already queued via :meth:`offer`, this batch is
+        enqueued behind them and the queue drained in arrival order
+        (an older queued write must not be applied on top of this one);
+        the returned report is this batch's.
         """
         if self._deferral is not None:
             with self._ingress_lock:
-                depth_after = len(self._ingress)
+                backlog = len(self._ingress)
                 age = self._oldest_age_locked()
-            return self._admit(
-                updates, depth_after + 1, depth_after, age, coalesce=coalesce
-            )
+            if backlog:
+                return self._apply_in_arrival_order(updates)
+            return self._admit(updates, 1, 0, age, coalesce=coalesce)
         with self._write_lock:
             return self._publish_locked(updates, coalesce=coalesce)
+
+    def _apply_in_arrival_order(self, updates) -> ServeReport:
+        """Enqueue *updates* behind the offered backlog and pump until
+        they have been applied, preserving last-write-wins across the
+        two ingestion APIs.  Returns the report of the final (= this)
+        batch."""
+        self.offer(updates)
+        report: Optional[ServeReport] = None
+        while True:
+            with self._ingress_lock:
+                pending = bool(self._ingress)
+            if not pending:
+                break
+            step = self.pump()
+            if step is None:  # a concurrent pump drained the queue
+                break
+            report = step
+        if report is None:
+            report = ServeReport(
+                epoch=self._epochs.epoch,
+                affected=0,
+                carried=0,
+                evicted=0,
+                state=self.state.value,
+                epsilon=self.epsilon,
+            )
+        return report
 
     def _publish_locked(self, updates, *, coalesce: bool) -> ServeReport:
         """The core copy-on-write publish; caller holds ``_write_lock``."""
@@ -437,7 +479,9 @@ class DistanceServer:
                 current.oracle, updates, coalesce=coalesce
             )
             aff = affected_vertices(next_oracle, report)
-            snapshot = self._epochs.publish(next_oracle, affected=aff)
+            snapshot = self._epochs.publish(
+                next_oracle, affected=aff, epsilon=self.epsilon
+            )
             carried, evicted = self.cache.migrate(snapshot.epoch, aff)
             self._materialize_epoch(snapshot.epoch)
             superseded = getattr(report, "superseded", 0) or 0
@@ -560,10 +604,24 @@ class DistanceServer:
             return report
 
     def _net_batch(self, updates):
-        """Coalesce against the served snapshot, counting the absorption."""
+        """Coalesce a raw batch; returns it with the served-weight accessor.
+
+        Coalescing must drop no-ops against the *effective true* weight
+        — the journal's parked target when an edge is deferred, the
+        served graph weight otherwise.  Against the served weight, an
+        update reverting a parked edge back to its served value would be
+        dropped as a net no-op before it could cancel the journal
+        entry, and the superseded parked target would win the catch-up
+        fold (a last-write-wins violation).  Classification and parking
+        still use the served weight, which is what the returned
+        accessor reports.
+        """
         graph = self._epochs.current.oracle.graph
+        true_weight = graph.weight
+        if self._deferral is not None:
+            true_weight = self._deferral.effective_weight(graph.weight)
         batch = coalesce_updates(
-            updates, graph.weight, directed=hasattr(graph, "arcs")
+            updates, true_weight, directed=hasattr(graph, "arcs")
         )
         return batch, graph.weight
 
@@ -575,7 +633,11 @@ class DistanceServer:
         self._m_coalesce_superseded.inc(batch.superseded)
         self._m_coalesce_dropped.inc(batch.dropped)
         major, minor = deferral.classify(batch.updates, weight_of)
-        parked = deferral.park(minor, weight_of)
+        parked, cancelled = deferral.park(minor, weight_of)
+        # The served snapshot diverges the moment deltas are parked:
+        # raise its ε before the (possibly long) publish below, so
+        # readers stamping from it never under-state the bound.
+        self._epochs.current.raise_epsilon(deferral.epsilon)
         promoted = 0
         if deferral.should_promote():
             promoted = deferral.pending
@@ -586,6 +648,7 @@ class DistanceServer:
             to_apply = major
         deferral.tick()
         self._m_deferral_actions.inc(parked, action="defer")
+        self._m_deferral_actions.inc(cancelled, action="cancel")
         if to_apply:
             report = self._publish_locked(to_apply, coalesce=False)
         else:

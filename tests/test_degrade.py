@@ -113,20 +113,34 @@ class TestDeferredMaintenance:
     def test_park_last_write_wins_and_cancel(self):
         journal = self.make()
         weight_of = lambda u, v: 10.0
-        journal.park([((0, 1), 12.0)], weight_of)
-        journal.park([((1, 0), 11.0)], weight_of)  # canonical key: same edge
+        assert journal.park([((0, 1), 12.0)], weight_of) == (1, 0)
+        # Canonical key: same edge, entry overwritten (still a defer).
+        assert journal.park([((1, 0), 11.0)], weight_of) == (1, 0)
         assert journal.pending == 1
         assert journal.pending_updates()[0][1] == 11.0
         assert journal.epsilon == pytest.approx(0.1)
-        journal.park([((0, 1), 10.0)], weight_of)  # back to served: cancelled
+        # Back to served: the entry is cancelled, not parked.
+        assert journal.park([((0, 1), 10.0)], weight_of) == (0, 1)
         assert journal.pending == 0
         assert journal.epsilon == 0.0
+        assert journal.counters["defer"] == 2
+        assert journal.counters["cancel"] == 1
 
     def test_directed_keys_are_per_arc(self):
         journal = DeferredMaintenance(DegradePolicy(), directed=True)
         weight_of = lambda u, v: 10.0
         journal.park([((0, 1), 12.0), ((1, 0), 11.0)], weight_of)
         assert journal.pending == 2
+
+    def test_effective_weight_overlays_parked_targets(self):
+        journal = self.make()
+        weight_of = lambda u, v: 10.0
+        assert journal.effective_weight(weight_of) is weight_of  # empty
+        journal.park([((0, 1), 12.0)], weight_of)
+        effective = journal.effective_weight(weight_of)
+        assert effective(0, 1) == 12.0
+        assert effective(1, 0) == 12.0  # canonical key
+        assert effective(1, 2) == 10.0  # not parked: served weight
 
     def test_note_exact_supersedes_parked(self):
         journal = self.make()
@@ -183,7 +197,10 @@ class TestDeferredMaintenance:
         stats = journal.stats()
         assert stats["pending"] == 1
         assert stats["epsilon"] == pytest.approx(0.2)
-        assert set(stats["counters"]) == set(DEFERRAL_LABELS)
+        # Every fault-injection label has a counter, plus the pure
+        # bookkeeping action "cancel" (no injection point: a cancel is
+        # part of the same park() step as the defers around it).
+        assert set(stats["counters"]) == set(DEFERRAL_LABELS) | {"cancel"}
 
 
 class TestResilientOracleLadder:

@@ -147,6 +147,92 @@ class TestAdmissionControl:
                 )
 
 
+class TestLastWriteWinsAcrossDeferral:
+    """Reverts of parked deltas must win over the journal (the raw
+    stream's last write), whichever path — degraded apply, catch-up
+    fold, or apply() racing an offered backlog — carries them."""
+
+    def test_revert_cancels_while_still_overloaded(self, small_grid):
+        """A revert arriving in degraded mode must survive coalescing
+        (which runs against the journal's effective weights, not the
+        stale served snapshot) and cancel the parked entry."""
+        truth = small_grid.copy()
+        edges = list(truth.edges())
+        (u, v, w) = edges[0]
+        (u2, v2, w2) = edges[1]
+        with DistanceServer(
+            DynamicCH(small_grid.copy()),
+            workers=1,
+            degrade=policy(high_watermark=2, low_watermark=0),
+        ) as server:
+            server.offer([((u, v), w * 1.2)])  # parked while overloaded
+            server.offer([((u, v), w)])  # revert to the served weight
+            server.offer([((u2, v2), w2 * 1.2)])  # keeps the queue deep
+
+            parked = server.pump()
+            assert parked.deferred == 1
+            assert server.deferral.pending == 1
+
+            reverted = server.pump()
+            assert reverted.deferred == 0
+            assert server.deferral.pending == 0  # entry cancelled
+            assert server.epsilon == 0.0
+            actions = server.metrics.get(names.SERVE_DEFERRAL_ACTIONS)
+            assert actions.value(action="defer") == 1
+            assert actions.value(action="cancel") == 1
+
+            server.drain()
+            assert server.snapshot().graph.weight(u, v) == pytest.approx(w)
+            truth.apply_batch([((u2, v2), w2 * 1.2)])
+            ground = DijkstraOracle(truth)
+            for s, t in random_pairs(truth.n, 10, seed=9):
+                assert check_stretch(
+                    server.distance(s, t), ground.distance(s, t), 0.0
+                )
+
+    def test_revert_wins_in_catch_up_fold(self, small_grid):
+        """When the revert batch itself triggers the catch-up, the fold
+        must end on the reverted (original) weight — not the parked
+        target it supersedes."""
+        (u, v, w) = next(iter(small_grid.edges()))
+        with DistanceServer(
+            DynamicCH(small_grid.copy()),
+            workers=1,
+            degrade=policy(high_watermark=2, low_watermark=0),
+        ) as server:
+            server.offer([((u, v), w * 1.2)])
+            server.offer([((u, v), w)])
+            parked = server.pump()
+            assert parked.deferred == 1
+
+            caught = server.pump()  # depth hits the low watermark
+            assert caught.state == OracleState.HEALTHY.value
+            assert server.deferral.pending == 0
+            assert server.epsilon == 0.0
+            assert server.snapshot().graph.weight(u, v) == pytest.approx(w)
+            ground = DijkstraOracle(small_grid)  # truth == original graph
+            for s, t in random_pairs(small_grid.n, 10, seed=11):
+                assert check_stretch(
+                    server.distance(s, t), ground.distance(s, t), 0.0
+                )
+
+    def test_apply_drains_offered_backlog_first(self, small_grid):
+        """apply() must not jump ahead of batches already offer()ed:
+        the queue drains in arrival order, so the apply()'s (newer)
+        write to the same edge wins."""
+        (u, v, w) = next(iter(small_grid.edges()))
+        with DistanceServer(
+            DynamicCH(small_grid.copy()), workers=1, degrade=policy()
+        ) as server:
+            server.offer([((u, v), w * 1.2)])
+            report = server.apply([((u, v), w * 1.4)])
+            assert report.epoch == server.epoch  # the last batch's report
+            assert server.stats()["degraded"]["pending_batches"] == 0
+            assert server.snapshot().graph.weight(u, v) == pytest.approx(
+                w * 1.4
+            )
+
+
 class TestDegradedObservability:
     def test_metrics_track_the_cycle(self, small_grid):
         batches = minor_batches(small_grid, 5, 2)
@@ -220,6 +306,31 @@ class TestDegradedObservability:
             stamped = server.distance_bounded(0, small_grid.n - 1)
             assert stamped.exact
             assert stamped.lower == stamped.upper == stamped.distance
+
+    def test_bounded_stamp_versioned_with_snapshot(self, small_grid):
+        """ε rides on the snapshot that served the answer: a catch-up
+        publish concurrent with a read must not let a stale-snapshot
+        answer be stamped exact (ε read from a zeroed global)."""
+        batches = minor_batches(small_grid, 5, 2)
+        with DistanceServer(
+            DynamicCH(small_grid.copy()), workers=1, degrade=policy()
+        ) as server:
+            for batch in batches:
+                server.offer(batch)
+            for _ in range(3):
+                server.pump()  # degraded: parks without publishing
+            pinned = server.snapshot()
+            assert pinned.epsilon == pytest.approx(server.epsilon)
+            assert pinned.epsilon > 0.0
+            stamped = server.distance_bounded(0, small_grid.n - 1)
+            assert stamped.max_stretch == pinned.epsilon
+
+            server.drain()  # catch-up: the new snapshot is exact again
+            assert server.snapshot().epsilon == 0.0
+            assert server.distance_bounded(0, small_grid.n - 1).exact
+            # The retired snapshot keeps the ε it served under, so an
+            # answer stamped from it before the publish stays bounded.
+            assert pinned.epsilon > 0.0
 
 
 class TestOverloadBench:

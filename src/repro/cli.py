@@ -33,7 +33,7 @@ import math
 import os
 import sys
 from collections import deque
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.ch.dch import dch_decrease, dch_increase
 from repro.ch.indexing import ch_indexing
@@ -50,7 +50,16 @@ from repro.obs.bench import (
     pair_bench_dirs,
     write_bench,
 )
+from repro.obs.context import build_trace_trees, render_trace_tree, trace_summaries
+from repro.obs.flight import FlightRecorder
 from repro.obs.registry import MetricsRegistry
+from repro.obs.sentinel import (
+    DEFAULT_MARGIN,
+    DEFAULT_MIN_MEASURE,
+    BoundednessSentinel,
+    fit_envelope,
+)
+from repro.obs.slo import SLOEngine, default_rules, load_rules
 from repro.obs.trace import JsonlSink, TraceSchemaError, set_sink, validate_record
 from repro.persist import load_ch, load_h2h, save_ch, save_h2h
 from repro.reliability import ReliableStore, verify_index
@@ -310,6 +319,31 @@ def _ensure_parent(path: str) -> None:
         os.makedirs(parent, exist_ok=True)
 
 
+def _bench_sink(args):
+    """The trace sink stack a serve-bench run asked for: a buffered
+    :class:`JsonlSink` for ``--trace``, wrapped by a
+    :class:`FlightRecorder` when ``--flight-dir`` is given (the recorder
+    tees every record to the JSONL file and dumps the ring on
+    anomalies).  Returns ``None`` when no tracing was requested."""
+    sink = None
+    if args.trace:
+        _ensure_parent(args.trace)
+        sink = JsonlSink(args.trace, buffer_records=256)
+    if args.flight_dir:
+        sink = FlightRecorder(dump_dir=args.flight_dir, downstream=sink)
+    return sink
+
+
+def _report_flight(sink) -> None:
+    if isinstance(sink, FlightRecorder):
+        if sink.dumps:
+            print(f"flight recorder: {len(sink.dumps)} dump(s)")
+            for path in sink.dumps:
+                print(f"  {path}")
+        else:
+            print("flight recorder: no anomalies, no dumps")
+
+
 def _cmd_serve_bench(args) -> int:
     config = BenchConfig(
         oracle=args.oracle,
@@ -334,8 +368,8 @@ def _cmd_serve_bench(args) -> int:
     if args.overload:
         return _serve_bench_overload(args, config)
     sink = previous = None
-    if args.trace:
-        sink = JsonlSink(args.trace)
+    if args.trace or args.flight_dir:
+        sink = _bench_sink(args)
         previous = set_sink(sink)
     try:
         result = serve_bench(config)
@@ -367,6 +401,7 @@ def _cmd_serve_bench(args) -> int:
         print(f"wrote stats -> {args.json}")
     if args.trace:
         print(f"wrote trace -> {args.trace}")
+    _report_flight(sink)
     if args.metrics:
         _ensure_parent(args.metrics)
         with open(args.metrics, "w") as handle:
@@ -384,8 +419,8 @@ def _cmd_serve_bench(args) -> int:
 def _serve_bench_overload(args, config: BenchConfig) -> int:
     """``repro serve-bench --overload``: the degraded-tier scenario."""
     sink = previous = None
-    if args.trace:
-        sink = JsonlSink(args.trace)
+    if args.trace or args.flight_dir:
+        sink = _bench_sink(args)
         previous = set_sink(sink)
     try:
         result = overload_bench(config)
@@ -414,6 +449,15 @@ def _serve_bench_overload(args, config: BenchConfig) -> int:
         print(f"  stretch[{phase:<8}]  {row['queries']} queries, "
               f"worst {row['worst_stretch']:.4f}, "
               f"{row['violations']} violations ({row['state']})")
+    if result.slo:
+        fired = [t for t in result.slo["transitions"] if t["event"] == "fire"]
+        cleared = [t for t in result.slo["transitions"]
+                   if t["event"] == "clear"]
+        still = ", ".join(result.slo["firing"]) or "none"
+        print(f"  SLO transitions     {len(fired)} fired, "
+              f"{len(cleared)} cleared; still firing: {still}")
+        for t in result.slo["transitions"]:
+            print(f"    {t['event']:<5} {t['rule']:<24} {t['reason']}")
     if args.json:
         _ensure_parent(args.json)
         with open(args.json, "w") as handle:
@@ -421,11 +465,24 @@ def _serve_bench_overload(args, config: BenchConfig) -> int:
         print(f"wrote stats -> {args.json}")
     if args.trace:
         print(f"wrote trace -> {args.trace}")
+    _report_flight(sink)
     if args.metrics:
         _ensure_parent(args.metrics)
         with open(args.metrics, "w") as handle:
             json.dump(result.metrics, handle, indent=2, sort_keys=True)
         print(f"wrote metrics snapshot -> {args.metrics}")
+    if args.metrics_mid:
+        _ensure_parent(args.metrics_mid)
+        with open(args.metrics_mid, "w") as handle:
+            json.dump(result.metrics_degraded, handle, indent=2,
+                      sort_keys=True)
+        print(f"wrote mid-run (degraded) metrics snapshot -> "
+              f"{args.metrics_mid}")
+    if args.slo_out:
+        _ensure_parent(args.slo_out)
+        with open(args.slo_out, "w") as handle:
+            json.dump(result.slo, handle, indent=2, sort_keys=True)
+        print(f"wrote SLO report -> {args.slo_out}")
     if args.bench_out:
         record = result.to_bench_record(args.bench_name or "serve_degraded")
         path = write_bench(record, args.bench_out)
@@ -491,7 +548,7 @@ def _cmd_obs_trace_tail(args) -> int:
     with open(args.trace) as handle:
         lines = deque(handle, maxlen=args.lines)
     invalid = 0
-    core = ("span", "ts", "dur_s", "ok")
+    core = ("span", "ts", "dur_s", "ok", "trace_id", "span_id", "parent_id")
     for line in lines:
         line = line.strip()
         if not line:
@@ -506,10 +563,141 @@ def _cmd_obs_trace_tail(args) -> int:
             f"{key}={record[key]}" for key in record if key not in core
         )
         flag = "" if record["ok"] else " FAILED"
-        print(f"{record['span']:<28} {record['dur_s'] * 1e3:9.3f} ms{flag}  {extras}")
+        trace = record.get("trace_id", "")
+        trace_col = f" [{trace}]" if trace else ""
+        print(f"{record['span']:<28} {record['dur_s'] * 1e3:9.3f} ms"
+              f"{flag}{trace_col}  {extras}")
     if invalid:
         print(f"{invalid} invalid record(s)", file=sys.stderr)
         return 1
+    return 0
+
+
+def _load_trace_records(path: str) -> Tuple[list, int]:
+    """All parseable JSON records of a JSONL trace, plus the bad-line
+    count."""
+    records = []
+    invalid = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                invalid += 1
+    return records, invalid
+
+
+def _cmd_obs_trace_tree(args) -> int:
+    records, invalid = _load_trace_records(args.trace)
+    if invalid:
+        print(f"{invalid} unparseable line(s) skipped", file=sys.stderr)
+    trees = build_trace_trees(records)
+    if not trees:
+        print("no records with trace ids in this trace "
+              "(written before trace-context propagation?)", file=sys.stderr)
+        return 1
+    if args.trace_id:
+        matches = [t for t in trees if t.startswith(args.trace_id)]
+        if not matches:
+            print(f"trace id {args.trace_id!r} not found "
+                  f"({len(trees)} traces in file)", file=sys.stderr)
+            return 1
+        if len(matches) > 1:
+            print(f"trace id prefix {args.trace_id!r} is ambiguous "
+                  f"({len(matches)} matches)", file=sys.stderr)
+            return 1
+        print(render_trace_tree(matches[0], trees[matches[0]]))
+        return 0
+    rows = trace_summaries(trees)
+    if args.limit and len(rows) > args.limit:
+        print(f"({len(rows) - args.limit} older trace(s) not shown)")
+        rows = rows[-args.limit:]
+    print(f"{'trace':<18} {'spans':>5} {'total':>10}  roots")
+    for row in rows:
+        roots = ", ".join(row["roots"])
+        print(f"{row['trace_id']:<18} {row['spans']:>5} "
+              f"{row['dur_s'] * 1e3:>8.3f}ms  {roots}")
+    print(f"{len(trees)} trace(s); rerun with --trace-id <id> for the tree")
+    return 0
+
+
+def _cmd_obs_slo(args) -> int:
+    with open(args.metrics) as handle:
+        snapshot = json.load(handle)
+    registry = MetricsRegistry.restore(snapshot)
+    rules = load_rules(args.rules) if args.rules else default_rules()
+    engine = SLOEngine(registry, rules)
+    statuses = engine.tick()
+    firing = [status for status in statuses if status.firing]
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "status": [status.as_dict() for status in statuses],
+                "firing": [status.rule.name for status in firing],
+            },
+            indent=2,
+        ))
+    else:
+        print(f"{'rule':<26} {'kind':<13} {'value':>12} {'objective':>12} "
+              f"state")
+        for status in statuses:
+            state = "FIRING" if status.firing else "ok"
+            print(f"{status.rule.name:<26} {status.rule.kind:<13} "
+                  f"{status.value:>12.6g} {status.rule.objective:>12.6g} "
+                  f"{state}  ({status.reason})")
+    if firing:
+        print(f"{len(firing)} SLO rule(s) firing", file=sys.stderr)
+        return 3
+    return 0
+
+
+def _cmd_obs_sentinel(args) -> int:
+    envelope = fit_envelope(args.bench_dir, margin=args.margin)
+    sentinel = BoundednessSentinel(envelope, min_measure=args.min_measure)
+    recorder = None
+    if args.flight_dir:
+        # Replay is offline: disable the debounce so every violation in
+        # the stream can produce its dump.
+        recorder = FlightRecorder(
+            dump_dir=args.flight_dir, sentinel=sentinel,
+            min_dump_interval_s=0.0,
+        )
+    records, invalid = _load_trace_records(args.trace)
+    if invalid:
+        print(f"{invalid} unparseable line(s) skipped", file=sys.stderr)
+    if args.inject:
+        # A fabricated over-envelope batch: exercises the alerting path
+        # end to end (the acceptance check behind `--inject` in CI).
+        records.append({
+            "span": "dch.increase", "ts": 0.0, "dur_s": 0.0, "ok": True,
+            "trace_id": "injected0badbeef", "span_id": "bad0bad0",
+            "parent_id": None,
+            "ops_total": 1e9, "aff_norm": 64.0, "diff": 64.0,
+        })
+    for record in records:
+        if recorder is not None:
+            recorder.emit(record)
+        else:
+            sentinel.check_record(record)
+    print(f"envelope: c_aff={envelope.c_aff:.4f} c_diff={envelope.c_diff:.4f} "
+          f"(margin {envelope.margin:g} over {len(envelope.sources)} "
+          f"BENCH record(s))")
+    print(f"checked {sentinel.checked} maintenance batch(es), "
+          f"worst exceedance {sentinel.worst_exceedance:.3f}")
+    for verdict in sentinel.violations:
+        print(f"  VIOLATION {verdict.span}: ops={verdict.ops_total:g} "
+              f"aff={verdict.aff_norm} diff={verdict.diff} "
+              f"exceedance={verdict.exceedance:.2f}x"
+              + (f" trace={verdict.trace_id}" if verdict.trace_id else ""))
+    if recorder is not None:
+        _report_flight(recorder)
+    if sentinel.violations:
+        print(f"{len(sentinel.violations)} envelope violation(s)",
+              file=sys.stderr)
+        return 3
     return 0
 
 
@@ -688,10 +876,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--json", default=None,
                          help="also write the full stats as JSON here")
     p_serve.add_argument("--trace", default=None,
-                         help="write per-span JSONL trace records here")
+                         help="write per-span JSONL trace records here "
+                              "(buffered; flushed every 256 records)")
+    p_serve.add_argument("--flight-dir", default=None,
+                         help="attach a flight recorder; anomaly dumps "
+                              "(slow publish, ε raise, fallback) land here")
     p_serve.add_argument("--metrics", default=None,
                          help="write the MetricsRegistry snapshot (JSON) "
                               "here, for `repro obs metrics-dump`")
+    p_serve.add_argument("--metrics-mid", default=None,
+                         help="with --overload: also write the mid-run "
+                              "(degraded) registry snapshot here — "
+                              "`repro obs slo` against it must exit 3")
+    p_serve.add_argument("--slo-out", default=None,
+                         help="with --overload: write the SLO engine "
+                              "report (rules, verdicts, transitions) here")
     p_serve.add_argument("--bench-out", default=None,
                          help="directory to write BENCH_<name>.json into")
     p_serve.add_argument("--bench-name", default=None,
@@ -767,6 +966,59 @@ def build_parser() -> argparse.ArgumentParser:
     p_tail.add_argument("-n", "--lines", type=int, default=20,
                         help="records to show (default 20)")
     p_tail.set_defaults(func=_cmd_obs_trace_tail)
+
+    p_tree = obs_sub.add_parser(
+        "trace-tree",
+        help="reconstruct causal span trees from a JSONL trace",
+    )
+    p_tree.add_argument("trace", help="JSONL trace file (serve-bench --trace)")
+    p_tree.add_argument("--trace-id", default=None,
+                        help="render this trace's tree (prefix ok); "
+                             "without it, list all traces")
+    p_tree.add_argument("--limit", type=int, default=30,
+                        help="most-recent traces listed (default 30, "
+                             "0 = all)")
+    p_tree.set_defaults(func=_cmd_obs_trace_tree)
+
+    p_slo = obs_sub.add_parser(
+        "slo",
+        help="judge SLO rules against a metrics snapshot; exit 3 while "
+             "any rule fires",
+    )
+    p_slo.add_argument("--metrics", required=True,
+                       help="registry snapshot (serve-bench --metrics / "
+                            "--metrics-mid)")
+    p_slo.add_argument("--rules", default=None,
+                       help="JSON rules file (default: the built-in rules, "
+                            "docs/slo.md)")
+    p_slo.add_argument("--format", choices=("table", "json"),
+                       default="table")
+    p_slo.set_defaults(func=_cmd_obs_slo)
+
+    p_sentinel = obs_sub.add_parser(
+        "sentinel",
+        help="check a trace's maintenance batches against the "
+             "Theorem 4.1/5.1 boundedness envelope; exit 3 on violation",
+    )
+    p_sentinel.add_argument("trace",
+                            help="JSONL trace file (serve-bench --trace)")
+    p_sentinel.add_argument("--bench-dir", default="benchmarks/results",
+                            help="directory of committed BENCH_*.json to "
+                                 "fit the envelope from")
+    p_sentinel.add_argument("--margin", type=float, default=DEFAULT_MARGIN,
+                            help="headroom multiplier over the worst "
+                                 "committed ratio")
+    p_sentinel.add_argument("--min-measure", type=float,
+                            default=DEFAULT_MIN_MEASURE,
+                            help="skip batches with ‖AFF‖ and |DIFF| both "
+                                 "below this")
+    p_sentinel.add_argument("--flight-dir", default=None,
+                            help="replay through a flight recorder; "
+                                 "violation dumps land here")
+    p_sentinel.add_argument("--inject", action="store_true",
+                            help="append a fabricated over-envelope batch "
+                                 "(must exit 3: alerting-path self-test)")
+    p_sentinel.set_defaults(func=_cmd_obs_sentinel)
 
     p_cmp = obs_sub.add_parser(
         "bench-compare",

@@ -18,6 +18,20 @@ workflow):
   comparator behind ``repro obs bench-compare``, accumulating a perf
   trajectory across PRs.
 
+On top of those sit the causal/self-watching pieces:
+
+* :mod:`repro.obs.context` — contextvar-carried trace contexts: every
+  span inherits the ambient trace and the records stitch into causal
+  trees (``repro obs trace-tree``).
+* :mod:`repro.obs.slo` — declarative SLO rules judged from the
+  registry, with multi-window burn-rate alerting (``repro obs slo``).
+* :mod:`repro.obs.sentinel` — the boundedness sentinel: live batch
+  ops vs the Theorem 4.1/5.1 envelope fitted from committed BENCH
+  ratios.
+* :mod:`repro.obs.flight` — the flight recorder: a bounded ring sink
+  that dumps the recent span trees on anomalies (slow publish, ε
+  raise, Dijkstra fallback, sentinel violation).
+
 :mod:`repro.obs.names` is the canonical catalogue of metric and span
 names; CI checks it against the documentation.
 """
@@ -31,6 +45,29 @@ from repro.obs.bench import (
     latency_percentiles,
     load_bench,
     write_bench,
+)
+from repro.obs.context import (
+    TraceContext,
+    build_trace_trees,
+    current_context,
+    render_trace_tree,
+    trace_summaries,
+    use_context,
+)
+from repro.obs.flight import FlightRecorder
+from repro.obs.sentinel import (
+    BoundednessSentinel,
+    Envelope,
+    SentinelVerdict,
+    fit_envelope,
+)
+from repro.obs.slo import (
+    SLOEngine,
+    SLORule,
+    SLOStatus,
+    default_rules,
+    load_rules,
+    rules_from_json,
 )
 from repro.obs.registry import (
     COUNT_BUCKETS,
@@ -63,6 +100,23 @@ __all__ = [
     "TRACE_SCHEMA",
     "TraceSchemaError",
     "validate_record",
+    "TraceContext",
+    "current_context",
+    "use_context",
+    "build_trace_trees",
+    "render_trace_tree",
+    "trace_summaries",
+    "FlightRecorder",
+    "BoundednessSentinel",
+    "Envelope",
+    "SentinelVerdict",
+    "fit_envelope",
+    "SLOEngine",
+    "SLORule",
+    "SLOStatus",
+    "default_rules",
+    "load_rules",
+    "rules_from_json",
     "BenchRecord",
     "BenchDelta",
     "BenchComparison",

@@ -1,0 +1,241 @@
+"""Trace-context propagation: every span nests under its caller.
+
+A :class:`TraceContext` carries the two identifiers causal tracing
+needs — the ``trace_id`` of the whole request tree and the ``span_id``
+of the currently open span — in a :class:`contextvars.ContextVar`.
+:class:`repro.obs.trace.Span` reads it on ``__enter__`` (becoming a
+child of whatever span is open, or a fresh root) and restores it on
+``__exit__``, so a served query yields one tree (cache lookup →
+snapshot pin → oracle query) and an update batch another (admission →
+coalesce → classify → IncH2H/DCH phases → publish → catch-up) without
+any instrumentation site changing.
+
+Two boundaries need explicit help, because context variables do not
+cross them on their own:
+
+* **Thread pools** — capture :func:`current_context` before submitting
+  and re-enter it with :func:`use_context` inside the worker
+  (``DistanceServer.query_many`` does this).
+* **Processes** — serialize with :meth:`TraceContext.to_dict`, rebuild
+  with :meth:`TraceContext.from_dict` on the far side.  A worker that
+  receives no context degrades gracefully to a fresh root trace — it
+  must never crash.
+
+Identifiers come from :func:`os.urandom`, *not* the global ``random``
+module: seeded workloads must stay bit-identical whether or not a sink
+is attached (the differential test in ``tests/test_obs_differential.py``
+enforces this).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "TraceContext",
+    "current_context",
+    "use_context",
+    "new_trace_id",
+    "new_span_id",
+    "TraceNode",
+    "build_trace_trees",
+    "render_trace_tree",
+    "trace_summaries",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit hex trace id (os.urandom — never the seeded RNG)."""
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 32-bit hex span id."""
+    return os.urandom(4).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The (trace_id, span_id) pair one open span propagates to callees."""
+
+    trace_id: str
+    span_id: str
+
+    def to_dict(self) -> Dict[str, str]:
+        """A picklable/JSON-able form for crossing process boundaries."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> Optional["TraceContext"]:
+        """Rebuild from :meth:`to_dict` output; tolerant of junk.
+
+        Returns ``None`` (→ fresh root trace) for ``None``, non-dicts,
+        or dicts missing either id — a worker handed a mangled context
+        must degrade gracefully, never crash.
+        """
+        if not isinstance(data, dict):
+            return None
+        trace_id = data.get("trace_id")
+        span_id = data.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+#: The ambient context of the currently open span (None outside spans).
+_CONTEXT: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The context of the innermost open span, or None."""
+    return _CONTEXT.get()
+
+
+@contextmanager
+def use_context(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Make *ctx* the ambient trace context for a ``with`` block.
+
+    The explicit hand-off for boundaries context variables do not cross
+    by themselves (worker threads, child processes).  ``None`` is valid
+    and isolates the block from any inherited context.
+    """
+    token = _CONTEXT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CONTEXT.reset(token)
+
+
+def _set_context(ctx: Optional[TraceContext]):
+    """Internal: set the ambient context, returning the reset token."""
+    return _CONTEXT.set(ctx)
+
+
+def _reset_context(token) -> None:
+    """Internal: restore the context; never raises (a span closing on a
+    different thread/context than it opened on must not crash the hot
+    path — the record is still emitted, only nesting is lost)."""
+    try:
+        _CONTEXT.reset(token)
+    except ValueError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Tree reconstruction (repro obs trace-tree, flight-recorder dumps)
+# ----------------------------------------------------------------------
+class TraceNode:
+    """One span record plus its children, ordered by close time."""
+
+    __slots__ = ("record", "children")
+
+    def __init__(self, record: dict) -> None:
+        self.record = record
+        self.children: List["TraceNode"] = []
+
+    @property
+    def span_id(self) -> Optional[str]:
+        return self.record.get("span_id")
+
+
+def build_trace_trees(records) -> Dict[str, List[TraceNode]]:
+    """Group *records* by ``trace_id`` and nest them by ``parent_id``.
+
+    Records without a ``trace_id`` (pre-context traces) are skipped.
+    Orphans — a ``parent_id`` that matches no record in the same trace,
+    e.g. because the ring buffer evicted the parent — become roots, so
+    a truncated flight-recorder dump still renders.
+    """
+    by_trace: Dict[str, List[dict]] = {}
+    for record in records:
+        trace_id = record.get("trace_id")
+        if isinstance(trace_id, str) and trace_id:
+            by_trace.setdefault(trace_id, []).append(record)
+    trees: Dict[str, List[TraceNode]] = {}
+    for trace_id, group in by_trace.items():
+        nodes = [TraceNode(r) for r in group]
+        by_span = {n.span_id: n for n in nodes if n.span_id}
+        roots: List[TraceNode] = []
+        for node in nodes:
+            parent_id = node.record.get("parent_id")
+            parent = by_span.get(parent_id) if parent_id else None
+            if parent is None or parent is node:
+                roots.append(node)
+            else:
+                parent.children.append(node)
+        for node in nodes:
+            node.children.sort(key=lambda n: n.record.get("ts", 0.0))
+        roots.sort(key=lambda n: n.record.get("ts", 0.0))
+        trees[trace_id] = roots
+    return trees
+
+
+_CORE_FIELDS = frozenset(
+    ("span", "ts", "dur_s", "ok", "trace_id", "span_id", "parent_id")
+)
+
+
+def _node_line(node: TraceNode) -> str:
+    record = node.record
+    extras = " ".join(
+        f"{key}={record[key]}"
+        for key in record
+        if key not in _CORE_FIELDS and key != "ops"
+    )
+    flag = "ok" if record.get("ok", True) else "FAILED"
+    return (
+        f"{record.get('span', '?'):<28} "
+        f"{record.get('dur_s', 0.0) * 1e3:9.3f} ms {flag}  {extras}".rstrip()
+    )
+
+
+def render_trace_tree(trace_id: str, roots: List[TraceNode]) -> str:
+    """Render one trace as an indented ASCII tree (for the CLI/dumps)."""
+    spans = 0
+
+    def _count(node: TraceNode) -> int:
+        return 1 + sum(_count(child) for child in node.children)
+
+    spans = sum(_count(root) for root in roots)
+    total_ms = sum(root.record.get("dur_s", 0.0) for root in roots) * 1e3
+    lines = [f"trace {trace_id} — {spans} span(s), {total_ms:.3f} ms"]
+
+    def _render(node: TraceNode, prefix: str, is_last: bool) -> None:
+        branch = "└─ " if is_last else "├─ "
+        lines.append(prefix + branch + _node_line(node))
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        for i, child in enumerate(node.children):
+            _render(child, child_prefix, i == len(node.children) - 1)
+
+    for i, root in enumerate(roots):
+        _render(root, "", i == len(roots) - 1)
+    return "\n".join(lines)
+
+
+def trace_summaries(trees: Dict[str, List[TraceNode]]) -> List[dict]:
+    """One summary row per trace, newest last (for ``trace-tree`` listing)."""
+    rows = []
+    for trace_id, roots in trees.items():
+        spans = 0
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            spans += 1
+            stack.extend(node.children)
+        rows.append(
+            {
+                "trace_id": trace_id,
+                "spans": spans,
+                "roots": [r.record.get("span", "?") for r in roots],
+                "ts": max((r.record.get("ts", 0.0) for r in roots), default=0.0),
+                "dur_s": sum(r.record.get("dur_s", 0.0) for r in roots),
+            }
+        )
+    rows.sort(key=lambda row: row["ts"])
+    return rows

@@ -1,0 +1,174 @@
+"""The flight recorder: a bounded ring sink that dumps on anomalies.
+
+Opt-in JSONL tracing is for benchmarks; production serving needs the
+opposite trade-off — *always* record, *never* pay for disk, and write
+everything out only when something goes wrong.  The
+:class:`FlightRecorder` is a sink (attach with ``set_sink`` or via
+``serve-bench --flight-dir``) that keeps the last *capacity* span
+records in a ``deque`` ring (append is GIL-atomic — the hot path takes
+no lock) and watches each record for four anomaly triggers:
+
+* ``slow_publish`` — a ``serve.publish`` / ``serve.catchup`` span
+  slower than *slow_publish_s*;
+* ``epsilon_raise`` — a record whose ``epsilon`` field rose above the
+  last one seen (the degraded tier started parking deltas);
+* ``fallback`` — a ``resilient.fallback`` span (the oracle dropped to
+  the Dijkstra rung);
+* ``sentinel`` — the attached
+  :class:`~repro.obs.sentinel.BoundednessSentinel` flagged a batch
+  whose ops broke the Theorem 4.1/5.1 envelope.
+
+On a trigger the recorder dumps the whole ring — grouped into span
+trees by ``trace_id`` — to ``flight-<seq>-<trigger>.json`` under
+*dump_dir*, debounced by *min_dump_interval_s* and capped at
+*max_dumps* per run so a persistent anomaly cannot fill the disk.
+A *downstream* sink (e.g. a buffered :class:`JsonlSink`) receives every
+record too, so the recorder composes with normal tracing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.obs import names
+from repro.obs.context import build_trace_trees, render_trace_tree
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded, lock-cheap ring-buffer sink with anomaly-triggered dumps."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 2048,
+        dump_dir: str = "flight-dumps",
+        slow_publish_s: float = 1.0,
+        sentinel=None,
+        registry=None,
+        min_dump_interval_s: float = 10.0,
+        max_dumps: int = 16,
+        downstream=None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.dump_dir = dump_dir
+        self.slow_publish_s = slow_publish_s
+        self.sentinel = sentinel
+        self.min_dump_interval_s = min_dump_interval_s
+        self.max_dumps = max_dumps
+        self.downstream = downstream
+        #: Paths of every dump written this run, oldest first.
+        self.dumps: List[str] = []
+        self._ring: Deque[dict] = deque(maxlen=capacity)
+        self._dump_lock = threading.Lock()
+        self._last_dump = -float("inf")
+        self._seq = 0
+        self._last_epsilon = 0.0
+        self._m_dumps = None
+        if registry is not None:
+            self._m_dumps = registry.counter(
+                names.OBS_FLIGHT_DUMPS,
+                "Flight-recorder dumps written, by anomaly trigger.",
+                ("trigger",),
+            )
+
+    # -- sink face -------------------------------------------------------
+    def emit(self, record: dict) -> None:
+        """Ring-buffer one record; dump if it trips an anomaly trigger."""
+        self._ring.append(record)
+        if self.downstream is not None:
+            self.downstream.emit(record)
+        trigger = self._trigger(record)
+        if trigger is not None:
+            self._maybe_dump(trigger, record)
+
+    def close(self) -> None:
+        """Close the downstream sink (the ring needs no teardown)."""
+        if self.downstream is not None:
+            self.downstream.close()
+
+    def snapshot(self) -> List[dict]:
+        """A list copy of the ring, oldest first."""
+        return list(self._ring)
+
+    def clear(self) -> None:
+        """Drop the ring contents (dump bookkeeping is kept)."""
+        self._ring.clear()
+
+    # -- triggers --------------------------------------------------------
+    def _trigger(self, record: dict) -> Optional[str]:
+        """The first anomaly trigger *record* trips, or None.
+
+        ε tracking must advance even when an earlier trigger already
+        fired, so every check runs before the verdict is returned.
+        """
+        trigger: Optional[str] = None
+        span_name = record.get("span")
+        dur = record.get("dur_s", 0.0)
+        if (
+            span_name in (names.SPAN_SERVE_PUBLISH, names.SPAN_SERVE_CATCHUP)
+            and isinstance(dur, (int, float))
+            and dur > self.slow_publish_s
+        ):
+            trigger = "slow_publish"
+        epsilon = record.get("epsilon")
+        if isinstance(epsilon, (int, float)) and not isinstance(epsilon, bool):
+            last = self._last_epsilon
+            self._last_epsilon = float(epsilon)
+            if epsilon > last and trigger is None:
+                trigger = "epsilon_raise"
+        if span_name == names.SPAN_RESILIENT_FALLBACK and trigger is None:
+            trigger = "fallback"
+        if self.sentinel is not None:
+            verdict = self.sentinel.check_record(record)
+            if verdict is not None and verdict.violated and trigger is None:
+                trigger = "sentinel"
+        return trigger
+
+    # -- dumping ---------------------------------------------------------
+    def _maybe_dump(self, trigger: str, record: dict) -> None:
+        now = time.monotonic()
+        with self._dump_lock:
+            if self._seq >= self.max_dumps:
+                return
+            if now - self._last_dump < self.min_dump_interval_s:
+                return
+            self._last_dump = now
+            self._seq += 1
+            seq = self._seq
+            ring = list(self._ring)
+        path = self._write_dump(seq, trigger, record, ring)
+        self.dumps.append(path)
+        if self._m_dumps is not None:
+            self._m_dumps.inc(trigger=trigger)
+
+    def _write_dump(
+        self, seq: int, trigger: str, record: dict, ring: List[dict]
+    ) -> str:
+        os.makedirs(self.dump_dir, exist_ok=True)
+        trees = build_trace_trees(ring)
+        rendered = {
+            trace_id: render_trace_tree(trace_id, roots)
+            for trace_id, roots in trees.items()
+        }
+        payload = {
+            "trigger": trigger,
+            "ts": time.time(),
+            "trigger_record": record,
+            "records": ring,
+            "trees": rendered,
+        }
+        if trigger == "sentinel" and self.sentinel is not None:
+            payload["sentinel"] = self.sentinel.summary()
+        path = os.path.join(self.dump_dir, f"flight-{seq:04d}-{trigger}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        return path

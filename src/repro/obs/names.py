@@ -19,7 +19,13 @@ Naming conventions
 
 from __future__ import annotations
 
-__all__ = ["METRICS", "SPANS"]
+__all__ = [
+    "METRICS",
+    "SERVER_METRICS",
+    "SLO_METRICS",
+    "OBS_METRICS",
+    "SPANS",
+]
 
 # ----------------------------------------------------------------------
 # Serving-layer metrics (registered by repro.serve.server.DistanceServer)
@@ -48,8 +54,8 @@ SERVE_PENDING_AGE = "repro_serve_pending_age_seconds"
 SERVE_COALESCE_SUPERSEDED = "repro_serve_coalesce_superseded_total"
 SERVE_COALESCE_DROPPED = "repro_serve_coalesce_dropped_total"
 
-#: Every metric name the library itself registers.
-METRICS = frozenset(
+#: Metrics registered by :class:`repro.serve.server.DistanceServer`.
+SERVER_METRICS = frozenset(
     {
         SERVE_QUERIES,
         SERVE_QUERY_LATENCY,
@@ -72,6 +78,38 @@ METRICS = frozenset(
         SERVE_COALESCE_DROPPED,
     }
 )
+
+# ----------------------------------------------------------------------
+# SLO-engine metrics (registered by repro.obs.slo.SLOEngine, docs/slo.md)
+# ----------------------------------------------------------------------
+SLO_OK = "repro_slo_ok"
+SLO_VALUE = "repro_slo_value"
+SLO_BURN_RATE = "repro_slo_burn_rate"
+
+#: Metrics registered by :class:`repro.obs.slo.SLOEngine`.
+SLO_METRICS = frozenset({SLO_OK, SLO_VALUE, SLO_BURN_RATE})
+
+# ----------------------------------------------------------------------
+# Self-watching obs metrics (flight recorder + boundedness sentinel)
+# ----------------------------------------------------------------------
+OBS_FLIGHT_DUMPS = "repro_obs_flight_dumps_total"
+OBS_SENTINEL_CHECKS = "repro_obs_sentinel_checks_total"
+OBS_SENTINEL_VIOLATIONS = "repro_obs_sentinel_violations_total"
+OBS_SENTINEL_WORST_RATIO = "repro_obs_sentinel_worst_ratio"
+
+#: Metrics registered by FlightRecorder / BoundednessSentinel when given
+#: a registry.
+OBS_METRICS = frozenset(
+    {
+        OBS_FLIGHT_DUMPS,
+        OBS_SENTINEL_CHECKS,
+        OBS_SENTINEL_VIOLATIONS,
+        OBS_SENTINEL_WORST_RATIO,
+    }
+)
+
+#: Every metric name the library itself registers.
+METRICS = SERVER_METRICS | SLO_METRICS | OBS_METRICS
 
 # ----------------------------------------------------------------------
 # Maintenance spans (one per algorithm/direction, plus per-phase spans)
@@ -98,10 +136,15 @@ SPAN_DIRECTED_DCH_DECREASE = "directed.dch.decrease"
 SPAN_DIRECTED_INCH2H_INCREASE = "directed.inch2h.increase"
 SPAN_DIRECTED_INCH2H_DECREASE = "directed.inch2h.decrease"
 
+SPAN_SERVE_QUERY = "serve.query"
+SPAN_SERVE_APPLY = "serve.apply"
+SPAN_SERVE_COALESCE = "serve.coalesce"
 SPAN_SERVE_PUBLISH = "serve.publish"
 SPAN_SERVE_CATCHUP = "serve.catchup"
 
 SPAN_DEGRADE_CLASSIFY = "degrade.classify"
+
+SPAN_RESILIENT_FALLBACK = "resilient.fallback"
 
 #: Every span name the library itself opens.
 SPANS = frozenset(
@@ -124,8 +167,12 @@ SPANS = frozenset(
         SPAN_DIRECTED_DCH_DECREASE,
         SPAN_DIRECTED_INCH2H_INCREASE,
         SPAN_DIRECTED_INCH2H_DECREASE,
+        SPAN_SERVE_QUERY,
+        SPAN_SERVE_APPLY,
+        SPAN_SERVE_COALESCE,
         SPAN_SERVE_PUBLISH,
         SPAN_SERVE_CATCHUP,
         SPAN_DEGRADE_CLASSIFY,
+        SPAN_RESILIENT_FALLBACK,
     }
 )

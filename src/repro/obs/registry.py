@@ -192,9 +192,20 @@ class Histogram(_Metric):
         self._counts: Dict[Tuple[str, ...], List[int]] = {}
         self._sums: Dict[Tuple[str, ...], float] = {}
         self._totals: Dict[Tuple[str, ...], int] = {}
+        self._exemplars: Dict[Tuple[str, ...], Dict[int, dict]] = {}
 
-    def observe(self, value: float, **labels: object) -> None:
-        """Record one observation."""
+    def observe(
+        self, value: float, exemplar: Optional[str] = None, **labels: object
+    ) -> None:
+        """Record one observation.
+
+        *exemplar*, when given, is a trace id linking this observation's
+        bucket back to the span tree that produced it (OpenMetrics-style
+        exemplars): the bucket keeps the *last* exemplar seen, so a
+        latency spike in any bucket always points at a recent culprit
+        trace.  Exemplars travel in the JSON snapshot, not the text
+        exposition.
+        """
         key = self._label_values(labels)
         with self._lock:
             counts = self._counts.get(key)
@@ -213,6 +224,26 @@ class Histogram(_Metric):
             counts[lo] += 1
             self._sums[key] += value
             self._totals[key] += 1
+            if exemplar is not None:
+                self._exemplars.setdefault(key, {})[lo] = {
+                    "trace_id": exemplar,
+                    "value": float(value),
+                }
+
+    def exemplars(self, **labels: object) -> Dict[str, dict]:
+        """Per-bucket exemplars for a label set, keyed by ``le`` edge."""
+        key = self._label_values(labels)
+        with self._lock:
+            per_bucket = self._exemplars.get(key, {})
+            out = {}
+            for index, exemplar in per_bucket.items():
+                edge = (
+                    _format_value(self.buckets[index])
+                    if index < len(self.buckets)
+                    else "+Inf"
+                )
+                out[edge] = dict(exemplar)
+            return out
 
     def count(self, **labels: object) -> int:
         """Observations recorded for this label set."""
@@ -299,14 +330,24 @@ class Histogram(_Metric):
                 for edge, c in zip(self.buckets, counts)
             }
             buckets["+Inf"] = counts[-1]
-            out.append(
-                {
-                    "labels": dict(zip(self.label_names, values)),
-                    "buckets": buckets,
-                    "sum": total_sum,
-                    "count": total_n,
-                }
-            )
+            row = {
+                "labels": dict(zip(self.label_names, values)),
+                "buckets": buckets,
+                "sum": total_sum,
+                "count": total_n,
+            }
+            with self._lock:
+                per_bucket = self._exemplars.get(values)
+                if per_bucket:
+                    row["exemplars"] = {
+                        (
+                            _format_value(self.buckets[i])
+                            if i < len(self.buckets)
+                            else "+Inf"
+                        ): dict(ex)
+                        for i, ex in sorted(per_bucket.items())
+                    }
+            out.append(row)
         return out
 
 
@@ -450,6 +491,10 @@ class MetricsRegistry:
                 family = registry.histogram(
                     name, entry.get("help", ""), labels, buckets=edges
                 )
+                edge_index = {
+                    _format_value(e): i for i, e in enumerate(family.buckets)
+                }
+                edge_index["+Inf"] = len(family.buckets)
                 for row in entry.get("series", ()):
                     key = family._label_values(row.get("labels", {}))
                     counts = [
@@ -461,6 +506,11 @@ class MetricsRegistry:
                         family._counts[key] = counts
                         family._sums[key] = float(row.get("sum", 0.0))
                         family._totals[key] = int(row.get("count", 0))
+                        for edge, ex in row.get("exemplars", {}).items():
+                            if edge in edge_index and isinstance(ex, dict):
+                                family._exemplars.setdefault(key, {})[
+                                    edge_index[edge]
+                                ] = dict(ex)
             else:
                 raise ValueError(f"unknown metric type {kind!r} for {name!r}")
         return registry

@@ -1,0 +1,267 @@
+"""The boundedness sentinel: live ops vs the Theorem 4.1/5.1 envelope.
+
+Theorems 4.1 and 5.1 (PAPER.md) predict that one maintenance batch
+costs ``O(‖AFF‖ · log ‖AFF‖)`` resp. ``O(|DIFF| · log |DIFF|)``
+elementary operations.  The repo already *measures* both sides — every
+top-level maintenance span attaches ``ops_total``, ``aff_norm`` and
+``diff`` — and commits the observed ratios in the ``BENCH_*.json``
+trajectory.  The sentinel closes the loop online: it fits a constant-
+factor envelope ``c = margin × max(committed ratio)`` from those BENCH
+ratio blocks and checks every incoming maintenance record against
+``c · linearithmic(measure)``, flagging batches whose cost violates the
+paper's subboundedness prediction — the strongest possible "something
+is wrong with maintenance" signal, and one of the flight recorder's
+anomaly triggers.
+
+Small batches are skipped (*min_measure*): the bound is asymptotic, and
+with ``‖AFF‖`` in the single digits the constant term dominates the
+linearithmic budget, which would make tiny batches permanent false
+positives.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.obs import names
+
+__all__ = [
+    "Envelope",
+    "fit_envelope",
+    "SentinelVerdict",
+    "BoundednessSentinel",
+    "DEFAULT_MARGIN",
+    "DEFAULT_MIN_MEASURE",
+]
+
+#: Headroom multiplier over the worst committed ratio.  Committed BENCH
+#: ratios are *means* over full batches; individual batches scatter, so
+#: the envelope sits well above the trajectory and only true outliers
+#: cross it.
+DEFAULT_MARGIN = 8.0
+
+#: Batches with both ‖AFF‖ and |DIFF| below this are not checked — the
+#: asymptotic budget is meaningless when the constant term dominates.
+DEFAULT_MIN_MEASURE = 32.0
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """The fitted constant factors of the subboundedness envelope.
+
+    A batch conforms while ``ops_total <= c_aff · linearithmic(‖AFF‖)``
+    and ``ops_total <= c_diff · linearithmic(|DIFF|)`` — equivalently,
+    while each observed :func:`subboundedness_ratio` stays below its
+    ``c``.
+    """
+
+    c_aff: float
+    c_diff: float
+    margin: float = DEFAULT_MARGIN
+    sources: Tuple[str, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "c_aff": self.c_aff,
+            "c_diff": self.c_diff,
+            "margin": self.margin,
+            "sources": list(self.sources),
+        }
+
+
+def fit_envelope(
+    bench_dir: str, *, margin: float = DEFAULT_MARGIN
+) -> Envelope:
+    """Fit an :class:`Envelope` from the committed BENCH ratio blocks.
+
+    Scans *bench_dir* for ``BENCH_*.json`` records carrying a ``ratios``
+    block with ``ops_per_aff_budget`` / ``ops_per_diff_budget`` (the
+    Theorem 4.1/5.1 ratios ``repro serve-bench --bench-out`` emits) and
+    sets each ``c`` to *margin* times the worst ratio on record.
+    """
+    if margin <= 0:
+        raise ReproError(f"margin must be positive, got {margin}")
+    if not os.path.isdir(bench_dir):
+        raise ReproError(f"bench directory {bench_dir!r} does not exist")
+    aff_ratios: List[float] = []
+    diff_ratios: List[float] = []
+    sources: List[str] = []
+    for name in sorted(os.listdir(bench_dir)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(bench_dir, name)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        ratios = data.get("ratios") or {}
+        aff = ratios.get("ops_per_aff_budget")
+        diff = ratios.get("ops_per_diff_budget")
+        if isinstance(aff, (int, float)) and isinstance(diff, (int, float)):
+            aff_ratios.append(float(aff))
+            diff_ratios.append(float(diff))
+            sources.append(name)
+    if not sources:
+        raise ReproError(
+            f"no BENCH_*.json with a ratios block under {bench_dir!r} — "
+            "cannot fit a boundedness envelope"
+        )
+    return Envelope(
+        c_aff=margin * max(aff_ratios),
+        c_diff=margin * max(diff_ratios),
+        margin=margin,
+        sources=tuple(sources),
+    )
+
+
+@dataclass(frozen=True)
+class SentinelVerdict:
+    """One checked batch: its observed ratios vs the envelope."""
+
+    span: str
+    ops_total: float
+    aff_norm: Optional[float]
+    diff: Optional[float]
+    aff_ratio: Optional[float]
+    diff_ratio: Optional[float]
+    violated: bool
+    #: Worst observed ratio / its envelope c (>= 1 means violation).
+    exceedance: float = 0.0
+    trace_id: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "span": self.span,
+            "ops_total": self.ops_total,
+            "aff_norm": self.aff_norm,
+            "diff": self.diff,
+            "aff_ratio": self.aff_ratio,
+            "diff_ratio": self.diff_ratio,
+            "violated": self.violated,
+            "exceedance": self.exceedance,
+            "trace_id": self.trace_id,
+        }
+
+
+class BoundednessSentinel:
+    """Checks maintenance span records against a fitted :class:`Envelope`.
+
+    Feed it records via :meth:`check_record` (the flight recorder does
+    this for every emitted span) or raw currencies via :meth:`check`.
+    With a registry attached it surfaces
+    ``repro_obs_sentinel_checks_total`` /
+    ``repro_obs_sentinel_violations_total`` counters and the
+    ``repro_obs_sentinel_worst_ratio`` gauge (worst observed
+    ratio-over-envelope fraction so far).
+    """
+
+    def __init__(
+        self,
+        envelope: Envelope,
+        *,
+        registry=None,
+        min_measure: float = DEFAULT_MIN_MEASURE,
+    ) -> None:
+        self.envelope = envelope
+        self.min_measure = min_measure
+        self.checked = 0
+        self.violations: List[SentinelVerdict] = []
+        self.worst_exceedance = 0.0
+        self._m_checks = self._m_violations = self._m_worst = None
+        if registry is not None:
+            self._m_checks = registry.counter(
+                names.OBS_SENTINEL_CHECKS,
+                "Maintenance batches checked against the boundedness envelope.",
+            )
+            self._m_violations = registry.counter(
+                names.OBS_SENTINEL_VIOLATIONS,
+                "Batches whose ops exceeded the Theorem 4.1/5.1 envelope.",
+            )
+            self._m_worst = registry.gauge(
+                names.OBS_SENTINEL_WORST_RATIO,
+                "Worst observed ratio over its envelope c (>= 1 = violation).",
+            )
+
+    def check(
+        self,
+        ops_total: float,
+        aff_norm: Optional[float] = None,
+        diff: Optional[float] = None,
+        *,
+        span: str = "?",
+        trace_id: Optional[str] = None,
+    ) -> SentinelVerdict:
+        """Check one batch's currencies; records and returns the verdict."""
+        # Imported here, not at module top: repro.core pulls in the
+        # algorithm modules, which import repro.obs — a cycle at
+        # package-init time but not at call time.
+        from repro.core.bounds import subboundedness_ratio
+
+        aff_ratio = diff_ratio = None
+        exceedance = 0.0
+        if aff_norm is not None and aff_norm >= self.min_measure:
+            aff_ratio = subboundedness_ratio(ops_total, aff_norm)
+            exceedance = max(exceedance, aff_ratio / self.envelope.c_aff)
+        if diff is not None and diff >= self.min_measure:
+            diff_ratio = subboundedness_ratio(ops_total, diff)
+            exceedance = max(exceedance, diff_ratio / self.envelope.c_diff)
+        verdict = SentinelVerdict(
+            span=span,
+            ops_total=ops_total,
+            aff_norm=aff_norm,
+            diff=diff,
+            aff_ratio=aff_ratio,
+            diff_ratio=diff_ratio,
+            violated=exceedance > 1.0,
+            exceedance=exceedance,
+            trace_id=trace_id,
+        )
+        self.checked += 1
+        self.worst_exceedance = max(self.worst_exceedance, exceedance)
+        if self._m_checks is not None:
+            self._m_checks.inc()
+            self._m_worst.set(self.worst_exceedance)
+        if verdict.violated:
+            self.violations.append(verdict)
+            if self._m_violations is not None:
+                self._m_violations.inc()
+        return verdict
+
+    def check_record(self, record: dict) -> Optional[SentinelVerdict]:
+        """Check one span record, if it carries the boundedness currencies.
+
+        Only top-level maintenance spans attach ``ops_total`` plus
+        ``aff_norm``/``diff`` (docs/observability.md); anything else
+        returns ``None`` unchecked.
+        """
+        ops_total = record.get("ops_total")
+        if not isinstance(ops_total, (int, float)) or isinstance(ops_total, bool):
+            return None
+        aff_norm = record.get("aff_norm")
+        diff = record.get("diff")
+        aff = float(aff_norm) if isinstance(aff_norm, (int, float)) else None
+        dif = float(diff) if isinstance(diff, (int, float)) else None
+        if aff is None and dif is None:
+            return None
+        return self.check(
+            float(ops_total),
+            aff,
+            dif,
+            span=str(record.get("span", "?")),
+            trace_id=record.get("trace_id"),
+        )
+
+    def summary(self) -> dict:
+        """A JSON-able rollup (CLI output, flight-dump metadata)."""
+        return {
+            "envelope": self.envelope.as_dict(),
+            "min_measure": self.min_measure,
+            "checked": self.checked,
+            "violations": [v.as_dict() for v in self.violations],
+            "worst_exceedance": self.worst_exceedance,
+        }

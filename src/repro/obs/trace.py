@@ -42,8 +42,18 @@ import os
 import re
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.context import (
+    TraceContext,
+    _reset_context,
+    _set_context,
+    current_context,
+    new_span_id,
+    new_trace_id,
+)
 
 __all__ = [
     "span",
@@ -63,49 +73,99 @@ __all__ = [
 # Sinks
 # ----------------------------------------------------------------------
 class MemorySink:
-    """Collects records in a list — the test/debugging sink."""
+    """Collects records in a bounded deque — the test/debugging sink.
 
-    def __init__(self) -> None:
-        self.records: List[dict] = []
+    Thread safe: serving worker threads emit concurrently, so both
+    :meth:`emit` and :meth:`clear` take a lock.  *maxlen* bounds memory
+    — beyond it the oldest records are dropped silently (a debugging
+    sink left attached must never grow without bound).
+    """
+
+    def __init__(self, maxlen: int = 65536) -> None:
+        if maxlen <= 0:
+            raise ValueError(f"maxlen must be positive, got {maxlen}")
+        self.maxlen = maxlen
+        self._records: Deque[dict] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+
+    @property
+    def records(self) -> List[dict]:
+        """A consistent list copy of everything currently held."""
+        with self._lock:
+            return list(self._records)
 
     def emit(self, record: dict) -> None:
-        """Store one span record."""
-        self.records.append(record)
+        """Store one span record (oldest dropped past the bound)."""
+        with self._lock:
+            self._records.append(record)
 
     def clear(self) -> None:
         """Drop everything collected so far."""
-        self.records.clear()
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
 
     def close(self) -> None:  # noqa: D102 — sinks share a close() face.
         pass
 
 
 class JsonlSink:
-    """Appends records to a JSONL file, one line per span, flushed.
+    """Appends records to a JSONL file, one line per span.
 
     Thread safe (spans may close on serving worker threads); usable as
     a context manager.  Values that are not JSON types (e.g. ``inf``
     old/new weights) are stringified rather than rejected.
+
+    By default every record is written and flushed immediately (crash
+    evidence survives).  With *buffer_records* > 0, lines accumulate in
+    memory and hit the file every N records and on :meth:`flush` /
+    :meth:`close` — the mode ``serve-bench --trace`` uses to keep the
+    hot path off the syscall.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, *, buffer_records: int = 0) -> None:
+        if buffer_records < 0:
+            raise ValueError(
+                f"buffer_records must be >= 0, got {buffer_records}"
+            )
         self.path = path
+        self.buffer_records = buffer_records
         parent = os.path.dirname(path)
         if parent:
             os.makedirs(parent, exist_ok=True)
         self._handle = open(path, "a", encoding="utf-8")
         self._lock = threading.Lock()
+        self._buffer: List[str] = []
 
     def emit(self, record: dict) -> None:
-        """Write one span record as a JSON line."""
+        """Write (or buffer) one span record as a JSON line."""
         line = json.dumps(record, default=str, allow_nan=False)
         with self._lock:
-            self._handle.write(line + "\n")
+            if self.buffer_records:
+                self._buffer.append(line)
+                if len(self._buffer) >= self.buffer_records:
+                    self._drain_locked()
+            else:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+
+    def _drain_locked(self) -> None:
+        if self._buffer and not self._handle.closed:
+            self._handle.write("\n".join(self._buffer) + "\n")
             self._handle.flush()
+        self._buffer.clear()
+
+    def flush(self) -> None:
+        """Force buffered lines to disk."""
+        with self._lock:
+            self._drain_locked()
 
     def close(self) -> None:
         """Flush and close the file."""
         with self._lock:
+            self._drain_locked()
             if not self._handle.closed:
                 self._handle.close()
 
@@ -125,9 +185,26 @@ _STATE: Dict[str, Optional[object]] = {"sink": None}
 
 
 class Span:
-    """An open span: times the enclosed block, then emits one record."""
+    """An open span: times the enclosed block, then emits one record.
 
-    __slots__ = ("name", "fields", "_start", "duration_s")
+    On ``__enter__`` the span reads the ambient :class:`TraceContext`
+    (:mod:`repro.obs.context`): with a parent it becomes a child of
+    that span and inherits its ``trace_id``; without one it starts a
+    fresh root trace.  It then installs itself as the ambient context,
+    so every span opened inside the block nests under it, and restores
+    the previous context on ``__exit__``.
+    """
+
+    __slots__ = (
+        "name",
+        "fields",
+        "_start",
+        "duration_s",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "_token",
+    )
 
     #: Real spans compute and attach fields; the null span does not.
     active = True
@@ -137,22 +214,41 @@ class Span:
         self.fields = fields
         self._start = 0.0
         self.duration_s = 0.0
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_id: Optional[str] = None
+        self._token = None
 
     def set(self, **fields: object) -> None:
         """Attach fields to the record this span will emit."""
         self.fields.update(fields)
 
     def __enter__(self) -> "Span":
+        parent = current_context()
+        if parent is None:
+            self.trace_id = new_trace_id()
+            self.parent_id = None
+        else:
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        self.span_id = new_span_id()
+        self._token = _set_context(TraceContext(self.trace_id, self.span_id))
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.duration_s = time.perf_counter() - self._start
+        if self._token is not None:
+            _reset_context(self._token)
+            self._token = None
         record = {
             "span": self.name,
             "ts": time.time(),
             "dur_s": self.duration_s,
             "ok": exc_type is None,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
         }
         for key, value in self.fields.items():
             if isinstance(value, float) and not math.isfinite(value):
@@ -232,6 +328,9 @@ TRACE_SCHEMA = {
         "ok": "boolean — false if the block raised",
     },
     "optional": {
+        "trace_id": "string — id of the request tree this span belongs to",
+        "span_id": "string — this span's own id, unique within the trace",
+        "parent_id": "string | null — span_id of the enclosing span",
         "ops": "object: channel (string) -> count (int >= 0)",
         "*": "scalar (string | number | boolean | null)",
     },
@@ -260,6 +359,14 @@ def validate_record(record: object) -> dict:
         raise TraceSchemaError(f"dur_s must be >= 0, got {record['dur_s']}")
     if not isinstance(record["ok"], bool):
         raise TraceSchemaError(f"'ok' must be a boolean, got {record['ok']!r}")
+    for key in ("trace_id", "span_id"):
+        if key in record and not isinstance(record[key], str):
+            raise TraceSchemaError(f"{key!r} must be a string, got {record[key]!r}")
+    if "parent_id" in record and record["parent_id"] is not None:
+        if not isinstance(record["parent_id"], str):
+            raise TraceSchemaError(
+                f"'parent_id' must be a string or null, got {record['parent_id']!r}"
+            )
     for key, value in record.items():
         if key in ("span", "ts", "dur_s", "ok"):
             continue

@@ -39,6 +39,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.oracle import DijkstraOracle
 from repro.errors import IntegrityError, ReproError
 from repro.graph.graph import RoadNetwork, WeightUpdate
+from repro.obs import names
+from repro.obs.trace import span
 from repro.reliability.degrade import (
     BoundedDistance,
     DeferredMaintenance,
@@ -300,13 +302,19 @@ class ResilientOracle:
         self._attempts_left = self._max_attempts
 
     def _degrade(self, event: str, exc: Exception) -> None:
-        if self._deferral is not None and self._deferral.pending:
-            # The fallback runs Dijkstra on the graph: flush the parked
-            # true weights into it so fallback answers are exact rather
-            # than inheriting the bounded staleness.
-            self._graph.apply_batch(self._deferral.clear())
-        self.degraded = True
-        self.events.append((f"degraded:{event}", str(exc)))
+        with span(names.SPAN_RESILIENT_FALLBACK) as sp:
+            flushed = 0
+            if self._deferral is not None and self._deferral.pending:
+                # The fallback runs Dijkstra on the graph: flush the parked
+                # true weights into it so fallback answers are exact rather
+                # than inheriting the bounded staleness.
+                batch = self._deferral.clear()
+                flushed = len(batch)
+                self._graph.apply_batch(batch)
+            self.degraded = True
+            self.events.append((f"degraded:{event}", str(exc)))
+            if sp.active:
+                sp.set(event=event, error=str(exc)[:200], flushed=flushed)
 
     def _mark_healthy(self, detail: str) -> None:
         self.degraded = False

@@ -41,6 +41,7 @@ from repro.core.oracle import DijkstraOracle
 from repro.errors import ReproError
 from repro.graph.generators import road_network
 from repro.obs.bench import BenchRecord, latency_percentiles
+from repro.obs.slo import SLOEngine, default_rules
 from repro.reliability.degrade import DegradePolicy, OracleState, check_stretch
 from repro.serve.server import DistanceServer
 from repro.workloads.updates import increase_batch, sample_edges
@@ -386,6 +387,12 @@ class OverloadResult:
     query_samples_s: List[float] = field(default_factory=list, repr=False)
     stats: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict, repr=False)
+    #: Registry snapshot taken mid-run, while the server was degraded —
+    #: ``repro obs slo`` against this must exit 3 (alerts firing), and
+    #: against the final ``metrics`` must exit 0 (alerts cleared).
+    metrics_degraded: dict = field(default_factory=dict, repr=False)
+    #: The run's SLO engine report: rules, final verdicts, transitions.
+    slo: dict = field(default_factory=dict)
 
     @property
     def exact_updates_per_s(self) -> float:
@@ -445,6 +452,7 @@ class OverloadResult:
             "stretch": self.stretch,
             "latency_us": latency_percentiles(self.query_samples_s),
             "stats": self.stats,
+            "slo": self.slo,
         }
 
     def to_bench_record(self, name: str = "serve_degraded") -> BenchRecord:
@@ -566,14 +574,19 @@ def overload_bench(config: BenchConfig = BenchConfig()) -> OverloadResult:
     truth_graph = graph.copy()
     truth = DijkstraOracle(truth_graph)
     with DistanceServer(base.clone(), workers=1, degrade=policy) as server:
+        # The SLO engine watches the degraded server's own registry, so
+        # the snapshots below carry raw signals *and* judged verdicts.
+        engine = SLOEngine(server.metrics, default_rules())
         for batch in batches:
             server.offer(batch)
+        engine.tick()
         mid = len(batches) // 2
         sweep_share = max(1, config.stretch_queries // 3)
         for i, batch in enumerate(batches):
             t0 = perf_counter()
             report = server.pump()
             step_s = perf_counter() - t0
+            engine.tick()
             # Ground truth advances exactly as fast as admission accepts.
             for (u, v), w in batch:
                 truth_graph.set_weight(u, v, w)
@@ -594,6 +607,11 @@ def overload_bench(config: BenchConfig = BenchConfig()) -> OverloadResult:
                 result.stretch["degraded"] = _stretch_sweep(
                     server, truth, sweep_share, rng, result.query_samples_s
                 )
+                # Snapshot the registry while degraded: ε > 0, journal
+                # populated, backlog deep — the firing half of the SLO
+                # fire-then-clear acceptance check.
+                engine.evaluate()
+                result.metrics_degraded = server.metrics.snapshot()
             if report.caught_up:
                 result.stretch["catchup"] = _stretch_sweep(
                     server, truth, sweep_share, rng, result.query_samples_s
@@ -614,6 +632,7 @@ def overload_bench(config: BenchConfig = BenchConfig()) -> OverloadResult:
             rng,
             result.query_samples_s,
         )
+        result.slo = engine.report()
         result.stats = server.stats()
         result.metrics = server.metrics.snapshot()
     return result

@@ -39,6 +39,7 @@ from time import monotonic, perf_counter
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import names
+from repro.obs.context import current_context, use_context
 from repro.obs.registry import COUNT_BUCKETS, MetricsRegistry
 from repro.obs.trace import span
 from repro.perf.coalesce import coalesce_updates
@@ -366,15 +367,31 @@ class DistanceServer:
         Valid for retired snapshots too: the cache key includes the
         epoch, so answers from different versions never mix.
         """
-        start = perf_counter()
-        cached = self.cache.get(snapshot.epoch, s, t)
-        if cached is not None:
-            self._record(snapshot.epoch, hit=True, latency=perf_counter() - start)
-            return cached
-        distance = snapshot.oracle.distance(s, t)
-        self.cache.put(snapshot.epoch, s, t, distance)
-        self._record(snapshot.epoch, hit=False, latency=perf_counter() - start)
-        return distance
+        with span(names.SPAN_SERVE_QUERY) as sp:
+            trace_id = sp.trace_id if sp.active else None
+            start = perf_counter()
+            cached = self.cache.get(snapshot.epoch, s, t)
+            if cached is not None:
+                self._record(
+                    snapshot.epoch,
+                    hit=True,
+                    latency=perf_counter() - start,
+                    trace_id=trace_id,
+                )
+                if sp.active:
+                    sp.set(epoch=snapshot.epoch, hit=True)
+                return cached
+            distance = snapshot.oracle.distance(s, t)
+            self.cache.put(snapshot.epoch, s, t, distance)
+            self._record(
+                snapshot.epoch,
+                hit=False,
+                latency=perf_counter() - start,
+                trace_id=trace_id,
+            )
+            if sp.active:
+                sp.set(epoch=snapshot.epoch, hit=False)
+            return distance
 
     def query_many(
         self, pairs: Sequence[Tuple[int, int]], *, parallel: bool = True
@@ -383,7 +400,9 @@ class DistanceServer:
 
         The whole batch sees the same epoch even if a publish lands
         mid-batch.  With *parallel* (and more than one worker), the
-        batch is chunked across the thread pool.
+        batch is chunked across the thread pool; the caller's trace
+        context is carried into the workers so every per-pair
+        ``serve.query`` span lands under the caller's span tree.
         """
         snapshot = self._epochs.current
         if (
@@ -394,18 +413,23 @@ class DistanceServer:
         ):
             return [self.distance_on(snapshot, s, t) for s, t in pairs]
         pool = self._ensure_pool()
+        ctx = current_context()
         chunk = (len(pairs) + self._workers - 1) // self._workers
         futures = [
-            pool.submit(
-                lambda part: [self.distance_on(snapshot, s, t) for s, t in part],
-                pairs[i : i + chunk],
-            )
+            pool.submit(self._query_chunk, snapshot, pairs[i : i + chunk], ctx)
             for i in range(0, len(pairs), chunk)
         ]
         answers: List[float] = []
         for future in futures:
             answers.extend(future.result())
         return answers
+
+    def _query_chunk(self, snapshot: EpochSnapshot, part, ctx) -> List[float]:
+        """One worker's share of :meth:`query_many`, under the caller's
+        trace context (contextvars do not cross pool threads on their
+        own)."""
+        with use_context(ctx):
+            return [self.distance_on(snapshot, s, t) for s, t in part]
 
     # ------------------------------------------------------------------
     # Write path
@@ -440,8 +464,17 @@ class DistanceServer:
             if backlog:
                 return self._apply_in_arrival_order(updates)
             return self._admit(updates, 1, 0, age, coalesce=coalesce)
-        with self._write_lock:
-            return self._publish_locked(updates, coalesce=coalesce)
+        with span(names.SPAN_SERVE_APPLY) as sp:
+            with self._write_lock:
+                report = self._publish_locked(updates, coalesce=coalesce)
+            if sp.active:
+                sp.set(
+                    epoch=report.epoch,
+                    state=report.state,
+                    epsilon=report.epsilon,
+                    deferred=report.deferred,
+                )
+            return report
 
     def _apply_in_arrival_order(self, updates) -> ServeReport:
         """Enqueue *updates* behind the offered backlog and pump until
@@ -585,22 +618,31 @@ class DistanceServer:
         """Route one batch by the overload watermarks (hysteresis:
         enter degraded at the high watermark, catch up at the low)."""
         policy = self._deferral.policy
-        with self._write_lock:
-            if (
-                depth_before >= policy.high_watermark
-                or age >= policy.max_batch_age_s
-            ):
-                self._overloaded = True
-            if self._overloaded and depth_after <= policy.low_watermark:
-                # Load has subsided: this batch becomes the catch-up.
-                self._overloaded = False
-            if self._overloaded:
-                report = self._apply_degraded(updates)
-            elif self._deferral.pending:
-                report = self._catch_up_locked(updates, reason="catchup")
-            else:
-                report = self._publish_locked(updates, coalesce=coalesce)
-            self._update_degrade_gauges(depth_after)
+        with span(names.SPAN_SERVE_APPLY) as sp:
+            with self._write_lock:
+                if (
+                    depth_before >= policy.high_watermark
+                    or age >= policy.max_batch_age_s
+                ):
+                    self._overloaded = True
+                if self._overloaded and depth_after <= policy.low_watermark:
+                    # Load has subsided: this batch becomes the catch-up.
+                    self._overloaded = False
+                if self._overloaded:
+                    report = self._apply_degraded(updates)
+                elif self._deferral.pending:
+                    report = self._catch_up_locked(updates, reason="catchup")
+                else:
+                    report = self._publish_locked(updates, coalesce=coalesce)
+                self._update_degrade_gauges(depth_after)
+            if sp.active:
+                sp.set(
+                    epoch=report.epoch,
+                    state=report.state,
+                    epsilon=report.epsilon,
+                    deferred=report.deferred,
+                    depth=depth_after,
+                )
             return report
 
     def _net_batch(self, updates):
@@ -620,9 +662,18 @@ class DistanceServer:
         true_weight = graph.weight
         if self._deferral is not None:
             true_weight = self._deferral.effective_weight(graph.weight)
-        batch = coalesce_updates(
-            updates, true_weight, directed=hasattr(graph, "arcs")
-        )
+        with span(names.SPAN_SERVE_COALESCE) as sp:
+            raw = list(updates)
+            batch = coalesce_updates(
+                raw, true_weight, directed=hasattr(graph, "arcs")
+            )
+            if sp.active:
+                sp.set(
+                    raw=len(raw),
+                    net=len(batch.updates),
+                    superseded=batch.superseded,
+                    dropped=batch.dropped,
+                )
         return batch, graph.weight
 
     def _apply_degraded(self, updates) -> ServeReport:
@@ -692,7 +743,12 @@ class DistanceServer:
             report.superseded += superseded
             report.dropped += dropped
             if sp.active:
-                sp.set(epoch=report.epoch, folded=folded, extra=len(extra))
+                sp.set(
+                    epoch=report.epoch,
+                    folded=folded,
+                    extra=len(extra),
+                    epsilon=report.epsilon,
+                )
             return report
 
     def _update_degrade_gauges(self, depth: Optional[int] = None) -> None:
@@ -712,9 +768,15 @@ class DistanceServer:
     # ------------------------------------------------------------------
     # Instrumentation / lifecycle
     # ------------------------------------------------------------------
-    def _record(self, epoch: int, hit: bool, latency: float) -> None:
+    def _record(
+        self,
+        epoch: int,
+        hit: bool,
+        latency: float,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self._m_queries.inc(1, epoch=epoch, result="hit" if hit else "miss")
-        self._m_latency.observe(latency, epoch=epoch)
+        self._m_latency.observe(latency, exemplar=trace_id, epoch=epoch)
         if not hit:
             self._m_cache_entries.set(len(self.cache))
 

@@ -1,0 +1,214 @@
+"""The flight recorder: ring bound, anomaly triggers, dump hygiene."""
+
+from __future__ import annotations
+
+import json
+import timeit
+
+import pytest
+
+from repro.obs import names
+from repro.obs.flight import FlightRecorder
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sentinel import BoundednessSentinel, Envelope
+from repro.obs.trace import JsonlSink, MemorySink, get_sink, set_sink, span, use_sink
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_sink():
+    assert get_sink() is None
+    yield
+    set_sink(None)
+
+
+def _record(span_name="serve.query", *, ts=1.0, dur_s=0.001, **fields):
+    record = {
+        "span": span_name,
+        "ts": ts,
+        "dur_s": dur_s,
+        "ok": True,
+        "trace_id": "feedc0de00000000",
+        "span_id": "ab01",
+        "parent_id": None,
+    }
+    record.update(fields)
+    return record
+
+
+def _recorder(tmp_path, **kwargs):
+    kwargs.setdefault("dump_dir", str(tmp_path / "flight"))
+    kwargs.setdefault("min_dump_interval_s", 0.0)
+    return FlightRecorder(**kwargs)
+
+
+class TestRing:
+    def test_bounded_capacity_drops_oldest(self, tmp_path):
+        rec = _recorder(tmp_path, capacity=4)
+        for i in range(6):
+            rec.emit(_record(ts=float(i), seq=i))
+        ring = rec.snapshot()
+        assert len(ring) == 4
+        assert [r["seq"] for r in ring] == [2, 3, 4, 5]
+
+    def test_rejects_nonpositive_capacity(self, tmp_path):
+        with pytest.raises(ValueError):
+            _recorder(tmp_path, capacity=0)
+
+    def test_clear_empties_the_ring(self, tmp_path):
+        rec = _recorder(tmp_path)
+        rec.emit(_record())
+        rec.clear()
+        assert rec.snapshot() == []
+
+
+class TestTriggers:
+    def test_slow_publish_dumps(self, tmp_path):
+        rec = _recorder(tmp_path, slow_publish_s=0.5)
+        rec.emit(_record(names.SPAN_SERVE_PUBLISH, dur_s=0.1))
+        assert rec.dumps == []
+        rec.emit(_record(names.SPAN_SERVE_PUBLISH, dur_s=0.9))
+        assert len(rec.dumps) == 1
+        assert rec.dumps[0].endswith("flight-0001-slow_publish.json")
+
+    def test_slow_catchup_dumps_too(self, tmp_path):
+        rec = _recorder(tmp_path, slow_publish_s=0.5)
+        rec.emit(_record(names.SPAN_SERVE_CATCHUP, dur_s=0.9))
+        assert len(rec.dumps) == 1
+
+    def test_epsilon_raise_fires_only_on_increase(self, tmp_path):
+        rec = _recorder(tmp_path)
+        rec.emit(_record(names.SPAN_SERVE_APPLY, epsilon=0.0))
+        assert rec.dumps == []
+        rec.emit(_record(names.SPAN_SERVE_APPLY, epsilon=0.15))
+        assert len(rec.dumps) == 1
+        assert "epsilon_raise" in rec.dumps[0]
+        # Same epsilon again: no raise, no new dump.
+        rec.emit(_record(names.SPAN_SERVE_APPLY, epsilon=0.15))
+        assert len(rec.dumps) == 1
+        # Back to exact, then raised again: a second dump.
+        rec.emit(_record(names.SPAN_SERVE_APPLY, epsilon=0.0))
+        rec.emit(_record(names.SPAN_SERVE_APPLY, epsilon=0.1))
+        assert len(rec.dumps) == 2
+
+    def test_epsilon_tracking_advances_under_an_earlier_trigger(self, tmp_path):
+        # A slow publish that also raises epsilon: one dump (slow_publish
+        # wins), but the tracked epsilon must still advance so the next
+        # record at the same level does not re-trigger epsilon_raise.
+        rec = _recorder(tmp_path, slow_publish_s=0.5)
+        rec.emit(_record(names.SPAN_SERVE_PUBLISH, dur_s=0.9, epsilon=0.15))
+        assert len(rec.dumps) == 1
+        assert "slow_publish" in rec.dumps[0]
+        rec.emit(_record(names.SPAN_SERVE_APPLY, epsilon=0.15))
+        assert len(rec.dumps) == 1
+
+    def test_boolean_epsilon_is_ignored(self, tmp_path):
+        rec = _recorder(tmp_path)
+        rec.emit(_record(names.SPAN_SERVE_APPLY, epsilon=True))
+        assert rec.dumps == []
+
+    def test_fallback_dumps(self, tmp_path):
+        rec = _recorder(tmp_path)
+        rec.emit(_record(names.SPAN_RESILIENT_FALLBACK))
+        assert len(rec.dumps) == 1
+        assert "fallback" in rec.dumps[0]
+
+    def test_sentinel_violation_dumps(self, tmp_path):
+        sentinel = BoundednessSentinel(Envelope(c_aff=1.0, c_diff=1.0))
+        rec = _recorder(tmp_path, sentinel=sentinel)
+        rec.emit(
+            _record("dch.increase", ops_total=1e9, aff_norm=64.0, diff=64.0)
+        )
+        assert len(rec.dumps) == 1
+        assert "sentinel" in rec.dumps[0]
+        payload = json.loads(open(rec.dumps[0]).read())
+        assert payload["sentinel"]["violations"]
+
+
+class TestDumpHygiene:
+    def test_min_dump_interval_debounces(self, tmp_path):
+        rec = _recorder(tmp_path, min_dump_interval_s=3600.0)
+        rec.emit(_record(names.SPAN_RESILIENT_FALLBACK))
+        rec.emit(_record(names.SPAN_RESILIENT_FALLBACK))
+        assert len(rec.dumps) == 1
+
+    def test_max_dumps_caps_the_run(self, tmp_path):
+        rec = _recorder(tmp_path, max_dumps=2)
+        for _ in range(5):
+            rec.emit(_record(names.SPAN_RESILIENT_FALLBACK))
+        assert len(rec.dumps) == 2
+
+    def test_dump_dir_created_lazily(self, tmp_path):
+        dump_dir = tmp_path / "nested" / "flight"
+        rec = FlightRecorder(dump_dir=str(dump_dir), min_dump_interval_s=0.0)
+        rec.emit(_record())
+        assert not dump_dir.exists()  # no trigger, no directory
+        rec.emit(_record(names.SPAN_RESILIENT_FALLBACK))
+        assert dump_dir.is_dir()
+
+    def test_dump_contents_include_trees(self, tmp_path):
+        rec = _recorder(tmp_path)
+        rec.emit(_record("serve.apply", span_id="aa01", parent_id=None))
+        rec.emit(
+            _record(
+                names.SPAN_RESILIENT_FALLBACK,
+                span_id="aa02",
+                parent_id="aa01",
+                event="timeout",
+            )
+        )
+        payload = json.loads(open(rec.dumps[0]).read())
+        assert payload["trigger"] == "fallback"
+        assert payload["trigger_record"]["span"] == names.SPAN_RESILIENT_FALLBACK
+        assert len(payload["records"]) == 2
+        tree = payload["trees"]["feedc0de00000000"]
+        assert "serve.apply" in tree and "resilient.fallback" in tree
+
+    def test_dumps_counter_with_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        rec = _recorder(tmp_path, registry=registry)
+        rec.emit(_record(names.SPAN_RESILIENT_FALLBACK))
+        family = registry.get(names.OBS_FLIGHT_DUMPS)
+        assert family.value(trigger="fallback") == 1
+
+
+class TestComposition:
+    def test_downstream_sink_sees_every_record(self, tmp_path):
+        downstream = MemorySink()
+        rec = _recorder(tmp_path, downstream=downstream)
+        rec.emit(_record(seq=0))
+        rec.emit(_record(names.SPAN_RESILIENT_FALLBACK, seq=1))
+        assert [r["seq"] for r in downstream.records] == [0, 1]
+
+    def test_close_closes_downstream(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        downstream = JsonlSink(str(path), buffer_records=256)
+        rec = _recorder(tmp_path, downstream=downstream)
+        rec.emit(_record())
+        rec.close()
+        assert len(path.read_text().splitlines()) == 1  # buffer flushed
+
+    def test_as_live_sink_records_real_spans(self, tmp_path):
+        rec = _recorder(tmp_path)
+        with use_sink(rec):
+            with span(names.SPAN_SERVE_APPLY) as sp:
+                sp.set(epsilon=0.25)
+        assert len(rec.dumps) == 1
+        assert "epsilon_raise" in rec.dumps[0]
+        (record,) = rec.snapshot()
+        assert record["span"] == names.SPAN_SERVE_APPLY
+
+    def test_attached_recorder_keeps_spans_cheap(self, tmp_path):
+        # The always-on production posture: recorder attached, no
+        # anomalies.  A traced span must stay far below any maintenance
+        # call (~100us), i.e. ring append + trigger checks are O(1).
+        rec = _recorder(tmp_path)
+        n = 1000
+        with use_sink(rec):
+            cost = timeit.timeit(
+                "\nwith span('dch.increase') as sp:\n    sp.set(delta=1)\n",
+                setup="from repro.obs.trace import span",
+                number=n,
+            )
+        assert cost / n < 100e-6
+        assert len(rec.snapshot()) == n
+        assert rec.dumps == []

@@ -78,6 +78,55 @@ class TestSpans:
         assert second.records and not first.records
 
 
+class TestMemorySink:
+    def test_maxlen_bounds_memory(self):
+        sink = MemorySink(maxlen=3)
+        for i in range(5):
+            sink.emit({"seq": i})
+        assert [r["seq"] for r in sink.records] == [2, 3, 4]
+        assert len(sink) == 3
+
+    def test_rejects_nonpositive_maxlen(self):
+        with pytest.raises(ValueError):
+            MemorySink(maxlen=0)
+
+    def test_records_is_a_copy(self):
+        sink = MemorySink()
+        sink.emit({"seq": 0})
+        copy = sink.records
+        copy.clear()
+        assert len(sink.records) == 1
+
+    def test_clear(self):
+        sink = MemorySink()
+        sink.emit({"seq": 0})
+        sink.clear()
+        assert sink.records == []
+
+    def test_concurrent_emit_loses_nothing_under_the_bound(self):
+        import threading
+
+        sink = MemorySink(maxlen=100_000)
+        n, workers = 2000, 4
+
+        def _hammer(worker):
+            for i in range(n):
+                sink.emit({"worker": worker, "seq": i})
+
+        threads = [
+            threading.Thread(target=_hammer, args=(w,)) for w in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = sink.records
+        assert len(records) == n * workers
+        for w in range(workers):
+            seqs = [r["seq"] for r in records if r["worker"] == w]
+            assert seqs == sorted(seqs)  # per-thread order preserved
+
+
 class TestJsonlSink:
     def test_lines_are_valid_json_and_schema_clean(self, tmp_path):
         path = tmp_path / "trace.jsonl"
@@ -106,6 +155,33 @@ class TestJsonlSink:
                 with span("a.b"):
                     pass
         assert len(path.read_text().splitlines()) == 2
+
+    def test_buffered_mode_writes_every_n_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path), buffer_records=3)
+        try:
+            for i in range(2):
+                sink.emit({"seq": i})
+            assert path.read_text() == ""  # still buffered
+            sink.emit({"seq": 2})  # hits the threshold
+            assert len(path.read_text().splitlines()) == 3
+        finally:
+            sink.close()
+
+    def test_buffered_mode_flushes_on_flush_and_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path), buffer_records=1000)
+        sink.emit({"seq": 0})
+        sink.flush()
+        assert len(path.read_text().splitlines()) == 1
+        sink.emit({"seq": 1})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["seq"] for line in lines] == [0, 1]
+
+    def test_negative_buffer_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(str(tmp_path / "t.jsonl"), buffer_records=-1)
 
 
 class TestSchema:
@@ -159,6 +235,23 @@ class TestSchema:
     def test_non_dict_record(self):
         with pytest.raises(TraceSchemaError):
             validate_record(["not", "a", "record"])
+
+    def test_trace_id_fields_accepted(self):
+        record = self._good()
+        record.update(trace_id="abcd", span_id="ef01", parent_id=None)
+        assert validate_record(record) is record
+        record["parent_id"] = "1234"
+        assert validate_record(record) is record
+
+    @pytest.mark.parametrize(
+        "key, value",
+        [("trace_id", 7), ("span_id", None), ("parent_id", 12)],
+    )
+    def test_bad_trace_id_types(self, key, value):
+        record = self._good()
+        record[key] = value
+        with pytest.raises(TraceSchemaError):
+            validate_record(record)
 
 
 class TestNoSinkOverhead:

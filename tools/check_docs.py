@@ -48,6 +48,7 @@ REQUIRED_DOCS = (
     "docs/degraded-mode.md",
     "docs/observability.md",
     "docs/performance.md",
+    "docs/slo.md",
 )
 
 
@@ -168,13 +169,23 @@ def check_observability_catalogue() -> List[str]:
 
 
 def check_registry_matches_catalogue() -> List[str]:
-    """A live DistanceServer registers exactly the catalogued metrics."""
+    """A fully-wired serving stack registers exactly the catalogued
+    metrics: the server's own families plus the SLO engine, flight
+    recorder and boundedness sentinel sharing its registry."""
     from repro.core.dynamic import DynamicCH
     from repro.graph.generators import grid_network
     from repro.obs import names
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.sentinel import BoundednessSentinel, Envelope
+    from repro.obs.slo import SLOEngine, default_rules
     from repro.serve.server import DistanceServer
 
     server = DistanceServer(DynamicCH(grid_network(3, 3, seed=0)), workers=1)
+    SLOEngine(server.metrics, default_rules())
+    sentinel = BoundednessSentinel(
+        Envelope(c_aff=1.0, c_diff=1.0), registry=server.metrics
+    )
+    FlightRecorder(sentinel=sentinel, registry=server.metrics)
     registered = set(server.metrics.names())
     errors = []
     for metric in sorted(names.METRICS - registered):

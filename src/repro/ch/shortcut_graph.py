@@ -36,6 +36,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import IndexError_
 from repro.graph.graph import RoadNetwork
 from repro.order.ordering import Ordering
@@ -120,6 +122,30 @@ class ShortcutGraph:
         dup._via = dict(self._via)
         dup._m_shortcuts = self._m_shortcuts
         return dup
+
+    @property
+    def backend(self) -> str:
+        """Which representation backs this index: ``dict`` here,
+        ``columnar`` for :class:`repro.columnar.ColumnarShortcutGraph`."""
+        return "dict"
+
+    def prepare_write(self) -> None:
+        """Hook called by maintenance before its first direct mutation.
+
+        The dict backend owns all its state outright, so this is a
+        no-op; the columnar backend overrides it to take private
+        ownership of every shared copy-on-write page.
+        """
+
+    def upward_weights(self, u: int) -> np.ndarray:
+        """``phi(<u, v>)`` for ``v in nbr+(u)``, aligned with
+        :meth:`upward`; the columnar backend serves this as one gather."""
+        adj_u = self._adj[u]
+        return np.fromiter(
+            (adj_u[v] for v in self._up[u]),
+            dtype=np.float64,
+            count=len(self._up[u]),
+        )
 
     # ------------------------------------------------------------------
     # Identity / canonical keys

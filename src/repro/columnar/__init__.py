@@ -1,0 +1,38 @@
+"""Flat numpy-native backing stores for the CH / H2H indexes.
+
+The ``columnar`` backend inverts the repo's original representation:
+instead of dict-of-dict adjacency with numpy used only by the batched
+kernels, the flat arrays *are* the primary store and the dict shapes
+the algorithms consume become lazy views (:mod:`repro.columnar.views`).
+Every dynamic facade takes ``backend={"dict", "columnar"}`` at
+construction (default from ``$REPRO_BACKEND``), and the two backends
+are bit-identical under every workload — enforced by
+``tests/test_columnar_conformance.py``.
+
+What the columnar representation buys (docs/columnar.md):
+
+* ``clone()`` — the serving layer's per-epoch cost — becomes a page
+  share plus O(1) view objects, with page-granular copy-on-write at the
+  first maintenance write;
+* snapshots persist as directory bundles of ``.npy`` pages that reopen
+  via ``np.load(..., mmap_mode="r")`` without materializing the
+  matrices;
+* the parallel IncH2H backend swaps shared-memory views in and out of
+  the same pages instead of shadow-copying per batch.
+"""
+
+from repro.columnar.directed import (
+    ColumnarDirectedH2HIndex,
+    ColumnarDirectedShortcutGraph,
+)
+from repro.columnar.h2h import ColumnarH2HIndex, csrify_tree
+from repro.columnar.shortcut import ColumnarShortcutGraph, ShortcutLayout
+
+__all__ = [
+    "ColumnarDirectedH2HIndex",
+    "ColumnarDirectedShortcutGraph",
+    "ColumnarH2HIndex",
+    "ColumnarShortcutGraph",
+    "ShortcutLayout",
+    "csrify_tree",
+]

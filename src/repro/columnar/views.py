@@ -1,0 +1,205 @@
+"""Lazy dict-shaped views over flat numpy pages.
+
+The columnar backend stores every mutable scalar of an index in a small
+number of flat numpy arrays ("pages").  The existing algorithms,
+however, are written against dict-of-dict adjacency (``sc._adj[u][v]``)
+and tuple-keyed maps (``sc._sup[(u, v)]``).  Rather than fork every
+algorithm, the columnar classes install the views in this module in
+place of those dicts: each view translates key lookups into slot reads
+on the owning index's *current* page array, and translates item writes
+into copy-on-write page mutations via the owner's ``_page_for_write``.
+
+Two invariants make this safe:
+
+* views never cache an array reference — every access re-reads the page
+  through ``getattr(owner, page)``, so a COW copy made between two
+  accesses is always observed;
+* reads come back as native python scalars (``float``/``int``), so
+  arithmetic like ``adj[u][t] + adj[v][t]`` produces bit-identical
+  IEEE-754 results on both backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+__all__ = ["RowView", "AdjView", "SlotMapView"]
+
+#: Sentinel stored in integer pages for a ``None`` witness.
+NO_WITNESS = -1
+
+
+class RowView:
+    """One adjacency row (``_adj[u]`` / ``_w[u]``) backed by a page.
+
+    Behaves like the ``Dict[int, float]`` it replaces: iteration order
+    is the original dict's insertion order, lookups raise ``KeyError``
+    for non-neighbors, and ``row[v] = w`` writes through the owner's
+    copy-on-write hook.
+    """
+
+    __slots__ = ("_owner", "_page", "_nbrs", "_slot_of", "_slots")
+
+    def __init__(
+        self,
+        owner,
+        page: str,
+        nbrs: List[int],
+        slot_of: Dict[int, int],
+        slots: np.ndarray,
+    ) -> None:
+        self._owner = owner
+        self._page = page
+        self._nbrs = nbrs
+        self._slot_of = slot_of
+        self._slots = slots
+
+    def _arr(self) -> np.ndarray:
+        return getattr(self._owner, self._page)
+
+    def __getitem__(self, v: int) -> float:
+        return float(self._arr()[self._slot_of[v]])
+
+    def __setitem__(self, v: int, w: float) -> None:
+        self._owner._page_for_write(self._page)[self._slot_of[v]] = w
+
+    def __contains__(self, v: object) -> bool:
+        return v in self._slot_of
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._nbrs)
+
+    def __len__(self) -> int:
+        return len(self._nbrs)
+
+    def get(self, v: int, default=None):
+        slot = self._slot_of.get(v)
+        if slot is None:
+            return default
+        return float(self._arr()[slot])
+
+    def keys(self):
+        return list(self._nbrs)
+
+    def values(self) -> List[float]:
+        return self._arr()[self._slots].tolist()
+
+    def items(self):
+        return list(zip(self._nbrs, self._arr()[self._slots].tolist()))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (dict, RowView)):
+            return dict(self.items()) == (
+                other if isinstance(other, dict) else dict(other.items())
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"RowView({dict(self.items())!r})"
+
+
+class AdjView(Sequence):
+    """The adjacency list-of-rows: ``view[u]`` is a fresh :class:`RowView`.
+
+    Rows are materialized lazily per access (they are three attribute
+    stores), so cloning an index costs O(1) view objects rather than
+    O(n) rows.
+    """
+
+    __slots__ = ("_owner", "_page", "_row_nbrs", "_row_slot_of", "_row_slots")
+
+    def __init__(self, owner, page, row_nbrs, row_slot_of, row_slots) -> None:
+        self._owner = owner
+        self._page = page
+        self._row_nbrs = row_nbrs
+        self._row_slot_of = row_slot_of
+        self._row_slots = row_slots
+
+    def __getitem__(self, u: int) -> RowView:
+        return RowView(
+            self._owner,
+            self._page,
+            self._row_nbrs[u],
+            self._row_slot_of[u],
+            self._row_slots[u],
+        )
+
+    def __len__(self) -> int:
+        return len(self._row_nbrs)
+
+
+class SlotMapView:
+    """A tuple-keyed map (``_sup`` / ``_via`` / ``_edge_w``) over a page.
+
+    *kind* selects the scalar decoding: ``"float"`` (edge weights),
+    ``"int"`` (supports) or ``"via"`` (witnesses, where the stored
+    ``-1`` decodes to ``None``).
+    """
+
+    __slots__ = ("_owner", "_page", "_slot_of", "_keys", "_kind")
+
+    def __init__(self, owner, page: str, slot_of: Dict, keys: List, kind: str) -> None:
+        self._owner = owner
+        self._page = page
+        self._slot_of = slot_of
+        self._keys = keys
+        self._kind = kind
+
+    def _arr(self) -> np.ndarray:
+        return getattr(self._owner, self._page)
+
+    def _decode(self, raw):
+        if self._kind == "float":
+            return float(raw)
+        if self._kind == "via":
+            value = int(raw)
+            return None if value == NO_WITNESS else value
+        return int(raw)
+
+    def __getitem__(self, key):
+        return self._decode(self._arr()[self._slot_of[key]])
+
+    def __setitem__(self, key, value) -> None:
+        if self._kind == "via" and value is None:
+            value = NO_WITNESS
+        self._owner._page_for_write(self._page)[self._slot_of[key]] = value
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._slot_of
+
+    def __iter__(self):
+        return iter(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def get(self, key, default=None):
+        slot = self._slot_of.get(key)
+        if slot is None:
+            return default
+        return self._decode(self._arr()[slot])
+
+    def keys(self):
+        return list(self._keys)
+
+    def values(self) -> List:
+        arr = self._arr()
+        return [self._decode(arr[self._slot_of[key]]) for key in self._keys]
+
+    def items(self):
+        arr = self._arr()
+        return [
+            (key, self._decode(arr[self._slot_of[key]])) for key in self._keys
+        ]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (dict, SlotMapView)):
+            return dict(self.items()) == (
+                other if isinstance(other, dict) else dict(other.items())
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"SlotMapView({dict(self.items())!r})"

@@ -135,6 +135,7 @@ def inch2h_increase(
     list of ((u, depth_a), old_value, new_value)
         The super-shortcuts whose distance value changed (AFF_3).
     """
+    index.prepare_write()
     with span(names.SPAN_INCH2H_INCREASE) as sp:
         if sp.active and counter is None:
             counter = OpCounter()
@@ -190,20 +191,24 @@ def inch2h_increase(
                         # Lines 15-18: entries (v, a) for downward neighbors v
                         # of u.  Infinite shortcut legs (deleted roads) support
                         # nothing, so an inf == inf match must not decrement
-                        # (dis inf => sup 0).
+                        # (dis inf => sup 0).  The adjacency is symmetric
+                        # (mirror entries / one shared slot), so the fixed
+                        # endpoint's row is hoisted out of the loop.
+                        row_u = adj[u]
                         for v in sc.downward(u):
                             cost += 1
-                            candidate = adj[v][u] + old_val
+                            candidate = row_u[v] + old_val
                             if candidate != _INF and candidate == dis_col[v]:
                                 sup[v, da] -= 1
                                 if sup[v, da] == 0:
                                     queue.push((v, da), (-rank[v], da))
                                     ops.add("queue_push")
                         dis_col_u = dis[:, du]
+                        row_a = adj[a]
                         # Lines 19-22: entries (v, u) for v in nbr-(a) ∩ des(u).
                         for v in tree.down_in_descendants(a, u):
                             cost += 1
-                            candidate = adj[v][a] + old_val
+                            candidate = row_a[v] + old_val
                             if candidate != _INF and candidate == dis_col_u[v]:
                                 sup[v, du] -= 1
                                 if sup[v, du] == 0:
@@ -225,10 +230,11 @@ def inch2h_increase(
                     sub = das_arr[act]
                     vals = old_vals[act]
                     down = sc.downward(u)
+                    row_u = adj[u]
                     # Lines 15-18 for the whole group: one gather per
                     # downward neighbor instead of one per (neighbor, depth).
                     for v in down:
-                        cand = adj[v][u] + vals
+                        cand = row_u[v] + vals
                         hits = np.nonzero((cand == dis[v, sub]) & ~np.isinf(cand))[0]
                         for j in hits:
                             td = int(sub[j])
@@ -244,10 +250,11 @@ def inch2h_increase(
                         da_i = int(das_arr[i])
                         val = float(old_vals[i])
                         a = int(tree.anc[u][da_i])
+                        row_a = adj[a]
                         extra = 0
                         for v in tree.down_in_descendants(a, u):
                             extra += 1
-                            candidate = adj[v][a] + val
+                            candidate = row_a[v] + val
                             if candidate != _INF and candidate == dis_col_u[v]:
                                 sup[v, du] -= 1
                                 if sup[v, du] == 0:
@@ -290,6 +297,7 @@ def inch2h_decrease(
     list of ((u, depth_a), old_value, new_value)
         The super-shortcuts whose distance value changed (AFF_3).
     """
+    index.prepare_write()
     with span(names.SPAN_INCH2H_DECREASE) as sp:
         if sp.active and counter is None:
             counter = OpCounter()
@@ -404,9 +412,10 @@ def _inch2h_decrease_propagate(
                 cost = 0
                 if not math.isinf(val):
                     dis_col = dis[:, da]
+                    row_u = adj[u]  # symmetric rows: adj[v][u] == adj[u][v]
                     for v in sc.downward(u):
                         cost += 1
-                        candidate = adj[v][u] + val
+                        candidate = row_u[v] + val
                         seed_row = seed_rows.get((v, u))
                         if seed_row is not None and seed_row[da] == candidate:
                             continue  # the seed already applied this candidate
@@ -421,9 +430,10 @@ def _inch2h_decrease_propagate(
                         elif candidate == current and candidate != _INF:
                             sup[v, da] += 1
                     dis_col_u = dis[:, du]
+                    row_a = adj[a]
                     for v in tree.down_in_descendants(a, u):
                         cost += 1
-                        candidate = adj[v][a] + val
+                        candidate = row_a[v] + val
                         seed_row = seed_rows.get((v, a))
                         if seed_row is not None and seed_row[du] == candidate:
                             continue  # the seed already applied this candidate
@@ -449,9 +459,10 @@ def _inch2h_decrease_propagate(
                 sub = das_arr[act]
                 vals = group_vals[act]
                 down = sc.downward(u)
+                row_u = adj[u]
                 # Lines 15-18 for the whole group, one gather per neighbor.
                 for v in down:
-                    cand = adj[v][u] + vals
+                    cand = row_u[v] + vals
                     seed_row = seed_rows.get((v, u))
                     if seed_row is None:
                         applicable = np.ones(len(sub), dtype=bool)
@@ -479,10 +490,11 @@ def _inch2h_decrease_propagate(
                     da_i = int(das_arr[i])
                     val = float(group_vals[i])
                     a = int(tree.anc[u][da_i])
+                    row_a = adj[a]
                     extra = 0
                     for v in tree.down_in_descendants(a, u):
                         extra += 1
-                        candidate = adj[v][a] + val
+                        candidate = row_a[v] + val
                         seed_row = seed_rows.get((v, a))
                         if seed_row is not None and seed_row[du] == candidate:
                             continue  # the seed already applied this candidate

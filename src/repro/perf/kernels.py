@@ -104,7 +104,7 @@ def candidate_block(index, u: int, depths: np.ndarray) -> np.ndarray:
     anc_u = tree.anc[u]
     depth = tree.depth
     upward = index.sc.upward(u)
-    adj_u = index.sc._adj[u]
+    weights = index.sc.upward_weights(u)
     block = np.empty((len(upward), len(depths)), dtype=np.float64)
     for i, v in enumerate(upward):
         dv = int(depth[v])
@@ -114,7 +114,7 @@ def candidate_block(index, u: int, depths: np.ndarray) -> np.ndarray:
         deep = ~shallow
         if deep.any():
             row[deep] = dis[anc_u[depths[deep]], dv]
-        row += adj_u[v]
+        row += weights[i]
     return block
 
 
@@ -180,10 +180,11 @@ def fill_row(sc, tree, dis: np.ndarray, sup: np.ndarray, u: int) -> None:
         return
     anc_u = tree.anc[u]
     upward = sc.upward(u)
+    weights = sc.upward_weights(u)
     candidates = np.empty((len(upward), du), dtype=np.float64)
     for i, v in enumerate(upward):
         dv = int(depth[v])
-        w_uv = sc._adj[u][v]
+        w_uv = weights[i]
         row = candidates[i]
         # Depths 0..dv: a is an ancestor of v (or v itself) -> dis(v)[da].
         row[: dv + 1] = dis[v, : dv + 1]
@@ -288,6 +289,11 @@ def relax_arrays(
     aliases a later triple's *leg*, which the skip rule of Algorithm 3
     would have skipped anyway).
     """
+    gather = getattr(getattr(adj, "_owner", None), "pair_weight_arrays", None)
+    if gather is not None:
+        # Columnar backend: two fancy-indexed gathers off the flat weight
+        # page instead of one RowView construction per triple.
+        return gather(triples, base)
     count = len(triples)
     legs = np.fromiter(
         (adj[x][w] for x, w, _y in triples), dtype=np.float64, count=count

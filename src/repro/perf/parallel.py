@@ -330,8 +330,9 @@ class ParallelIncH2H:
         sup_view = np.ndarray(shape, dtype=np.int32, buffer=self._shm_sup.buf)
         dis_view[:] = index.dis
         sup_view[:] = index.sup
-        index.dis = dis_view
-        index.sup = sup_view
+        # adopt_arrays (not attribute writes) so a columnar index also
+        # clears its shared-page marks for the swapped-in views.
+        index.adopt_arrays(dis_view, sup_view)
         ctx = multiprocessing.get_context(start_method)
         self._workers: List[Tuple[object, object]] = []
         self._closed = False
@@ -579,8 +580,10 @@ class ParallelIncH2H:
             conn.close()
         self._workers = []
         # Give the index private arrays back before unmapping the views.
-        self.index.dis = np.array(self.index.dis, copy=True)
-        self.index.sup = np.array(self.index.sup, copy=True)
+        self.index.adopt_arrays(
+            np.array(self.index.dis, copy=True),
+            np.array(self.index.sup, copy=True),
+        )
         for seg in (self._shm_dis, self._shm_sup):
             seg.close()
             try:

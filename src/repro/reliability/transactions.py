@@ -47,6 +47,10 @@ class IndexSnapshot:
     and never mutated by maintenance, so weights / supports / witnesses
     / edge weights — plus the ``dis`` / ``sup`` matrices for H2H — pin
     the index down exactly.
+
+    For a columnar index the same state is captured as flat page copies
+    in ``pages`` (one ``ndarray.copy()`` per page) and the four dict
+    fields stay empty — the content is identical, the walk is not.
     """
 
     weights: Dict[Shortcut, float]
@@ -55,6 +59,7 @@ class IndexSnapshot:
     edge_weights: Dict[Shortcut, float]
     dis: Optional[np.ndarray] = None
     sup_matrix: Optional[np.ndarray] = None
+    pages: Optional[Dict[str, np.ndarray]] = None
 
 
 def _sc_of(index) -> ShortcutGraph:
@@ -63,14 +68,25 @@ def _sc_of(index) -> ShortcutGraph:
 
 def snapshot_index(index) -> IndexSnapshot:
     """Capture the full mutable state of a :class:`ShortcutGraph` or
-    :class:`H2HIndex` (cheap dict/array copies; O(index size))."""
+    :class:`H2HIndex` (cheap dict/array copies; O(index size)).
+
+    A columnar shortcut graph exposes ``page_snapshot()``; its flat page
+    copies replace the per-shortcut dict walk (same state, no Python
+    loop over shortcuts)."""
     sc = _sc_of(index)
-    snap = IndexSnapshot(
-        weights=sc.weight_snapshot(),
-        supports=sc.support_snapshot(),
-        vias=sc.via_snapshot(),
-        edge_weights=sc.edge_weights(),
-    )
+    take_pages = getattr(sc, "page_snapshot", None)
+    if take_pages is not None:
+        snap = IndexSnapshot(
+            weights={}, supports={}, vias={}, edge_weights={},
+            pages=take_pages(),
+        )
+    else:
+        snap = IndexSnapshot(
+            weights=sc.weight_snapshot(),
+            supports=sc.support_snapshot(),
+            vias=sc.via_snapshot(),
+            edge_weights=sc.edge_weights(),
+        )
     if isinstance(index, H2HIndex):
         snap.dis = index.dis.copy()
         snap.sup_matrix = index.sup.copy()
@@ -80,15 +96,19 @@ def snapshot_index(index) -> IndexSnapshot:
 def restore_index(index, snapshot: IndexSnapshot) -> None:
     """Write a snapshot back into *index*, undoing any mutation since
     :func:`snapshot_index` captured it."""
+    index.prepare_write()
     sc = _sc_of(index)
-    for (u, v), w in snapshot.weights.items():
-        sc.set_weight(u, v, w)
-    for (u, v), sup in snapshot.supports.items():
-        sc.set_support(u, v, sup)
-    for (u, v), via in snapshot.vias.items():
-        sc.set_via(u, v, via)
-    for (u, v), w in snapshot.edge_weights.items():
-        sc.set_edge_weight(u, v, w)
+    if snapshot.pages is not None:
+        sc.restore_pages(snapshot.pages)
+    else:
+        for (u, v), w in snapshot.weights.items():
+            sc.set_weight(u, v, w)
+        for (u, v), sup in snapshot.supports.items():
+            sc.set_support(u, v, sup)
+        for (u, v), via in snapshot.vias.items():
+            sc.set_via(u, v, via)
+        for (u, v), w in snapshot.edge_weights.items():
+            sc.set_edge_weight(u, v, w)
     if isinstance(index, H2HIndex):
         index.dis[:] = snapshot.dis
         index.sup[:] = snapshot.sup_matrix

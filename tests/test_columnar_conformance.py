@@ -1,0 +1,256 @@
+"""Cross-representation conformance battery (docs/columnar.md).
+
+Every test here replays one seeded update stream twice — once against a
+dict-backed facade, once against its columnar twin — and asserts the
+two representations stay *bit-identical*: same distances, same changed
+sets, same ‖AFF‖/|DIFF| currencies, same op and coalesce counters, and
+entry-for-entry equal final index state.  The battery covers all four
+dynamic facades (CH / H2H × undirected / directed); a hypothesis
+property at the end drives random graphs through random batch
+sequences to hunt for divergence outside the hand-picked streams.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.changed import ch_change_metrics, h2h_change_metrics
+from repro.core.dynamic import DynamicCH, DynamicH2H, resolve_backend
+from repro.directed.dynamic import DynamicDiCH, DynamicDiH2H
+from repro.directed.graph import DiRoadNetwork
+from repro.graph.generators import grid_network, random_connected_network
+
+FACADES = ["ch", "h2h", "dich", "dih2h"]
+
+
+# ----------------------------------------------------------------------
+# Harness: build dict/columnar twins and seeded batch streams
+# ----------------------------------------------------------------------
+def _build_pair(facade: str, seed: int):
+    """The same facade twice — dict-backed and columnar — on two
+    independent copies of the same seeded network."""
+    if facade in ("ch", "h2h"):
+        cls = DynamicCH if facade == "ch" else DynamicH2H
+        make = lambda: grid_network(5, 5, seed=seed)  # noqa: E731
+    else:
+        cls = DynamicDiCH if facade == "dich" else DynamicDiH2H
+        make = lambda: DiRoadNetwork.from_undirected(  # noqa: E731
+            grid_network(4, 4, seed=seed), asymmetry=1.6
+        )
+    return cls(make(), backend="dict"), cls(make(), backend="columnar")
+
+
+def _sample_batch(graph, rng: random.Random, count: int, round_no: int):
+    """One seeded batch against *graph*'s current weights: increases on
+    even rounds, restores/decreases on odd ones, always applicable to
+    both twins (their graphs evolve in lockstep)."""
+    if hasattr(graph, "arcs"):  # directed
+        arcs = sorted(graph.arcs())
+    else:
+        arcs = sorted((u, v, w) for u, v, w in graph.edges())
+    picks = rng.sample(arcs, min(count, len(arcs)))
+    factor = 2.0 if round_no % 2 == 0 else 0.5
+    return [((u, v), w * factor) for u, v, w in picks]
+
+
+def _all_pairs(n: int):
+    return [(s, t) for s in range(n) for t in range(n)]
+
+
+def _assert_same_state(facade: str, a, b) -> None:
+    """Entry-for-entry equality of the two twins' index state."""
+    assert a.backend == "dict" and b.backend == "columnar"
+    n = a.graph.n
+    for s, t in _all_pairs(n):
+        da, db = a.distance(s, t), b.distance(s, t)
+        assert da == db or (math.isinf(da) and math.isinf(db)), (s, t, da, db)
+    ia, ib = a.index, b.index
+    if facade == "ch":
+        assert ia.weight_snapshot() == ib.weight_snapshot()
+        assert ia.support_snapshot() == ib.support_snapshot()
+        assert ia.via_snapshot() == ib.via_snapshot()
+    elif facade == "h2h":
+        assert np.array_equal(ia.dis, ib.dis)
+        assert np.array_equal(ia.sup, ib.sup)
+        assert ia.sc.weight_snapshot() == ib.sc.weight_snapshot()
+        assert ia.sc.support_snapshot() == ib.sc.support_snapshot()
+    elif facade == "dich":
+        for u in range(n):
+            assert dict(ia._w[u].items()) == dict(ib._w[u].items())
+        assert dict(ia._sup.items()) == dict(ib._sup.items())
+    else:  # dih2h
+        for direction in (0, 1):
+            assert np.array_equal(ia.dis[direction], ib.dis[direction])
+            assert np.array_equal(ia.sup[direction], ib.sup[direction])
+        for u in range(n):
+            assert dict(ia.sc._w[u].items()) == dict(ib.sc._w[u].items())
+    ib.validate()
+
+
+# ----------------------------------------------------------------------
+# The battery: seeded streams through all four facades
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("facade", FACADES)
+@pytest.mark.parametrize("seed", [3, 11])
+def test_replay_stream_bit_identical(facade, seed):
+    dict_oracle, col_oracle = _build_pair(facade, seed)
+    _assert_same_state(facade, dict_oracle, col_oracle)
+    rng = random.Random(1000 + seed)
+    for round_no in range(6):
+        batch = _sample_batch(dict_oracle.graph, rng, 5, round_no)
+        ra = dict_oracle.apply(batch)
+        rb = col_oracle.apply(batch)
+        assert ra.increases == rb.increases
+        assert ra.decreases == rb.decreases
+        assert ra.ops == rb.ops
+        if facade in ("ch", "h2h"):
+            assert sorted(ra.changed_shortcuts) == sorted(rb.changed_shortcuts)
+            assert sorted(ra.changed_super_shortcuts) == sorted(
+                rb.changed_super_shortcuts
+            )
+        else:
+            assert sorted(ra.changed_shortcut_arcs) == sorted(
+                rb.changed_shortcut_arcs
+            )
+            assert sorted(ra.changed_super_shortcuts) == sorted(
+                rb.changed_super_shortcuts
+            )
+        _assert_same_state(facade, dict_oracle, col_oracle)
+
+
+@pytest.mark.parametrize("facade", ["ch", "h2h"])
+def test_aff_diff_currencies_match(facade):
+    """The Theorem 4.1/5.1 currencies (‖AFF‖, |DIFF|) are computed from
+    the index's scp± structure — equal representations must price every
+    batch identically."""
+    dict_oracle, col_oracle = _build_pair(facade, seed=5)
+    rng = random.Random(99)
+    for round_no in range(4):
+        batch = _sample_batch(dict_oracle.graph, rng, 4, round_no)
+        ra = dict_oracle.apply(batch)
+        rb = col_oracle.apply(batch)
+        if facade == "ch":
+            ma = ch_change_metrics(
+                dict_oracle.index, len(batch), ra.changed_shortcuts
+            )
+            mb = ch_change_metrics(
+                col_oracle.index, len(batch), rb.changed_shortcuts
+            )
+        else:
+            ma = h2h_change_metrics(
+                dict_oracle.index,
+                len(batch),
+                ra.changed_shortcuts,
+                ra.changed_super_shortcuts,
+            )
+            mb = h2h_change_metrics(
+                col_oracle.index,
+                len(batch),
+                rb.changed_shortcuts,
+                rb.changed_super_shortcuts,
+            )
+        assert ma == mb
+        assert ma.aff_norm == mb.aff_norm
+        assert ma.diff == mb.diff
+
+
+@pytest.mark.parametrize("facade", FACADES)
+def test_coalesce_counters_match(facade):
+    """Raw streams with per-edge re-reports coalesce to the same net
+    batch — and the same superseded/dropped counters — on both
+    backends."""
+    dict_oracle, col_oracle = _build_pair(facade, seed=8)
+    rng = random.Random(55)
+    for round_no in range(3):
+        base = _sample_batch(dict_oracle.graph, rng, 4, round_no)
+        # Re-report every edge (superseded) and cancel one back to its
+        # current weight (dropped).
+        stream = []
+        for (u, v), w in base:
+            stream.append(((u, v), w * 1.5))
+            stream.append(((u, v), w))
+        (cu, cv), _ = base[0]
+        stream.append(((cu, cv), dict_oracle.graph.weight(cu, cv)))
+        ra = dict_oracle.apply(stream, coalesce=True)
+        rb = col_oracle.apply(stream, coalesce=True)
+        assert ra.superseded == rb.superseded
+        assert ra.dropped == rb.dropped
+        assert (ra.superseded, ra.dropped) != (0, 0)
+        assert ra.ops == rb.ops
+    _assert_same_state(facade, dict_oracle, col_oracle)
+
+
+@pytest.mark.parametrize("facade", FACADES)
+def test_round_trip_conversion_preserves_state(facade):
+    """dict → columnar → dict is the identity on index state."""
+    dict_oracle, col_oracle = _build_pair(facade, seed=2)
+    rng = random.Random(7)
+    col_oracle.apply(_sample_batch(col_oracle.graph, rng, 5, 0))
+    back = col_oracle.index.to_index() if hasattr(
+        col_oracle.index, "to_index"
+    ) else col_oracle.index.to_shortcut_graph() if hasattr(
+        col_oracle.index, "to_shortcut_graph"
+    ) else col_oracle.index.to_directed()
+    assert back.backend == "dict"
+    back.validate()
+
+
+def test_resolve_backend(monkeypatch):
+    assert resolve_backend(None) == "dict"
+    assert resolve_backend("columnar") == "columnar"
+    monkeypatch.setenv("REPRO_BACKEND", "columnar")
+    assert resolve_backend(None) == "columnar"
+    with pytest.raises(ValueError):
+        resolve_backend("sparse")
+
+
+def test_env_backend_selects_columnar(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "columnar")
+    oracle = DynamicCH(grid_network(3, 3, seed=1))
+    assert oracle.backend == "columnar"
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random graph + random batch sequence → equal final state
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    graph_seed=st.integers(min_value=0, max_value=2**16),
+    extra_edges=st.integers(min_value=0, max_value=12),
+    stream_seed=st.integers(min_value=0, max_value=2**16),
+    rounds=st.integers(min_value=1, max_value=4),
+    facade=st.sampled_from(["ch", "h2h"]),
+)
+def test_property_random_stream_equal_final_state(
+    graph_seed, extra_edges, stream_seed, rounds, facade
+):
+    cls = DynamicCH if facade == "ch" else DynamicH2H
+    make = lambda: random_connected_network(  # noqa: E731
+        10, extra_edges, seed=graph_seed
+    )
+    dict_oracle = cls(make(), backend="dict")
+    col_oracle = cls(make(), backend="columnar")
+    rng = random.Random(stream_seed)
+    for round_no in range(rounds):
+        batch = _sample_batch(dict_oracle.graph, rng, 3, round_no)
+        ra = dict_oracle.apply(batch)
+        rb = col_oracle.apply(batch)
+        assert ra.ops == rb.ops
+    ia, ib = dict_oracle.index, col_oracle.index
+    if facade == "h2h":
+        assert np.array_equal(ia.dis, ib.dis)
+        assert np.array_equal(ia.sup, ib.sup)
+        ia, ib = ia.sc, ib.sc
+    assert ia.weight_snapshot() == ib.weight_snapshot()
+    assert ia.support_snapshot() == ib.support_snapshot()
+    assert ia.via_snapshot() == ib.via_snapshot()

@@ -1,0 +1,161 @@
+"""Bundle (mmap) persistence of the columnar backend (docs/columnar.md).
+
+The ``format="bundle"`` archives are directories of raw ``.npy`` pages
+plus a checksummed manifest, written so ``load_*(path, mmap_mode="r")``
+can open an index in O(1) — the page files become ``np.memmap`` views
+and no array is materialized until queried.  These tests cover the
+round trip, the O(1)-ish open, corruption rejection, and the contract
+that a loaded index is *maintainable*: applying updates to it (which
+must first copy the read-only mmap pages, the same copy-on-write hook
+clones use) lands on exactly the state a never-persisted index reaches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicCH, DynamicH2H
+from repro.errors import IntegrityError
+from repro.graph.generators import grid_network
+from repro.h2h.inch2h import inch2h_increase
+from repro.persist import load_ch, load_h2h, save_ch, save_h2h
+from repro.workloads.updates import increase_batch, sample_edges
+
+pytestmark = pytest.mark.parametrize  # (unused; keeps flake quiet)
+del pytestmark
+
+
+@pytest.fixture
+def h2h_oracle():
+    return DynamicH2H(grid_network(5, 5, seed=4), backend="columnar")
+
+
+def test_h2h_bundle_round_trip_mmap(tmp_path, h2h_oracle):
+    index = h2h_oracle.index
+    path = tmp_path / "h2h.bundle"
+    save_h2h(index, path, format="bundle")
+    assert path.is_dir()
+    loaded = load_h2h(path, mmap_mode="r")
+    assert loaded.backend == "columnar"
+    assert isinstance(loaded.dis, np.memmap)
+    assert np.array_equal(loaded.dis, index.dis)
+    assert np.array_equal(loaded.sup, index.sup)
+    assert loaded.sc.weight_snapshot() == index.sc.weight_snapshot()
+    loaded.validate()
+
+
+def test_ch_bundle_round_trip(tmp_path):
+    oracle = DynamicCH(grid_network(5, 5, seed=4), backend="columnar")
+    path = tmp_path / "ch.bundle"
+    save_ch(oracle.index, path, format="bundle")
+    loaded = load_ch(path, mmap_mode="r")
+    assert loaded.backend == "columnar"
+    assert loaded.weight_snapshot() == oracle.index.weight_snapshot()
+    assert loaded.support_snapshot() == oracle.index.support_snapshot()
+    assert loaded.via_snapshot() == oracle.index.via_snapshot()
+    loaded.validate()
+
+
+def test_mmap_open_does_not_materialize(tmp_path, h2h_oracle):
+    """An mmap load keeps the big matrices as on-disk views: the arrays
+    report as memmaps over the bundle's own page files, not in-heap
+    copies (the O(1)-open property the bundle format exists for)."""
+    path = tmp_path / "h2h.bundle"
+    save_h2h(h2h_oracle.index, path, format="bundle")
+    loaded = load_h2h(path, mmap_mode="r")
+    for name in ("dis", "sup"):
+        arr = getattr(loaded, name)
+        assert isinstance(arr, np.memmap)
+        assert not arr.flags.writeable
+        assert os.path.dirname(os.path.abspath(arr.filename)) == str(path)
+    # The dominant pages (the O(n * height) matrices) stay on disk; the
+    # small O(m) shortcut pages are rebuilt eagerly and must still be
+    # plain in-heap arrays, not accidental copies of the matrices.
+    assert not isinstance(loaded.sc._w_arr, np.memmap)
+    assert loaded.sc._w_arr.nbytes < loaded.dis.nbytes
+
+
+def test_truncated_page_rejected(tmp_path, h2h_oracle):
+    path = tmp_path / "h2h.bundle"
+    save_h2h(h2h_oracle.index, path, format="bundle")
+    page = path / "dis.npy"
+    data = page.read_bytes()
+    page.write_bytes(data[: len(data) // 2])
+    with pytest.raises(IntegrityError):
+        load_h2h(path, mmap_mode="r")
+
+
+def test_corrupted_page_rejected_eagerly(tmp_path, h2h_oracle):
+    """Without mmap the full CRC runs: a bit flip anywhere fails the
+    load even when sizes and headers still parse."""
+    path = tmp_path / "h2h.bundle"
+    save_h2h(h2h_oracle.index, path, format="bundle")
+    page = path / "dis.npy"
+    data = bytearray(page.read_bytes())
+    data[-1] ^= 0xFF
+    page.write_bytes(bytes(data))
+    with pytest.raises(IntegrityError):
+        load_h2h(path)
+
+
+def test_manifest_tampering_rejected(tmp_path, h2h_oracle):
+    path = tmp_path / "h2h.bundle"
+    save_h2h(h2h_oracle.index, path, format="bundle")
+    manifest = json.loads((path / "manifest.json").read_text())
+    manifest["arrays"]["dis"]["shape"] = [1, 1]
+    (path / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(IntegrityError):
+        load_h2h(path, mmap_mode="r")
+
+
+def test_loaded_index_is_maintainable(tmp_path):
+    """Updates applied to an mmap-loaded index produce bit-identical
+    state to the same updates on the never-persisted index (the
+    read-only pages COW into private writable copies on first write)."""
+    graph_a = grid_network(5, 5, seed=9)
+    graph_b = grid_network(5, 5, seed=9)
+    live = DynamicH2H(graph_a, backend="columnar")
+    path = tmp_path / "h2h.bundle"
+    save_h2h(live.index, path, format="bundle")
+    loaded = DynamicH2H.from_index(graph_b, load_h2h(path, mmap_mode="r"))
+    batch = increase_batch(sample_edges(graph_a, 6, seed=13), factor=2.5)
+    ra = live.apply(batch)
+    rb = loaded.apply(batch)
+    assert ra.ops == rb.ops
+    assert np.array_equal(live.index.dis, loaded.index.dis)
+    assert np.array_equal(live.index.sup, loaded.index.sup)
+    assert (
+        live.index.sc.weight_snapshot() == loaded.index.sc.weight_snapshot()
+    )
+    for s in range(graph_a.n):
+        for t in range(graph_a.n):
+            assert live.distance(s, t) == loaded.distance(s, t)
+
+
+def test_direct_maintenance_on_mmap_pages(tmp_path, h2h_oracle):
+    """The low-level maintenance entry points also work straight off an
+    mmap load — prepare_write() swaps the read-only pages for private
+    copies before the first in-place write."""
+    path = tmp_path / "h2h.bundle"
+    save_h2h(h2h_oracle.index, path, format="bundle")
+    loaded = load_h2h(path, mmap_mode="r")
+    graph = grid_network(5, 5, seed=4)
+    (u, v, w) = sample_edges(graph, 1, seed=3)[0]
+    inch2h_increase(loaded, [((u, v), w * 3.0)])
+    assert not isinstance(loaded.dis, np.memmap) or loaded.dis.flags.writeable
+    loaded.validate()
+
+
+def test_npz_format_still_default(tmp_path, h2h_oracle):
+    """The flat .npz path is untouched: default save produces a file,
+    loads eagerly, and reconstructs a dict-convertible index."""
+    path = tmp_path / "h2h.npz"
+    save_h2h(h2h_oracle.index.to_index(), path)
+    assert path.is_file()
+    loaded = load_h2h(path)
+    assert loaded.backend == "dict"
+    assert np.array_equal(loaded.dis, h2h_oracle.index.dis)

@@ -5,8 +5,11 @@ Usage::
     python -m repro.experiments --exp exp1 [--profile small] [--out DIR]
     python -m repro.experiments --exp all --profile small
 
-Each experiment prints its paper-style rows to stdout; with ``--out``
-the same text is also written to ``DIR/<exp>.txt``.
+Each experiment prints its paper-style rows to stdout and writes the
+same text to ``DIR/<exp>.txt``; ``--out`` defaults to
+``benchmarks/results_default`` so full-profile runs land next to the
+benchmark suite's committed outputs instead of littering the
+repository root.
 """
 
 from __future__ import annotations
@@ -69,7 +72,12 @@ def main(argv=None) -> int:
         choices=("default", "small"),
         help="dataset scale (small = CI-friendly)",
     )
-    parser.add_argument("--out", default=None, help="directory for .txt outputs")
+    parser.add_argument(
+        "--out",
+        default="benchmarks/results_default",
+        help="directory for .txt outputs "
+        "(default: %(default)s; pass '' to skip writing files)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.exp == "all" else [args.exp]

@@ -1,0 +1,50 @@
+"""``repro.fleet`` — a sharded :class:`DistanceServer` fleet (docs/sharding.md).
+
+ROADMAP item 2: the single-process serving layer caps aggregate
+throughput at one core's worth of epoch publishes.  This package
+partitions the road network with the balanced separators the H2H tree
+decomposition already computes (:mod:`repro.fleet.partition`), stands
+one :class:`~repro.serve.server.DistanceServer` per shard up — in
+process, or in its own worker process (:mod:`repro.fleet.proc`) — and
+answers cross-shard queries through a precomputed boundary-vertex
+distance table (:mod:`repro.fleet.boundary`):
+
+    d(s, t) = min over boundary b1, b2 of
+              d_shard(s, b1) + d_boundary(b1, b2) + d_shard(b2, t)
+
+The :class:`~repro.fleet.coordinator.FleetCoordinator` routes queries by
+a vertex → shard map, fans each update batch out only to the shards
+whose edges it touches, and publishes fleet epochs with a **two-phase
+swap**: every touched shard prepares its next snapshot first, the
+boundary table is rebuilt against the prepared snapshots, and only then
+does one atomic reference swap make the new fleet epoch visible — so a
+reader pinned on a fleet snapshot never observes two shards at
+different epochs (the invariant ``tests/test_fleet_epochs.py`` audits).
+
+``repro serve-bench --fleet N`` (:mod:`repro.fleet.bench`) drives the
+fleet with a closed-loop batched query load plus a live update stream
+and emits ``BENCH_serve_fleet.json``.
+"""
+
+from repro.fleet.boundary import BoundaryTable, build_boundary
+from repro.fleet.coordinator import FleetCoordinator, FleetReport, FleetSnapshot
+from repro.fleet.partition import (
+    Partition,
+    build_shard_graph,
+    route_update,
+    separator_partition,
+)
+from repro.fleet.shard import ShardServer
+
+__all__ = [
+    "BoundaryTable",
+    "FleetCoordinator",
+    "FleetReport",
+    "FleetSnapshot",
+    "Partition",
+    "ShardServer",
+    "build_boundary",
+    "build_shard_graph",
+    "route_update",
+    "separator_partition",
+]

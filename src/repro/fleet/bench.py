@@ -1,0 +1,223 @@
+"""``repro serve-bench --fleet N``: the fleet closed-loop load harness.
+
+Drives a :class:`~repro.fleet.coordinator.FleetCoordinator` with a
+closed-loop batched query plane plus a live update stream and reports
+the figures the CI gate watches (``BENCH_serve_fleet.json``):
+
+* ``throughput_qps`` — aggregate batched query throughput across
+  ``repeats`` warm closed-loop passes (each pass answers the whole pair
+  set as one ``query_many`` batch against one pinned fleet snapshot);
+* ``latency_us`` — p50/p99 of *individually issued* ``distance()``
+  calls (strictly slower than the batched plane: one span, one route,
+  one min-plus per call — reported honestly rather than derived from
+  the batch figure);
+* ``cross_shard_fraction`` — non-local routes over all routed queries,
+  straight from the ``repro_fleet_queries_total`` counters;
+* ``fleet_publish_latency`` — percentiles over every two-phase publish
+  driven by the update stream.
+
+Note the headline throughput on a single-core host comes from the
+vectorised boundary min-plus, not process parallelism; ``processes=True``
+exists for architectural fidelity and is benchmarked the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fleet.coordinator import FleetCoordinator
+from repro.graph.generators import road_network
+from repro.obs import names
+from repro.obs.bench import BenchRecord, latency_percentiles
+from repro.workloads.updates import increase_batch, restore_batch, sample_edges
+
+
+@dataclass(frozen=True)
+class FleetBenchConfig:
+    """Knobs of one fleet bench run (mirrors ``BenchConfig`` style)."""
+
+    oracle: str = "h2h"  #: per-shard oracle: ch | h2h | dijkstra
+    vertices: int = 400  #: approximate graph size
+    seed: int = 7  #: workload seed (graph, pairs, updates)
+    shards: int = 4  #: requested partition width
+    queries: int = 600  #: closed-loop batch size
+    repeats: int = 5  #: warm passes aggregated into the qps figure
+    updates: int = 3  #: update batches in the live stream
+    batch: int = 8  #: edges per update batch
+    factor: float = 2.0  #: weight multiplier for increase rounds
+    backend: Optional[str] = None  #: oracle backend override
+    cache_capacity: int = 65536  #: per-shard query cache
+    processes: bool = False  #: one worker process per shard
+    latency_samples: int = 300  #: individually timed distance() calls
+
+
+@dataclass
+class FleetBenchResult:
+    """Everything one fleet bench run measured."""
+
+    config: FleetBenchConfig
+    shards: int  #: effective shard count (may be < requested)
+    boundary_vertices: int
+    cut_depth: int
+    shard_sizes: List[int]
+    build_s: float
+    cold_per_query_s: float
+    warm_per_query_s: float
+    throughput_qps: float
+    query_samples_s: List[float] = field(default_factory=list, repr=False)
+    publish_samples_s: List[float] = field(default_factory=list, repr=False)
+    cross_shard_fraction: float = 0.0
+    routes: Dict[str, int] = field(default_factory=dict)
+    checksum: float = 0.0  #: sum of finite answers (differential anchor)
+    metrics: dict = field(default_factory=dict, repr=False)  #: registry snapshot
+
+    def as_dict(self) -> dict:
+        return {
+            "config": dict(self.config.__dict__),
+            "shards": self.shards,
+            "boundary_vertices": self.boundary_vertices,
+            "cut_depth": self.cut_depth,
+            "shard_sizes": list(self.shard_sizes),
+            "build_s": self.build_s,
+            "cold_per_query_us": self.cold_per_query_s * 1e6,
+            "warm_per_query_us": self.warm_per_query_s * 1e6,
+            "throughput_qps": self.throughput_qps,
+            "latency_us": latency_percentiles(self.query_samples_s),
+            "fleet_publish_latency_us": latency_percentiles(
+                self.publish_samples_s
+            ),
+            "cross_shard_fraction": self.cross_shard_fraction,
+            "routes": dict(self.routes),
+            "checksum": self.checksum,
+        }
+
+    def to_bench_record(self, name: str = "serve_fleet") -> BenchRecord:
+        """This run in the shared BENCH shape (see :mod:`repro.obs.bench`)."""
+        return BenchRecord(
+            name=name,
+            config=dict(self.config.__dict__),
+            latency_us=latency_percentiles(self.query_samples_s),
+            throughput_qps=self.throughput_qps,
+            ratios={},
+            index={},
+            extra={
+                "build_s": self.build_s,
+                "shards": self.shards,
+                "boundary_vertices": self.boundary_vertices,
+                "cut_depth": self.cut_depth,
+                "shard_sizes": list(self.shard_sizes),
+                "cold_per_query_us": self.cold_per_query_s * 1e6,
+                "warm_per_query_us": self.warm_per_query_s * 1e6,
+                "cross_shard_fraction": self.cross_shard_fraction,
+                "routes": dict(self.routes),
+                "fleet_publish_latency_us": latency_percentiles(
+                    self.publish_samples_s
+                ),
+                "checksum": self.checksum,
+            },
+        )
+
+
+def _route_counts(coordinator: FleetCoordinator) -> Dict[str, int]:
+    """Per-route query totals from the fleet counters."""
+    counts: Dict[str, int] = {}
+    entry = coordinator.metrics.snapshot().get(names.FLEET_QUERIES, {})
+    for row in entry.get("series", ()):
+        route = row.get("labels", {}).get("route")
+        if route is not None:
+            counts[route] = counts.get(route, 0) + int(row.get("value", 0))
+    return counts
+
+
+def fleet_bench(config: FleetBenchConfig) -> FleetBenchResult:
+    """Run the fleet bench; see the module docstring for the phases."""
+    graph = road_network(config.vertices, seed=config.seed)
+    rng = np.random.default_rng(config.seed)
+
+    build_start = perf_counter()
+    coordinator = FleetCoordinator(
+        graph.copy(),
+        shards=config.shards,
+        oracle=config.oracle,
+        backend=config.backend,
+        cache_capacity=config.cache_capacity,
+        workers=1,
+        processes=config.processes,
+    )
+    build_s = perf_counter() - build_start
+
+    n = graph.n
+    pairs: List[Tuple[int, int]] = [
+        (int(rng.integers(n)), int(rng.integers(n)))
+        for _ in range(config.queries)
+    ]
+
+    try:
+        # Cold pass: first touch of caches and the min-plus plane.
+        cold_start = perf_counter()
+        answers = coordinator.query_many(pairs)
+        cold_s = perf_counter() - cold_start
+        checksum = float(sum(a for a in answers if a != float("inf")))
+
+        # Warm closed-loop passes: the aggregate-throughput figure.
+        warm_start = perf_counter()
+        for _ in range(config.repeats):
+            coordinator.query_many(pairs)
+        warm_s = perf_counter() - warm_start
+        total_queries = config.queries * config.repeats
+        warm_per_query_s = warm_s / total_queries if total_queries else 0.0
+        throughput = total_queries / warm_s if warm_s > 0 else 0.0
+
+        # Individually issued queries: the honest latency percentiles.
+        samples: List[float] = []
+        for s, t in pairs[: config.latency_samples]:
+            start = perf_counter()
+            coordinator.distance(s, t)
+            samples.append(perf_counter() - start)
+
+        # Live update stream: two-phase publish latency.
+        publishes: List[float] = []
+        for round_no in range(config.updates):
+            edges = sample_edges(
+                graph, config.batch, seed=config.seed + 101 + round_no
+            )
+            if round_no % 2 == 0:
+                updates = increase_batch(edges, factor=config.factor)
+            else:
+                updates = restore_batch(edges)
+            start = perf_counter()
+            report = coordinator.apply(updates)
+            publishes.append(report.total_s)
+            graph.apply_batch(updates)
+            coordinator.query_many(pairs)  # post-publish warm pass
+
+        routes = _route_counts(coordinator)
+        routed = sum(routes.values())
+        non_local = routed - routes.get("local", 0)
+        cross_fraction = non_local / routed if routed else 0.0
+
+        metrics = coordinator.metrics.snapshot()
+        partition = coordinator.partition
+        return FleetBenchResult(
+            config=config,
+            shards=coordinator.shards,
+            boundary_vertices=len(partition.boundary),
+            cut_depth=partition.cut_depth,
+            shard_sizes=[len(m) for m in partition.shard_vertices],
+            build_s=build_s,
+            cold_per_query_s=cold_s / config.queries if config.queries else 0.0,
+            warm_per_query_s=warm_per_query_s,
+            throughput_qps=throughput,
+            query_samples_s=samples,
+            publish_samples_s=publishes,
+            cross_shard_fraction=cross_fraction,
+            routes=routes,
+            checksum=checksum,
+            metrics=metrics,
+        )
+    finally:
+        coordinator.close()

@@ -1,0 +1,240 @@
+"""Boundary-vertex distance table: the fleet's cross-shard glue.
+
+Implements the query algebra from docs/sharding.md:
+
+    d(s, t) = min over boundary b1, b2 of
+              ROW_OUT[s, b1] + DB[b1, b2] + ROW_IN[b2, t]
+
+where ``ROW_OUT[v, j]`` / ``ROW_IN[v, j]`` are the home-shard distances
+``d_shard(v -> b_j)`` / ``d_shard(b_j -> v)`` (one Dijkstra per
+boundary vertex per shard — two for directed graphs) and ``DB`` is the
+all-pairs closure over the boundary: the element-wise minimum of the
+direct boundary–boundary overlay edges and every shard's boundary
+clique, closed with a vectorised Floyd–Warshall.  Boundary vertices
+carry unit rows (0 at their own index, ∞ elsewhere) so ``DB`` is never
+double-counted.
+
+Two numerical conventions make this exact rather than approximate:
+
+* the virtual connectivity chain (:data:`repro.fleet.partition.VIRTUAL_WEIGHT`)
+  pollutes only sums ``>= 2**49``, which :func:`BoundaryTable.combo_many`
+  maps back to ∞ — every real distance is far below the cutoff and
+  float64 keeps all sums in play exactly integral;
+* ``OUTD = ROW_OUT ⊗ DB`` is precomputed once per fleet epoch, so a
+  query is a single length-``|B|`` min-plus reduction
+  (``(OUTD[s] + ROW_IN[t]).min()``) and a batch is one vectorised
+  ``np.min`` over an ``(m, |B|)`` array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.dijkstra import dijkstra
+from repro.directed.dijkstra import directed_dijkstra
+from repro.fleet.partition import VIRTUAL_WEIGHT, Partition, shard_local_ids
+
+#: Any assembled distance at or above this is virtual-chain pollution
+#: (or genuine unreachability) and reads back as infinity.
+VIRTUAL_CUTOFF: float = VIRTUAL_WEIGHT
+
+#: Per-shard row bundle: (out_block, in_block, clique) where the blocks
+#: cover the shard's interior vertices and clique is |B| x |B|.
+ShardRows = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+@dataclass(frozen=True)
+class BoundaryTable:
+    """Immutable cross-shard distance table for one fleet epoch.
+
+    ``boundary`` lists the global ids in boundary-index order; ``db``,
+    ``row_out``, ``row_in`` and ``outd`` are as described in the module
+    docstring.  Instances are shared by reference inside
+    :class:`repro.fleet.coordinator.FleetSnapshot` — readers pinned on
+    an old snapshot keep the old table untouched while a publish swaps
+    in a new one.
+    """
+
+    version: int
+    boundary: np.ndarray
+    db: np.ndarray
+    row_out: np.ndarray
+    row_in: np.ndarray
+    outd: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of boundary vertices."""
+        return int(self.boundary.shape[0])
+
+    def combo(self, s: int, t: int) -> float:
+        """Best boundary-routed distance ``s -> t`` (∞ if none)."""
+        if self.size == 0:
+            return float("inf")
+        value = float(np.min(self.outd[s] + self.row_in[t]))
+        return float("inf") if value >= VIRTUAL_CUTOFF else value
+
+    def combo_many(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> np.ndarray:
+        """Vectorised :meth:`combo` over aligned source/target arrays."""
+        m = len(sources)
+        if self.size == 0:
+            return np.full(m, np.inf)
+        values = np.min(
+            self.outd[np.asarray(sources)] + self.row_in[np.asarray(targets)],
+            axis=1,
+        )
+        values[values >= VIRTUAL_CUTOFF] = np.inf
+        return values
+
+
+def shard_rows(shard_graph, interior: int, boundary: int) -> ShardRows:
+    """Dijkstra row blocks for one shard graph (local vertex ids).
+
+    Runs one SSSP per boundary vertex (two per vertex when the shard
+    graph is directed) and returns ``(out_block, in_block, clique)``:
+    ``out_block[i, j] = d(interior_i -> b_j)``, ``in_block[i, j] =
+    d(b_j -> interior_i)``, ``clique[j1, j2] = d(b_j1 -> b_j2)``, all
+    within this shard graph (virtual chain included — callers threshold
+    at :data:`VIRTUAL_CUTOFF`).
+    """
+    out_block = np.full((interior, boundary), np.inf)
+    in_block = np.full((interior, boundary), np.inf)
+    clique = np.full((boundary, boundary), np.inf)
+    directed = hasattr(shard_graph, "arcs")
+    for j in range(boundary):
+        source = interior + j
+        if directed:
+            forward = np.asarray(directed_dijkstra(shard_graph, source))
+            backward = np.asarray(
+                directed_dijkstra(shard_graph, source, reverse=True)
+            )
+        else:
+            forward = np.asarray(dijkstra(shard_graph, source))
+            backward = forward
+        in_block[:, j] = forward[:interior]
+        out_block[:, j] = backward[:interior]
+        clique[j, :] = forward[interior : interior + boundary]
+    return out_block, in_block, clique
+
+
+def _closure(matrix: np.ndarray) -> np.ndarray:
+    """Vectorised Floyd–Warshall min-plus closure (in place, returned)."""
+    b = matrix.shape[0]
+    for k in range(b):
+        np.minimum(
+            matrix, matrix[:, k, None] + matrix[None, k, :], out=matrix
+        )
+    return matrix
+
+
+def _min_plus(rows: np.ndarray, db: np.ndarray, *, block: int = 128) -> np.ndarray:
+    """``out[v, j] = min_i rows[v, i] + db[i, j]``, chunked over v."""
+    n = rows.shape[0]
+    out = np.empty_like(rows)
+    for lo in range(0, n, block):
+        hi = min(n, lo + block)
+        out[lo:hi] = np.min(
+            rows[lo:hi, :, None] + db[None, :, :], axis=1
+        )
+    return out
+
+
+def build_boundary(
+    partition: Partition,
+    shard_graphs: Sequence,
+    overlay: Dict[Tuple[int, int], float],
+    *,
+    version: int = 0,
+    cache: Optional[Dict[int, ShardRows]] = None,
+    dirty: Optional[Sequence[int]] = None,
+) -> Tuple[BoundaryTable, Dict[int, ShardRows]]:
+    """Build the boundary table for one fleet epoch.
+
+    ``overlay`` maps boundary–boundary edges (ordered pairs for
+    directed graphs, canonical pairs otherwise) to their current
+    weight.  When ``cache``/``dirty`` are given, only the dirty shards'
+    row blocks are recomputed — the overlay minimum, the closure and
+    the ``OUTD`` precompute always rerun, which is what makes a publish
+    cost scale with the touched shards, not the fleet.
+
+    Returns the table plus the (fresh) per-shard row cache for the next
+    incremental rebuild.
+    """
+    b = len(partition.boundary)
+    n = partition.n
+    boundary = np.asarray(partition.boundary, dtype=np.int64)
+    directed = bool(shard_graphs) and hasattr(shard_graphs[0], "arcs")
+
+    rows: Dict[int, ShardRows] = {}
+    dirty_set = set(range(len(shard_graphs))) if dirty is None else set(dirty)
+    for k, shard_graph in enumerate(shard_graphs):
+        if cache is not None and k not in dirty_set and k in cache:
+            rows[k] = cache[k]
+        else:
+            rows[k] = shard_rows(
+                shard_graph, len(partition.shard_vertices[k]), b
+            )
+
+    row_out = np.full((n, b), np.inf)
+    row_in = np.full((n, b), np.inf)
+    for k in range(len(shard_graphs)):
+        members = np.asarray(partition.shard_vertices[k], dtype=np.int64)
+        if members.size:
+            out_block, in_block, _clique = rows[k]
+            row_out[members] = out_block
+            row_in[members] = in_block
+    for j, vertex in enumerate(partition.boundary):
+        row_out[vertex, j] = 0.0
+        row_in[vertex, j] = 0.0
+
+    db = np.full((b, b), np.inf)
+    if b:
+        np.fill_diagonal(db, 0.0)
+        index = partition.boundary_index
+        for (u, v), w in overlay.items():
+            ju, jv = index[u], index[v]
+            if w < db[ju, jv]:
+                db[ju, jv] = w
+            if not directed and w < db[jv, ju]:
+                db[jv, ju] = w
+        for k in range(len(shard_graphs)):
+            np.minimum(db, rows[k][2], out=db)
+        _closure(db)
+        outd = _min_plus(row_out, db)
+    else:
+        outd = np.full((n, 0), np.inf)
+
+    table = BoundaryTable(
+        version=version,
+        boundary=boundary,
+        db=db,
+        row_out=row_out,
+        row_in=row_in,
+        outd=outd,
+    )
+    return table, rows
+
+
+def local_shard_graphs(graph, partition: Partition):
+    """Coordinator-side copies of every shard graph (local ids)."""
+    from repro.fleet.partition import build_shard_graph
+
+    return [build_shard_graph(graph, partition, k) for k in range(partition.shards)]
+
+
+def initial_overlay(graph, partition: Partition) -> Dict[Tuple[int, int], float]:
+    """Extract the boundary–boundary edges of ``graph`` for the overlay."""
+    overlay: Dict[Tuple[int, int], float] = {}
+    if hasattr(graph, "arcs"):
+        edges = graph.arcs()
+    else:
+        edges = graph.edges()
+    for u, v, w in edges:
+        if partition.is_boundary(u) and partition.is_boundary(v):
+            overlay[(u, v)] = w
+    return overlay

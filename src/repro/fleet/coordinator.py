@@ -1,0 +1,467 @@
+"""The :class:`FleetCoordinator`: routing, algebra, two-phase publish.
+
+One coordinator fronts ``N`` shard servers (in-process
+:class:`~repro.fleet.shard.ShardServer` by default, one worker process
+each with ``processes=True``) and owns everything cross-shard: the
+vertex → shard routing map, the boundary-edge overlay, the
+:class:`~repro.fleet.boundary.BoundaryTable`, and the fleet epoch.
+
+**Read path.**  ``distance(s, t)`` routes by two array lookups.  A
+same-shard interior pair is answered as ``min(shard answer, boundary
+combo)`` — the min is required for exactness because the true shortest
+path may detour through another shard or over a direct boundary edge
+that shard graphs exclude; every other pair is the boundary combo
+alone (docs/sharding.md gives the decomposition argument).
+``query_many`` answers the combo for the whole batch as one vectorised
+min-plus and only touches shard servers for the same-shard minority.
+
+**Write path: the two-phase swap** (the invariant
+``tests/test_fleet_epochs.py`` audits).  ``apply`` fans the batch out
+with :func:`repro.fleet.partition.split_updates` and then:
+
+1. *prepare* — every touched shard applies its sub-batch and publishes
+   a new shard epoch **internally**; the overlay absorbs
+   boundary–boundary changes; the boundary table is rebuilt against
+   the prepared state (row blocks recomputed only for touched shards).
+   Nothing is visible to fleet readers yet: they read shards solely
+   through the pinned epoch snapshots inside their
+   :class:`FleetSnapshot`, and retired snapshots stay queryable.
+2. *commit* — one atomic reference swap installs a new
+   :class:`FleetSnapshot` carrying the new shard-snapshot vector and
+   boundary table.  A reader therefore sees either the complete old
+   fleet epoch or the complete new one, never a mix.
+
+Writers are serialized by a lock; readers never block.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.fleet.boundary import (
+    VIRTUAL_CUTOFF,
+    BoundaryTable,
+    build_boundary,
+    initial_overlay,
+)
+from repro.fleet.partition import (
+    BOUNDARY_SHARD,
+    Partition,
+    build_shard_graph,
+    separator_partition,
+    shard_local_ids,
+    split_updates,
+)
+from repro.fleet.shard import ShardServer
+from repro.obs import names
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import span
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """One immutable fleet epoch: what a pinned reader sees.
+
+    ``shard_tokens[k]`` is shard ``k``'s read token (a pinned
+    :class:`~repro.serve.epoch.EpochSnapshot` in process, the epoch
+    number over RPC), ``shard_epochs`` the matching epoch vector, and
+    ``boundary`` the cross-shard table built against exactly those
+    shard epochs.  All three are installed by a single reference swap,
+    which is the whole of the mixed-epoch-freedom argument.
+    """
+
+    fleet_epoch: int
+    shard_tokens: Tuple[object, ...]
+    shard_epochs: Tuple[int, ...]
+    boundary: BoundaryTable
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """What one :meth:`FleetCoordinator.apply` publish did."""
+
+    fleet_epoch: int  #: the newly committed fleet epoch
+    touched_shards: Tuple[int, ...]  #: shards that prepared a new epoch
+    overlay_updates: int  #: boundary-boundary edges rewritten
+    boundary_rebuilt: bool  #: whether the boundary table was rebuilt
+    prepare_s: float  #: wall time of the prepare phase
+    commit_s: float  #: wall time of the commit swap
+    total_s: float  #: wall time of the whole publish
+    shard_reports: Dict[int, object] = field(default_factory=dict, repr=False)
+
+
+class FleetCoordinator:
+    """A sharded distance-serving fleet behind one façade.
+
+    Parameters mirror :class:`~repro.serve.server.DistanceServer` where
+    they overlap; ``shards`` requests the partition width (the
+    effective width may be smaller on path-like graphs — see
+    :func:`~repro.fleet.partition.separator_partition`), ``processes``
+    moves each shard server into its own spawned worker process.
+    Shard servers share this coordinator's metrics registry, so one
+    scrape carries ``repro_serve_*`` and ``repro_fleet_*`` together.
+    """
+
+    def __init__(
+        self,
+        graph,
+        *,
+        shards: int = 4,
+        oracle: str = "h2h",
+        backend: Optional[str] = None,
+        cache_capacity: int = 65536,
+        workers: int = 1,
+        registry: Optional[MetricsRegistry] = None,
+        processes: bool = False,
+        cut_depth: int = 0,
+    ) -> None:
+        self.partition: Partition = separator_partition(
+            graph, shards, cut_depth=cut_depth
+        )
+        self.processes = bool(processes)
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._register_metrics()
+
+        # Coordinator-local shard graph copies: the source of truth for
+        # boundary-row Dijkstras (shard oracles copy-on-write their own
+        # graphs, so these are updated in lockstep during prepare).
+        self._local_graphs = [
+            build_shard_graph(graph, self.partition, k)
+            for k in range(self.partition.shards)
+        ]
+        self._to_local = [
+            shard_local_ids(self.partition, k)[0]
+            for k in range(self.partition.shards)
+        ]
+        self._overlay = initial_overlay(graph, self.partition)
+        self._directed = hasattr(graph, "arcs")
+
+        if self.processes:
+            from repro.fleet.proc import ShardProcessHandle
+
+            self._shards: List[object] = [
+                ShardProcessHandle(
+                    graph,
+                    self.partition,
+                    k,
+                    oracle=oracle,
+                    backend=backend,
+                    cache_capacity=cache_capacity,
+                )
+                for k in range(self.partition.shards)
+            ]
+        else:
+            self._shards = [
+                ShardServer(
+                    graph,
+                    self.partition,
+                    k,
+                    oracle=oracle,
+                    backend=backend,
+                    cache_capacity=cache_capacity,
+                    workers=workers,
+                    registry=self.metrics,
+                )
+                for k in range(self.partition.shards)
+            ]
+
+        table, self._rows_cache = build_boundary(
+            self.partition, self._local_graphs, self._overlay, version=0
+        )
+        pins = [shard.pin() for shard in self._shards]
+        self._current = FleetSnapshot(
+            fleet_epoch=0,
+            shard_tokens=tuple(token for token, _epoch in pins),
+            shard_epochs=tuple(epoch for _token, epoch in pins),
+            boundary=table,
+        )
+        self._write_lock = threading.Lock()
+        self._m_epoch.set(0)
+        self._m_shards.set(self.partition.shards)
+        self._m_boundary.set(len(self.partition.boundary))
+
+    def _register_metrics(self) -> None:
+        m = self.metrics
+        self._m_queries = m.counter(
+            names.FLEET_QUERIES,
+            "Fleet queries answered, by route (local/cross/boundary).",
+            ("route",),
+        )
+        self._m_latency = m.histogram(
+            names.FLEET_QUERY_LATENCY,
+            "Per-call fleet query wall time in seconds (a query_many "
+            "batch counts as one observation).",
+        )
+        self._m_publishes = m.counter(
+            names.FLEET_PUBLISHES, "Fleet epochs committed."
+        )
+        self._m_publish_duration = m.histogram(
+            names.FLEET_PUBLISH_DURATION,
+            "Wall time of one two-phase fleet publish, in seconds.",
+        )
+        self._m_epoch = m.gauge(names.FLEET_EPOCH, "Current fleet epoch.")
+        self._m_shards = m.gauge(
+            names.FLEET_SHARDS, "Effective shard count of the partition."
+        )
+        self._m_boundary = m.gauge(
+            names.FLEET_BOUNDARY_VERTICES,
+            "Vertices in the shared separator boundary set.",
+        )
+        self._m_rebuild = m.histogram(
+            names.FLEET_BOUNDARY_REBUILD,
+            "Wall time of one boundary-table rebuild, in seconds.",
+        )
+        self._m_shard_updates = m.counter(
+            names.FLEET_SHARD_UPDATES,
+            "Edge updates fanned out, by destination shard "
+            "('overlay' for boundary-boundary edges).",
+            ("shard",),
+        )
+
+    # -- routing -------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return self.partition.shards
+
+    @property
+    def fleet_epoch(self) -> int:
+        return self._current.fleet_epoch
+
+    def route(self, vertex: int) -> int:
+        """Owning shard of ``vertex`` (-1 for boundary vertices)."""
+        if not 0 <= vertex < self.partition.n:
+            raise QueryError(
+                f"vertex {vertex} out of range [0, {self.partition.n})"
+            )
+        return self.partition.shard(vertex)
+
+    # -- reads ---------------------------------------------------------
+    def snapshot(self) -> FleetSnapshot:
+        """Pin the current fleet epoch (one atomic reference read)."""
+        return self._current
+
+    def distance(self, s: int, t: int) -> float:
+        """``sd(s, t)`` on the current fleet snapshot."""
+        return self.distance_on(self._current, s, t)
+
+    def distance_on(self, snapshot: FleetSnapshot, s: int, t: int) -> float:
+        """``sd(s, t)`` on a pinned fleet snapshot (retired ones too)."""
+        with span(names.SPAN_FLEET_QUERY, s=s, t=t) as sp:
+            start = perf_counter()
+            value, route = self._resolve(snapshot, s, t)
+            self._m_queries.inc(1, route=route)
+            self._m_latency.observe(
+                perf_counter() - start,
+                exemplar=sp.trace_id if sp.active else None,
+            )
+            if sp.active:
+                sp.set(route=route, fleet_epoch=snapshot.fleet_epoch)
+        return value
+
+    def _resolve(
+        self, snapshot: FleetSnapshot, s: int, t: int
+    ) -> Tuple[float, str]:
+        shard_s, shard_t = self.route(s), self.route(t)
+        combo = snapshot.boundary.combo(s, t)
+        if BOUNDARY_SHARD in (shard_s, shard_t):
+            return combo, "boundary"
+        if shard_s != shard_t:
+            return combo, "cross"
+        local = self._shard_distances(snapshot, shard_s, [(s, t)])[0]
+        return min(local, combo), "local"
+
+    def _shard_distances(
+        self,
+        snapshot: FleetSnapshot,
+        shard: int,
+        pairs: Sequence[Tuple[int, int]],
+    ) -> List[float]:
+        token = snapshot.shard_tokens[shard]
+        values = self._shards[shard].distance_many_on(token, pairs)
+        return [
+            float("inf") if value >= VIRTUAL_CUTOFF else value
+            for value in values
+        ]
+
+    def query_many(self, pairs: Sequence[Tuple[int, int]]) -> List[float]:
+        """Answer a batch against ONE consistent fleet snapshot."""
+        return self.query_many_on(self._current, pairs)
+
+    def query_many_on(
+        self, snapshot: FleetSnapshot, pairs: Sequence[Tuple[int, int]]
+    ) -> List[float]:
+        """Batch :meth:`distance_on`: one vectorised boundary min-plus
+        for the whole batch, shard lookups only for same-shard pairs."""
+        if not pairs:
+            return []
+        with span(names.SPAN_FLEET_QUERY, batch=len(pairs)) as sp:
+            start = perf_counter()
+            sources = np.fromiter(
+                (s for s, _t in pairs), dtype=np.int64, count=len(pairs)
+            )
+            targets = np.fromiter(
+                (t for _s, t in pairs), dtype=np.int64, count=len(pairs)
+            )
+            if not (
+                bool(np.all(sources >= 0))
+                and bool(np.all(sources < self.partition.n))
+                and bool(np.all(targets >= 0))
+                and bool(np.all(targets < self.partition.n))
+            ):
+                raise QueryError("query batch references out-of-range vertices")
+            values = snapshot.boundary.combo_many(sources, targets)
+            shard_s = self.partition.shard_of[sources]
+            shard_t = self.partition.shard_of[targets]
+            local_mask = (shard_s == shard_t) & (shard_s != BOUNDARY_SHARD)
+            for shard in np.unique(shard_s[local_mask]):
+                rows = np.flatnonzero(local_mask & (shard_s == shard))
+                shard_pairs = [
+                    (int(sources[i]), int(targets[i])) for i in rows
+                ]
+                local = self._shard_distances(
+                    snapshot, int(shard), shard_pairs
+                )
+                np.minimum.at(values, rows, local)
+            n_local = int(np.count_nonzero(local_mask))
+            n_boundary = int(
+                np.count_nonzero(
+                    (shard_s == BOUNDARY_SHARD) | (shard_t == BOUNDARY_SHARD)
+                )
+            )
+            self._m_queries.inc(n_local, route="local")
+            self._m_queries.inc(n_boundary, route="boundary")
+            self._m_queries.inc(
+                len(pairs) - n_local - n_boundary, route="cross"
+            )
+            self._m_latency.observe(
+                perf_counter() - start,
+                exemplar=sp.trace_id if sp.active else None,
+            )
+        return [float(v) for v in values]
+
+    # -- writes --------------------------------------------------------
+    def apply(self, updates) -> FleetReport:
+        """Two-phase fleet publish of one weight-update batch.
+
+        Prepare: touched shards publish internally, the overlay and
+        boundary table are rebuilt.  Commit: one atomic snapshot swap.
+        See the module docstring for why readers never observe a mixed
+        fleet epoch.
+        """
+        batch = list(updates)
+        with self._write_lock:
+            start = perf_counter()
+            with span(names.SPAN_FLEET_APPLY, updates=len(batch)):
+                per_shard, overlay_updates = split_updates(
+                    self.partition, batch
+                )
+                current = self._current
+                prepare_start = perf_counter()
+                with span(
+                    names.SPAN_FLEET_PREPARE, shards=len(per_shard)
+                ):
+                    tokens = list(current.shard_tokens)
+                    epochs = list(current.shard_epochs)
+                    reports: Dict[int, object] = {}
+                    for shard in sorted(per_shard):
+                        sub_batch = per_shard[shard]
+                        token, epoch, report = self._shards[shard].apply(
+                            sub_batch
+                        )
+                        tokens[shard] = token
+                        epochs[shard] = epoch
+                        reports[shard] = report
+                        self._m_shard_updates.inc(
+                            len(sub_batch), shard=str(shard)
+                        )
+                        self._apply_local(shard, sub_batch)
+                    for (u, v), w in overlay_updates:
+                        key = (u, v)
+                        if not self._directed and u > v:
+                            key = (v, u)
+                        self._overlay[key] = float(w)
+                    if overlay_updates:
+                        self._m_shard_updates.inc(
+                            len(overlay_updates), shard="overlay"
+                        )
+                    rebuilt = bool(per_shard) or bool(overlay_updates)
+                    if rebuilt:
+                        with span(names.SPAN_FLEET_BOUNDARY_REBUILD):
+                            rebuild_start = perf_counter()
+                            table, self._rows_cache = build_boundary(
+                                self.partition,
+                                self._local_graphs,
+                                self._overlay,
+                                version=current.fleet_epoch + 1,
+                                cache=self._rows_cache,
+                                dirty=sorted(per_shard),
+                            )
+                            self._m_rebuild.observe(
+                                perf_counter() - rebuild_start
+                            )
+                    else:
+                        table = current.boundary
+                prepare_s = perf_counter() - prepare_start
+                commit_start = perf_counter()
+                with span(names.SPAN_FLEET_COMMIT):
+                    self._current = FleetSnapshot(
+                        fleet_epoch=current.fleet_epoch + 1,
+                        shard_tokens=tuple(tokens),
+                        shard_epochs=tuple(epochs),
+                        boundary=table,
+                    )
+                    self._m_epoch.set(self._current.fleet_epoch)
+                    self._m_publishes.inc()
+                commit_s = perf_counter() - commit_start
+            total_s = perf_counter() - start
+            self._m_publish_duration.observe(total_s)
+            return FleetReport(
+                fleet_epoch=self._current.fleet_epoch,
+                touched_shards=tuple(sorted(per_shard)),
+                overlay_updates=len(overlay_updates),
+                boundary_rebuilt=rebuilt,
+                prepare_s=prepare_s,
+                commit_s=commit_s,
+                total_s=total_s,
+                shard_reports=reports,
+            )
+
+    def _apply_local(self, shard: int, sub_batch) -> None:
+        """Mirror a shard's updates onto the coordinator's graph copy."""
+        graph = self._local_graphs[shard]
+        to_local = self._to_local[shard]
+        for (u, v), w in sub_batch:
+            graph.set_weight(int(to_local[u]), int(to_local[v]), w)
+
+    # -- lifecycle -----------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Fleet-level stats plus each shard's serve stats."""
+        snapshot = self._current
+        return {
+            "fleet_epoch": snapshot.fleet_epoch,
+            "shards": self.partition.shards,
+            "cut_depth": self.partition.cut_depth,
+            "boundary_vertices": len(self.partition.boundary),
+            "shard_epochs": list(snapshot.shard_epochs),
+            "shard_sizes": [
+                len(members) for members in self.partition.shard_vertices
+            ],
+            "per_shard": [shard.stats() for shard in self._shards],
+        }
+
+    def close(self) -> None:
+        """Shut every shard server (and worker process) down."""
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "FleetCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

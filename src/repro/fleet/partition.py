@@ -1,0 +1,334 @@
+"""Separator-based graph partitioning for the fleet (docs/sharding.md).
+
+The H2H tree decomposition (:class:`repro.h2h.tree.TreeDecomposition`)
+has the property that every edge of the contraction hierarchy — and
+``G`` is a subgraph of ``sc(G)`` — connects a vertex to one of its tree
+ancestors.  Cutting the tree at depth ``D`` therefore yields a vertex
+separator for free:
+
+* **boundary** ``B`` = every vertex at depth ``< D`` (the top of the
+  tree: exactly the high-order separator vertices the contraction
+  ordering eliminated last);
+* **shards** = the subtrees rooted at depth ``D``, greedily packed into
+  ``shards`` balanced groups (largest-subtree-first into the lightest
+  shard).
+
+No original-graph edge connects the interiors of two distinct shards:
+an edge's deeper endpoint sees the other endpoint as a tree ancestor,
+which is either inside the same subtree (same shard) or above the cut
+(boundary).  :meth:`Partition.validate` re-checks this from first
+principles on the input graph.
+
+Each shard graph is the subgraph induced on ``interior_k ∪ B`` minus
+boundary–boundary edges (those live in the coordinator's overlay so a
+boundary-edge update never fans out to every shard), plus a *virtual
+chain* over the boundary vertices with weight :data:`VIRTUAL_WEIGHT`.
+The chain guarantees the shard graph is connected (CH/H2H construction
+refuses disconnected inputs) without perturbing any real distance:
+every real path weighs far less than ``VIRTUAL_WEIGHT``, and any
+computed distance ``>= VIRTUAL_WEIGHT`` is mapped back to infinity by
+:mod:`repro.fleet.boundary`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ch.indexing import ch_indexing
+from repro.errors import ReproError
+from repro.graph.graph import RoadNetwork
+from repro.h2h.tree import TreeDecomposition
+
+#: Weight of the virtual boundary-chain edges added to every shard
+#: graph for connectivity.  ``2**49`` keeps three-term sums exactly
+#: representable in float64 (``3 * 2**49 < 2**53``) while dwarfing any
+#: real path weight (generator weights are ``<= 10**9`` per edge).
+VIRTUAL_WEIGHT: float = float(2**49)
+
+#: Largest edge weight the fleet accepts in an update; anything at or
+#: above this would blur the real/virtual distance separation.
+MAX_REAL_WEIGHT: float = float(2**40)
+
+#: ``shard_of`` value marking a boundary vertex (owned by no shard).
+BOUNDARY_SHARD: int = -1
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A separator partition of a road network.
+
+    ``shard_of[v]`` is the owning shard for interior vertices and
+    :data:`BOUNDARY_SHARD` for boundary vertices, so routing a query
+    endpoint is one array lookup.  ``boundary`` is sorted; its position
+    in the list is the vertex's *boundary index* used by every matrix
+    in :mod:`repro.fleet.boundary`.
+    """
+
+    n: int
+    shards: int
+    cut_depth: int
+    boundary: Tuple[int, ...]
+    shard_of: np.ndarray
+    shard_vertices: Tuple[Tuple[int, ...], ...]
+    boundary_index: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.boundary_index:
+            object.__setattr__(
+                self,
+                "boundary_index",
+                {v: i for i, v in enumerate(self.boundary)},
+            )
+
+    def shard(self, vertex: int) -> int:
+        """Owning shard of ``vertex`` (:data:`BOUNDARY_SHARD` if boundary)."""
+        return int(self.shard_of[vertex])
+
+    def is_boundary(self, vertex: int) -> bool:
+        return int(self.shard_of[vertex]) == BOUNDARY_SHARD
+
+    def members(self, shard: int) -> Tuple[int, ...]:
+        """Interior vertices of ``shard`` (sorted, excludes boundary)."""
+        return self.shard_vertices[shard]
+
+    def validate(self, graph) -> None:
+        """Re-check the separator invariant against ``graph``.
+
+        Raises :class:`ReproError` if any original edge connects the
+        interiors of two distinct shards, or if the shard map is not a
+        total function over the vertex set.
+        """
+        if int(self.shard_of.shape[0]) != self.n:
+            raise ReproError("partition shard_of has wrong length")
+        for v in range(self.n):
+            owner = int(self.shard_of[v])
+            if owner == BOUNDARY_SHARD:
+                if v not in self.boundary_index:
+                    raise ReproError(f"vertex {v} marked boundary but unlisted")
+            elif not 0 <= owner < self.shards:
+                raise ReproError(f"vertex {v} routed to bad shard {owner}")
+        for u, v, _w in _iter_edges(graph):
+            su, sv = int(self.shard_of[u]), int(self.shard_of[v])
+            if su != BOUNDARY_SHARD and sv != BOUNDARY_SHARD and su != sv:
+                raise ReproError(
+                    f"edge ({u}, {v}) crosses shard interiors {su}/{sv}"
+                )
+
+
+def _iter_edges(graph):
+    """Yield ``(u, v, w)`` for undirected graphs or digraphs alike."""
+    if hasattr(graph, "arcs"):
+        yield from graph.arcs()
+    else:
+        yield from graph.edges()
+
+
+def _projection(graph) -> RoadNetwork:
+    """Undirected view used to build the partition tree."""
+    if hasattr(graph, "symmetrized"):
+        return graph.symmetrized()
+    return graph
+
+
+def separator_partition(
+    graph,
+    shards: int,
+    *,
+    cut_depth: int = 0,
+    max_boundary: int = 0,
+    balance: float = 1.25,
+) -> Partition:
+    """Partition ``graph`` into ``shards`` parts via a tree antichain cut.
+
+    Builds the contraction hierarchy and its tree decomposition on the
+    (symmetrized) graph, then carves out an **antichain of subtree
+    roots**: starting from the tree root, the largest remaining subtree
+    is repeatedly split — its root joins the boundary, its child
+    subtrees become candidate pieces — until there are at least
+    ``shards`` pieces none larger than ``balance * n / shards``, or the
+    ``max_boundary`` budget (default ``max(8 * shards, 32)``) is spent.
+    Every ancestor of a chosen root is in the boundary, so the
+    separator invariant holds for any antichain.  Pieces are then
+    packed largest-first into the lightest shard.
+
+    ``cut_depth > 0`` forces the legacy uniform cut instead (boundary =
+    everything above that depth).  When the tree is too path-like to
+    yield ``shards`` non-empty parts the effective shard count is
+    reduced (``Partition.shards`` records the actual number);
+    requesting fewer than one shard raises :class:`ReproError`.
+    """
+    if shards < 1:
+        raise ReproError("fleet needs at least one shard")
+    projection = _projection(graph)
+    n = projection.n
+    sc = ch_indexing(projection)
+    tree = TreeDecomposition(sc)
+    depth = tree.depth
+
+    # Subtree sizes (children accumulate into parents bottom-up).
+    sizes = np.ones(n, dtype=np.int64)
+    for v in reversed(tree.top_down_order):
+        parent = int(tree.parent[v])
+        if parent >= 0:
+            sizes[parent] += sizes[v]
+
+    boundary_set = set()
+    if cut_depth > 0:
+        roots = [v for v in range(n) if depth[v] == cut_depth]
+        if not roots:
+            raise ReproError(f"cut depth {cut_depth} leaves no subtree roots")
+        boundary_set = {v for v in range(n) if depth[v] < cut_depth}
+    else:
+        budget = max_boundary if max_boundary > 0 else max(8 * shards, 32)
+        heap = [(-int(sizes[tree.root]), tree.root)]
+        leaves: List[int] = []
+        while heap:
+            cap = max(1.0, balance * (n - len(boundary_set)) / shards)
+            neg_size, v = heap[0]
+            if len(heap) + len(leaves) >= shards and -neg_size <= cap:
+                break
+            if len(boundary_set) >= budget:
+                break
+            heapq.heappop(heap)
+            children = tree.children[v]
+            if not len(children):
+                leaves.append(v)
+                continue
+            boundary_set.add(v)
+            for child in children:
+                heapq.heappush(heap, (-int(sizes[child]), int(child)))
+        roots = leaves + [v for _neg, v in heap]
+        if not roots:
+            raise ReproError("antichain cut consumed the whole tree")
+
+    effective = min(shards, len(roots))
+    loads = [0] * effective
+    assignment = {}
+    for root in sorted(roots, key=lambda r: -int(sizes[r])):
+        target = min(range(effective), key=loads.__getitem__)
+        assignment[root] = target
+        loads[target] += int(sizes[root])
+
+    shard_of = np.full(n, BOUNDARY_SHARD, dtype=np.int32)
+    for v in tree.top_down_order:
+        if v in assignment:
+            shard_of[v] = assignment[v]
+        elif v in boundary_set:
+            continue
+        else:
+            parent = int(tree.parent[v])
+            if parent >= 0:
+                shard_of[v] = shard_of[parent]
+    boundary_mask = shard_of == BOUNDARY_SHARD
+    chosen = int(depth[boundary_mask].max()) + 1 if boundary_mask.any() else 0
+
+    boundary = tuple(int(v) for v in np.flatnonzero(boundary_mask))
+    shard_vertices = tuple(
+        tuple(int(v) for v in np.flatnonzero(shard_of == k))
+        for k in range(effective)
+    )
+    partition = Partition(
+        n=n,
+        shards=effective,
+        cut_depth=chosen,
+        boundary=boundary,
+        shard_of=shard_of,
+        shard_vertices=shard_vertices,
+    )
+    partition.validate(graph)
+    return partition
+
+
+def shard_local_ids(partition: Partition, shard: int) -> Tuple[np.ndarray, List[int]]:
+    """Global→local and local→global id maps for one shard graph.
+
+    Local ids enumerate the shard's interior vertices (sorted) followed
+    by the full boundary (sorted), so every shard places boundary
+    vertex ``b_j`` at local id ``len(interior) + j``.
+    """
+    to_global = list(partition.shard_vertices[shard]) + list(partition.boundary)
+    to_local = np.full(partition.n, -1, dtype=np.int64)
+    for local, vertex in enumerate(to_global):
+        to_local[vertex] = local
+    return to_local, to_global
+
+
+def build_shard_graph(graph, partition: Partition, shard: int):
+    """Build shard ``shard``'s graph: interior ∪ boundary, chained.
+
+    Includes every original edge with at least one interior endpoint
+    (boundary–boundary edges are excluded — they live in the overlay),
+    re-labelled to local ids, plus the :data:`VIRTUAL_WEIGHT` chain
+    over the boundary vertices for connectivity.  Returns the same
+    flavour of graph as the input (``RoadNetwork`` in,
+    ``RoadNetwork`` out; ``DiRoadNetwork`` in, ``DiRoadNetwork`` out).
+    """
+    to_local, to_global = shard_local_ids(partition, shard)
+    interior = len(partition.shard_vertices[shard])
+    size = len(to_global)
+    directed = hasattr(graph, "arcs")
+    if directed:
+        shard_graph = type(graph)(size)
+        add = shard_graph.add_arc
+    else:
+        shard_graph = RoadNetwork(size)
+        add = shard_graph.add_edge
+    for u, v, w in _iter_edges(graph):
+        lu, lv = int(to_local[u]), int(to_local[v])
+        if lu < 0 or lv < 0:
+            continue
+        if lu >= interior and lv >= interior:
+            continue  # boundary-boundary: overlay-owned
+        add(lu, lv, w)
+    has = shard_graph.has_arc if directed else shard_graph.has_edge
+    for j in range(len(partition.boundary) - 1):
+        a, b = interior + j, interior + j + 1
+        if not has(a, b):
+            add(a, b, VIRTUAL_WEIGHT)
+        if directed and not has(b, a):
+            add(b, a, VIRTUAL_WEIGHT)
+    return shard_graph
+
+
+def route_update(partition: Partition, edge: Tuple[int, int]) -> int:
+    """Owning shard for an edge update, or :data:`BOUNDARY_SHARD`.
+
+    Boundary–boundary edges belong to the coordinator's overlay; every
+    other edge has at least one interior endpoint and (by the separator
+    invariant) a unique owning shard.
+    """
+    u, v = edge
+    su, sv = partition.shard(u), partition.shard(v)
+    if su == BOUNDARY_SHARD and sv == BOUNDARY_SHARD:
+        return BOUNDARY_SHARD
+    if su == BOUNDARY_SHARD:
+        return sv
+    if sv == BOUNDARY_SHARD:
+        return su
+    if su != sv:
+        raise ReproError(f"edge ({u}, {v}) crosses shard interiors {su}/{sv}")
+    return su
+
+
+def split_updates(
+    partition: Partition, updates: Sequence[Tuple[Tuple[int, int], float]]
+) -> Tuple[Dict[int, List[Tuple[Tuple[int, int], float]]], List[Tuple[Tuple[int, int], float]]]:
+    """Fan an update batch out: per-shard batches plus overlay updates."""
+    per_shard: Dict[int, List[Tuple[Tuple[int, int], float]]] = {}
+    overlay: List[Tuple[Tuple[int, int], float]] = []
+    for (u, v), w in updates:
+        if w != float("inf") and w >= MAX_REAL_WEIGHT:
+            raise ReproError(
+                f"update weight {w} for edge ({u}, {v}) exceeds "
+                f"MAX_REAL_WEIGHT; the fleet reserves weights >= 2**40"
+            )
+        shard = route_update(partition, (u, v))
+        if shard == BOUNDARY_SHARD:
+            overlay.append(((u, v), w))
+        else:
+            per_shard.setdefault(shard, []).append(((u, v), w))
+    return per_shard, overlay

@@ -1,0 +1,206 @@
+"""Process-backed shards: one spawned worker per shard server.
+
+Mirrors the spawn machinery of :mod:`repro.perf.parallel`: a
+module-level worker entry (picklable under the ``spawn`` start method),
+one duplex :class:`multiprocessing.Pipe` per worker, ``("error",
+traceback)`` replies surfaced as :class:`ReproError`, and a
+stop-join-terminate shutdown ladder.
+
+The worker hosts a full :class:`~repro.fleet.shard.ShardServer` and
+keeps **every published epoch snapshot keyed by epoch number**, so the
+coordinator's two-phase contract survives the process boundary: a
+fleet snapshot pins shard *epoch numbers* as its read tokens, and a
+query RPC names the epoch it wants — readers pinned on a retired fleet
+epoch still get answers from exactly that shard epoch.
+
+Every RPC carries the caller's :class:`~repro.obs.context.TraceContext`
+as a dict; the worker re-enters it before touching the shard server,
+so worker-side ``serve.query`` spans parent under the coordinator's
+``fleet.query`` span whenever the worker has a trace sink installed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.fleet.partition import Partition
+from repro.obs.context import TraceContext, current_context, use_context
+
+
+def _shard_worker_main(
+    conn,
+    graph,
+    partition: Partition,
+    shard: int,
+    oracle: str,
+    backend: Optional[str],
+    cache_capacity: int,
+) -> None:
+    """Worker entry: build the shard server, answer RPCs until stopped."""
+    from repro.fleet.shard import ShardServer
+
+    try:
+        server = ShardServer(
+            graph,
+            partition,
+            shard,
+            oracle=oracle,
+            backend=backend,
+            cache_capacity=cache_capacity,
+            workers=1,
+        )
+        snapshots = {}
+        token, epoch = server.pin()
+        snapshots[epoch] = token
+        conn.send(("ok", epoch))
+    except Exception:  # pragma: no cover - construction failures
+        conn.send(("error", traceback.format_exc()))
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:  # pragma: no cover - coordinator died
+            break
+        kind = message[0]
+        try:
+            if kind == "stop":
+                break
+            if kind == "query":
+                _kind, epoch, pairs, ctx = message
+                context = TraceContext.from_dict(ctx) if ctx else None
+                if epoch not in snapshots:
+                    raise ReproError(
+                        f"shard {shard} has no pinned epoch {epoch}"
+                    )
+                if context is not None:
+                    with use_context(context):
+                        values = server.distance_many_on(
+                            snapshots[epoch], pairs
+                        )
+                else:
+                    values = server.distance_many_on(snapshots[epoch], pairs)
+                conn.send(("ok", values))
+            elif kind == "apply":
+                _kind, updates, ctx = message
+                context = TraceContext.from_dict(ctx) if ctx else None
+                if context is not None:
+                    with use_context(context):
+                        token, epoch, report = server.apply(updates)
+                else:
+                    token, epoch, report = server.apply(updates)
+                snapshots[epoch] = token
+                conn.send(
+                    (
+                        "ok",
+                        epoch,
+                        {
+                            "epoch": report.epoch,
+                            "affected": report.affected,
+                            "carried": report.carried,
+                            "evicted": report.evicted,
+                        },
+                    )
+                )
+            elif kind == "stats":
+                conn.send(("ok", server.stats()))
+            elif kind == "metrics":
+                conn.send(("ok", server.server.metrics.snapshot()))
+            else:  # pragma: no cover - protocol drift
+                raise ReproError(f"unknown shard RPC {kind!r}")
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+    server.close()
+    conn.close()
+
+
+class ShardProcessHandle:
+    """Coordinator-side twin of one worker-hosted shard server.
+
+    Implements the same uniform shard protocol as
+    :class:`~repro.fleet.shard.ShardServer` (``pin`` /
+    ``distance_many_on`` / ``apply`` / ``stats`` / ``close``) with the
+    shard's *epoch number* as the read token.
+    """
+
+    def __init__(
+        self,
+        graph,
+        partition: Partition,
+        shard: int,
+        *,
+        oracle: str = "h2h",
+        backend: Optional[str] = None,
+        cache_capacity: int = 65536,
+    ) -> None:
+        self.shard = shard
+        ctx = multiprocessing.get_context("spawn")
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                child,
+                graph,
+                partition,
+                shard,
+                oracle,
+                backend,
+                cache_capacity,
+            ),
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()
+        self._epoch = self._collect()
+
+    def _collect(self):
+        reply = self._conn.recv()
+        if reply[0] == "error":
+            raise ReproError(
+                f"shard {self.shard} worker failed:\n{reply[1]}"
+            )
+        return reply[1] if len(reply) == 2 else reply[1:]
+
+    @staticmethod
+    def _ctx_dict() -> Optional[dict]:
+        context = current_context()
+        return context.to_dict() if context is not None else None
+
+    def pin(self) -> Tuple[int, int]:
+        """``(token, epoch)`` — over RPC the token IS the epoch number."""
+        return self._epoch, self._epoch
+
+    def distance_many_on(
+        self, token: int, pairs: Sequence[Tuple[int, int]]
+    ) -> List[float]:
+        self._conn.send(("query", int(token), list(pairs), self._ctx_dict()))
+        return self._collect()
+
+    def apply(self, updates):
+        self._conn.send(("apply", list(updates), self._ctx_dict()))
+        epoch, report = self._collect()
+        self._epoch = epoch
+        return epoch, epoch, report
+
+    def stats(self) -> Dict[str, object]:
+        self._conn.send(("stats",))
+        return self._collect()
+
+    def metrics_snapshot(self):
+        """The worker-side registry snapshot (for cross-process merges)."""
+        self._conn.send(("metrics",))
+        return self._collect()
+
+    def close(self) -> None:
+        if self._proc.is_alive():
+            try:
+                self._conn.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+            self._proc.join(timeout=10)
+            if self._proc.is_alive():  # pragma: no cover - stuck worker
+                self._proc.terminate()
+                self._proc.join(timeout=5)
+        self._conn.close()

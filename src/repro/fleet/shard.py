@@ -1,0 +1,165 @@
+"""One shard of the fleet: a :class:`DistanceServer` plus id mapping.
+
+A :class:`ShardServer` owns the shard graph (local vertex ids: interior
+first, then the full boundary — see
+:func:`repro.fleet.partition.shard_local_ids`), the dynamic oracle
+built over it, and the embedded :class:`~repro.serve.server.DistanceServer`
+that versions it with epoch snapshots.  The coordinator talks to shards
+only in *global* vertex ids; translation happens here, in one place.
+
+Shard servers share the coordinator's metrics registry by default, so
+per-shard serve metrics (`repro_serve_*`) and fleet metrics
+(`repro_fleet_*`) land in one scrape.  The two-phase publish contract
+(docs/sharding.md): :meth:`apply` prepares and *publishes the shard
+internally*, but fleet readers never see the new shard epoch until the
+coordinator's atomic fleet-snapshot swap — they read shards only
+through the pinned :class:`~repro.serve.epoch.EpochSnapshot` objects
+carried by their fleet snapshot, and retired snapshots stay queryable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dynamic import DynamicCH, DynamicH2H
+from repro.core.oracle import DijkstraOracle
+from repro.errors import ReproError
+from repro.fleet.partition import Partition, build_shard_graph, shard_local_ids
+from repro.serve.server import DistanceServer
+
+try:  # directed oracles are optional per-flavour
+    from repro.directed.dynamic import DynamicDiCH, DynamicDiH2H
+except ImportError:  # pragma: no cover - directed package always ships
+    DynamicDiCH = DynamicDiH2H = None  # type: ignore[assignment]
+
+_UNDIRECTED_ORACLES = {
+    "ch": DynamicCH,
+    "h2h": DynamicH2H,
+    "dijkstra": DijkstraOracle,
+}
+
+
+def build_shard_oracle(shard_graph, oracle: str, backend: Optional[str] = None):
+    """Construct the per-shard oracle named by ``oracle``.
+
+    Directed shard graphs use the directed oracle flavours; the
+    ``dijkstra`` baseline is undirected-only.
+    """
+    directed = hasattr(shard_graph, "arcs")
+    if directed:
+        table = {"ch": DynamicDiCH, "h2h": DynamicDiH2H}
+        if oracle not in table or table[oracle] is None:
+            raise ReproError(f"no directed fleet oracle {oracle!r}")
+        return table[oracle](shard_graph)
+    if oracle not in _UNDIRECTED_ORACLES:
+        raise ReproError(f"unknown fleet oracle {oracle!r}")
+    cls = _UNDIRECTED_ORACLES[oracle]
+    if oracle == "dijkstra":
+        return cls(shard_graph)
+    if backend is not None:
+        return cls(shard_graph, backend=backend)
+    return cls(shard_graph)
+
+
+class ShardServer:
+    """A :class:`DistanceServer` over one shard graph, global-id facing.
+
+    ``to_local`` maps global vertex ids to shard-local ids (``-1`` when
+    the vertex is neither interior to this shard nor boundary);
+    ``to_global`` is the inverse enumeration.
+    """
+
+    def __init__(
+        self,
+        graph,
+        partition: Partition,
+        shard: int,
+        *,
+        oracle: str = "h2h",
+        backend: Optional[str] = None,
+        cache_capacity: int = 65536,
+        workers: int = 1,
+        registry=None,
+    ) -> None:
+        self.shard = shard
+        self.partition = partition
+        self.to_local, self.to_global = shard_local_ids(partition, shard)
+        self.interior = len(partition.shard_vertices[shard])
+        self.graph = build_shard_graph(graph, partition, shard)
+        self.server = DistanceServer(
+            build_shard_oracle(self.graph, oracle, backend),
+            cache_capacity=cache_capacity,
+            workers=workers,
+            registry=registry,
+        )
+
+    # -- reads ---------------------------------------------------------
+    def snapshot(self):
+        """Pin the shard's current epoch snapshot."""
+        return self.server.snapshot()
+
+    def pin(self):
+        """Uniform shard protocol: ``(read token, epoch number)``.
+
+        For an in-process shard the token is the pinned
+        :class:`~repro.serve.epoch.EpochSnapshot` itself; the
+        process-backed twin (:class:`repro.fleet.proc.ShardProcessHandle`)
+        returns the epoch number as its token.
+        """
+        snapshot = self.server.snapshot()
+        return snapshot, snapshot.epoch
+
+    def distance_on(self, snapshot, s: int, t: int) -> float:
+        """Distance between *global* vertices on a pinned shard snapshot."""
+        ls, lt = int(self.to_local[s]), int(self.to_local[t])
+        if ls < 0 or lt < 0:
+            raise ReproError(
+                f"vertex pair ({s}, {t}) not resident in shard {self.shard}"
+            )
+        return self.server.distance_on(snapshot, ls, lt)
+
+    def distance_many_on(
+        self, snapshot, pairs: Sequence[Tuple[int, int]]
+    ) -> List[float]:
+        """Batch :meth:`distance_on` (sequential; callers batch shards)."""
+        return [self.distance_on(snapshot, s, t) for s, t in pairs]
+
+    # -- writes --------------------------------------------------------
+    def translate(
+        self, updates: Sequence[Tuple[Tuple[int, int], float]]
+    ) -> List[Tuple[Tuple[int, int], float]]:
+        """Rewrite a global update batch into shard-local ids."""
+        local: List[Tuple[Tuple[int, int], float]] = []
+        for (u, v), w in updates:
+            lu, lv = int(self.to_local[u]), int(self.to_local[v])
+            if lu < 0 or lv < 0:
+                raise ReproError(
+                    f"update edge ({u}, {v}) not resident in shard {self.shard}"
+                )
+            local.append(((lu, lv), w))
+        return local
+
+    def apply(self, updates: Sequence[Tuple[Tuple[int, int], float]]):
+        """Prepare phase: apply a *global* batch, publish shard-internally.
+
+        Returns ``(token, epoch, report)`` — the newly published (and
+        pinned) shard snapshot, its epoch, and the serve-layer
+        :class:`~repro.serve.server.ServeReport`.  The fleet epoch
+        still points at the previous shard snapshot until the
+        coordinator commits; readers pinned there keep their answers
+        because retired epoch snapshots stay queryable.
+        """
+        report = self.server.apply(self.translate(updates))
+        snapshot = self.server.snapshot()
+        return snapshot, snapshot.epoch, report
+
+    def stats(self) -> Dict[str, object]:
+        stats = dict(self.server.stats())
+        stats["shard"] = self.shard
+        stats["interior_vertices"] = self.interior
+        return stats
+
+    def close(self) -> None:
+        self.server.close()

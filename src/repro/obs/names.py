@@ -24,6 +24,7 @@ __all__ = [
     "SERVER_METRICS",
     "SLO_METRICS",
     "OBS_METRICS",
+    "FLEET_METRICS",
     "SPANS",
 ]
 
@@ -108,8 +109,37 @@ OBS_METRICS = frozenset(
     }
 )
 
+# ----------------------------------------------------------------------
+# Fleet metrics (registered by repro.fleet.coordinator.FleetCoordinator,
+# docs/sharding.md)
+# ----------------------------------------------------------------------
+FLEET_QUERIES = "repro_fleet_queries_total"
+FLEET_QUERY_LATENCY = "repro_fleet_query_latency_seconds"
+FLEET_PUBLISHES = "repro_fleet_publishes_total"
+FLEET_PUBLISH_DURATION = "repro_fleet_publish_duration_seconds"
+FLEET_EPOCH = "repro_fleet_epoch"
+FLEET_SHARDS = "repro_fleet_shards"
+FLEET_BOUNDARY_VERTICES = "repro_fleet_boundary_vertices"
+FLEET_BOUNDARY_REBUILD = "repro_fleet_boundary_rebuild_seconds"
+FLEET_SHARD_UPDATES = "repro_fleet_shard_updates_total"
+
+#: Metrics registered by :class:`repro.fleet.coordinator.FleetCoordinator`.
+FLEET_METRICS = frozenset(
+    {
+        FLEET_QUERIES,
+        FLEET_QUERY_LATENCY,
+        FLEET_PUBLISHES,
+        FLEET_PUBLISH_DURATION,
+        FLEET_EPOCH,
+        FLEET_SHARDS,
+        FLEET_BOUNDARY_VERTICES,
+        FLEET_BOUNDARY_REBUILD,
+        FLEET_SHARD_UPDATES,
+    }
+)
+
 #: Every metric name the library itself registers.
-METRICS = SERVER_METRICS | SLO_METRICS | OBS_METRICS
+METRICS = SERVER_METRICS | SLO_METRICS | OBS_METRICS | FLEET_METRICS
 
 # ----------------------------------------------------------------------
 # Maintenance spans (one per algorithm/direction, plus per-phase spans)
@@ -146,6 +176,16 @@ SPAN_DEGRADE_CLASSIFY = "degrade.classify"
 
 SPAN_RESILIENT_FALLBACK = "resilient.fallback"
 
+# Fleet spans (docs/sharding.md): a fleet query opens fleet.query and,
+# for non-local routes, resolves through the boundary table; a fleet
+# publish opens fleet.apply wrapping the two phases (fleet.prepare with
+# a nested fleet.boundary.rebuild, then fleet.commit).
+SPAN_FLEET_QUERY = "fleet.query"
+SPAN_FLEET_APPLY = "fleet.apply"
+SPAN_FLEET_PREPARE = "fleet.prepare"
+SPAN_FLEET_COMMIT = "fleet.commit"
+SPAN_FLEET_BOUNDARY_REBUILD = "fleet.boundary.rebuild"
+
 #: Every span name the library itself opens.
 SPANS = frozenset(
     {
@@ -174,5 +214,10 @@ SPANS = frozenset(
         SPAN_SERVE_CATCHUP,
         SPAN_DEGRADE_CLASSIFY,
         SPAN_RESILIENT_FALLBACK,
+        SPAN_FLEET_QUERY,
+        SPAN_FLEET_APPLY,
+        SPAN_FLEET_PREPARE,
+        SPAN_FLEET_COMMIT,
+        SPAN_FLEET_BOUNDARY_REBUILD,
     }
 )

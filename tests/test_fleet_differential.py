@@ -1,0 +1,124 @@
+"""Fleet differential battery: fleet == single server == Dijkstra.
+
+Every fleet answer is compared bit-for-bit against a single-process
+:class:`DistanceServer` over the whole graph and against a fresh
+Dijkstra (directed Dijkstra for digraphs), on seeded undirected and
+directed workloads, across >= 3 update epochs.  Bit-identity (``==``,
+not ``approx``) holds because the workloads keep every weight integral
+— generator weights are ints and the 2.0 update factor preserves
+integrality — so both sides sum exactly in float64 regardless of
+association order (docs/sharding.md § Exactness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import distance as dijkstra_distance
+from repro.core.dynamic import DynamicH2H
+from repro.directed.dijkstra import directed_distance
+from repro.directed.graph import DiRoadNetwork
+from repro.fleet import FleetCoordinator
+from repro.graph.generators import grid_network, road_network
+from repro.serve import DistanceServer
+from repro.workloads.updates import increase_batch, restore_batch, sample_edges
+
+EPOCHS = 3
+
+
+def _pairs(n, count, seed):
+    rng = np.random.default_rng(seed)
+    return [(int(rng.integers(n)), int(rng.integers(n))) for _ in range(count)]
+
+
+@pytest.mark.parametrize("oracle", ["ch", "h2h"])
+def test_fleet_matches_server_and_dijkstra_undirected(oracle):
+    graph = road_network(120, seed=3)
+    fleet = FleetCoordinator(graph.copy(), shards=4, oracle=oracle, workers=1)
+    server = DistanceServer(DynamicH2H(graph.copy()), workers=1)
+    pairs = _pairs(graph.n, 120, seed=0)
+    try:
+        for epoch in range(EPOCHS + 1):
+            batched = fleet.query_many(pairs)
+            for (s, t), fleet_d in zip(pairs, batched):
+                assert fleet.distance(s, t) == fleet_d
+                assert server.distance(s, t) == fleet_d
+            for s, t in pairs[:25]:
+                assert dijkstra_distance(graph, s, t) == fleet.distance(s, t)
+            if epoch < EPOCHS:
+                edges = sample_edges(graph, 6, seed=40 + epoch)
+                if epoch % 2 == 0:
+                    batch = increase_batch(edges, factor=2.0)
+                else:
+                    batch = restore_batch(edges)
+                fleet.apply(batch)
+                server.apply(batch)
+                graph.apply_batch(batch)
+    finally:
+        fleet.close()
+        server.close()
+
+
+def test_fleet_matches_directed_dijkstra():
+    base = road_network(100, seed=2)
+    rng = np.random.default_rng(5)
+    graph = DiRoadNetwork(base.n)
+    for u, v, w in base.edges():
+        graph.add_arc(u, v, float(int(w)))
+        graph.add_arc(v, u, float(int(w) + int(rng.integers(0, 5))))
+    fleet = FleetCoordinator(graph, shards=3, oracle="ch", workers=1)
+    pairs = _pairs(graph.n, 80, seed=1)
+    try:
+        for epoch in range(EPOCHS + 1):
+            batched = fleet.query_many(pairs)
+            for (s, t), fleet_d in zip(pairs, batched):
+                assert directed_distance(graph, s, t) == fleet_d
+            if epoch < EPOCHS:
+                arcs = list(graph.arcs())[epoch * 7 : (epoch + 1) * 7]
+                batch = [((u, v), w * 2.0) for u, v, w in arcs]
+                fleet.apply(batch)
+                for (u, v), w in batch:
+                    graph.set_weight(u, v, w)
+    finally:
+        fleet.close()
+
+
+def test_fleet_boundary_endpoints_and_self_queries():
+    graph = grid_network(6, 6, seed=0)
+    fleet = FleetCoordinator(graph.copy(), shards=2, oracle="ch", workers=1)
+    try:
+        boundary = list(fleet.partition.boundary)
+        assert boundary, "grid partition should have a separator"
+        for b in boundary:
+            assert fleet.distance(b, b) == 0.0
+            for v in range(0, graph.n, 5):
+                assert fleet.distance(b, v) == dijkstra_distance(graph, b, v)
+                assert fleet.distance(v, b) == dijkstra_distance(graph, v, b)
+        for v in range(graph.n):
+            assert fleet.distance(v, v) == 0.0
+    finally:
+        fleet.close()
+
+
+def test_fleet_single_shard_degenerates_to_one_server():
+    graph = grid_network(5, 5, seed=1)
+    fleet = FleetCoordinator(graph.copy(), shards=1, oracle="h2h", workers=1)
+    try:
+        assert fleet.shards == 1
+        for s, t in _pairs(graph.n, 40, seed=2):
+            assert fleet.distance(s, t) == dijkstra_distance(graph, s, t)
+    finally:
+        fleet.close()
+
+
+def test_fleet_dijkstra_shard_oracle():
+    graph = road_network(80, seed=9)
+    fleet = FleetCoordinator(
+        graph.copy(), shards=2, oracle="dijkstra", workers=1
+    )
+    try:
+        for s, t in _pairs(graph.n, 40, seed=3):
+            assert fleet.distance(s, t) == dijkstra_distance(graph, s, t)
+    finally:
+        fleet.close()

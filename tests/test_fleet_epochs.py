@@ -1,0 +1,136 @@
+"""Mixed-epoch audit: the two-phase fleet publish never tears.
+
+The invariant (docs/sharding.md § Two-phase publish): a reader that
+pins a :class:`FleetSnapshot` sees ONE fleet epoch — a single shard
+epoch vector plus the boundary table built against exactly that vector
+— no matter how many publishes land while it holds the pin.  Readers
+here hammer ``snapshot()`` and record ``(fleet_epoch, shard_epochs,
+boundary version)`` observations while a writer publishes; afterwards
+every fleet epoch must map to exactly one shard-epoch vector, and the
+answers computed on a pinned snapshot must be byte-stable across
+publishes that retire it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.fleet import FleetCoordinator
+from repro.graph.generators import road_network
+from repro.workloads.updates import increase_batch, restore_batch, sample_edges
+
+
+def _pairs(n, count, seed):
+    rng = np.random.default_rng(seed)
+    return [(int(rng.integers(n)), int(rng.integers(n))) for _ in range(count)]
+
+
+def test_no_reader_observes_mixed_fleet_epochs():
+    graph = road_network(100, seed=6)
+    fleet = FleetCoordinator(graph.copy(), shards=3, oracle="ch", workers=1)
+    pairs = _pairs(graph.n, 30, seed=0)
+    observations = []
+    stop = threading.Event()
+    errors = []
+
+    def reader():
+        try:
+            while not stop.is_set():
+                snap = fleet.snapshot()
+                answers = tuple(fleet.query_many_on(snap, pairs))
+                observations.append(
+                    (
+                        snap.fleet_epoch,
+                        snap.shard_epochs,
+                        snap.boundary.version,
+                        answers,
+                    )
+                )
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    try:
+        for thread in threads:
+            thread.start()
+        for round_no in range(5):
+            edges = sample_edges(graph, 5, seed=70 + round_no)
+            if round_no % 2 == 0:
+                batch = increase_batch(edges, factor=2.0)
+            else:
+                batch = restore_batch(edges)
+            fleet.apply(batch)
+            graph.apply_batch(batch)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        fleet.close()
+
+    assert not errors, errors
+    assert observations
+    # One fleet epoch -> exactly one (shard-epoch vector, boundary
+    # version, answer vector).  Two different vectors under the same
+    # fleet epoch would be a torn (mixed-epoch) read.
+    by_epoch = {}
+    for fleet_epoch, shard_epochs, version, answers in observations:
+        view = (shard_epochs, version, answers)
+        previous = by_epoch.setdefault(fleet_epoch, view)
+        assert previous == view, (
+            f"fleet epoch {fleet_epoch} observed with two different views"
+        )
+
+
+def test_pinned_snapshot_is_immutable_across_publishes():
+    graph = road_network(90, seed=8)
+    fleet = FleetCoordinator(graph.copy(), shards=2, oracle="h2h", workers=1)
+    pairs = _pairs(graph.n, 40, seed=1)
+    try:
+        pinned = fleet.snapshot()
+        before = fleet.query_many_on(pinned, pairs)
+        for round_no in range(3):
+            batch = increase_batch(
+                sample_edges(graph, 4, seed=90 + round_no), factor=2.0
+            )
+            fleet.apply(batch)
+            graph.apply_batch(batch)
+            # the retired snapshot keeps answering at its own epoch
+            assert fleet.query_many_on(pinned, pairs) == before
+            assert fleet.snapshot().fleet_epoch == round_no + 1
+        # and the current snapshot reflects the new weights
+        changed = fleet.query_many(pairs)
+        assert changed != before
+    finally:
+        fleet.close()
+
+
+def test_untouched_shards_keep_their_epoch():
+    graph = road_network(120, seed=4)
+    fleet = FleetCoordinator(graph.copy(), shards=4, oracle="ch", workers=1)
+    try:
+        base = fleet.snapshot()
+        # craft a batch touching exactly one shard's interior
+        target = max(
+            range(fleet.shards),
+            key=lambda k: len(fleet.partition.shard_vertices[k]),
+        )
+        members = set(fleet.partition.shard_vertices[target])
+        batch = []
+        for u, v, w in graph.edges():
+            if u in members and v in members:
+                batch.append(((u, v), w * 2.0))
+            if len(batch) == 3:
+                break
+        assert batch, "expected an interior edge in the largest shard"
+        report = fleet.apply(batch)
+        assert report.touched_shards == (target,)
+        after = fleet.snapshot()
+        for shard in range(fleet.shards):
+            if shard == target:
+                assert after.shard_epochs[shard] == base.shard_epochs[shard] + 1
+            else:
+                assert after.shard_epochs[shard] == base.shard_epochs[shard]
+    finally:
+        fleet.close()

@@ -1,0 +1,150 @@
+"""Partition invariants and vertex→shard routing totality.
+
+The separator invariant (docs/sharding.md): cutting the H2H tree at an
+antichain yields a boundary set plus shard interiors such that no
+original edge connects the interiors of two distinct shards.  The
+hypothesis property checks routing totality on arbitrary connected
+graphs: every vertex is boundary xor owned by exactly one shard, every
+edge routes to exactly one destination (a shard or the overlay), and
+the shard graphs plus overlay jointly cover the edge set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.fleet.partition import (
+    BOUNDARY_SHARD,
+    VIRTUAL_WEIGHT,
+    build_shard_graph,
+    route_update,
+    separator_partition,
+    shard_local_ids,
+    split_updates,
+)
+from repro.graph.generators import grid_network, road_network
+from repro.graph.graph import RoadNetwork
+
+
+@st.composite
+def connected_graphs(draw, max_vertices=24):
+    """A connected graph: random tree plus random extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    weights = st.integers(min_value=1, max_value=12)
+    edges = {}
+    for i in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        edges[(parent, i)] = float(draw(weights))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 2))
+        v = draw(st.integers(min_value=u + 1, max_value=n - 1))
+        if (u, v) not in edges:
+            edges[(u, v)] = float(draw(weights))
+    graph = RoadNetwork(n)
+    for (u, v), w in edges.items():
+        graph.add_edge(u, v, w)
+    return graph
+
+
+def test_partition_separator_invariant():
+    graph = road_network(150, seed=11)
+    partition = separator_partition(graph, 4)
+    partition.validate(graph)  # no edge crosses shard interiors
+    assert partition.shards >= 2
+    # every vertex is boundary xor exactly one shard
+    for v in range(graph.n):
+        owner = partition.shard(v)
+        if owner == BOUNDARY_SHARD:
+            assert v in partition.boundary_index
+        else:
+            assert v in partition.shard_vertices[owner]
+    # interiors and boundary tile the vertex set exactly
+    total = len(partition.boundary) + sum(
+        len(m) for m in partition.shard_vertices
+    )
+    assert total == graph.n
+
+
+def test_partition_single_shard_has_empty_boundary():
+    graph = grid_network(4, 4, seed=0)
+    partition = separator_partition(graph, 1)
+    assert partition.shards == 1
+    assert partition.boundary == ()
+    assert len(partition.shard_vertices[0]) == graph.n
+
+
+def test_partition_rejects_zero_shards():
+    with pytest.raises(ReproError):
+        separator_partition(grid_network(3, 3, seed=0), 0)
+
+
+def test_shard_graph_virtual_chain_connects_boundary():
+    graph = road_network(120, seed=5)
+    partition = separator_partition(graph, 3)
+    for k in range(partition.shards):
+        shard_graph = build_shard_graph(graph, partition, k)
+        interior = len(partition.shard_vertices[k])
+        b = len(partition.boundary)
+        assert shard_graph.n == interior + b
+        # no boundary-boundary edge except the virtual chain
+        for j1 in range(b):
+            for j2 in range(j1 + 1, b):
+                if shard_graph.has_edge(interior + j1, interior + j2):
+                    assert j2 == j1 + 1
+                    assert (
+                        shard_graph.weight(interior + j1, interior + j2)
+                        == VIRTUAL_WEIGHT
+                    )
+
+
+def test_route_update_totality_and_split():
+    graph = road_network(150, seed=11)
+    partition = separator_partition(graph, 4)
+    updates = [((u, v), w * 2.0) for u, v, w in graph.edges()]
+    per_shard, overlay = split_updates(partition, updates)
+    assert sum(len(b) for b in per_shard.values()) + len(overlay) == len(
+        updates
+    )
+    for (u, v), _w in overlay:
+        assert partition.is_boundary(u) and partition.is_boundary(v)
+    for shard, batch in per_shard.items():
+        to_local, _ = shard_local_ids(partition, shard)
+        for (u, v), _w in batch:
+            assert route_update(partition, (u, v)) == shard
+            assert to_local[u] >= 0 and to_local[v] >= 0
+
+
+def test_split_updates_rejects_virtual_range_weights():
+    graph = grid_network(4, 4, seed=0)
+    partition = separator_partition(graph, 2)
+    u, v, _w = next(iter(graph.edges()))
+    with pytest.raises(ReproError):
+        split_updates(partition, [((u, v), float(2**45))])
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(graph=connected_graphs(), shards=st.integers(min_value=1, max_value=5))
+def test_routing_totality_property(graph, shards):
+    """Routing is a total function on arbitrary connected graphs."""
+    partition = separator_partition(graph, shards)
+    partition.validate(graph)
+    assert 1 <= partition.shards <= shards
+    owned = np.zeros(graph.n, dtype=int)
+    for members in partition.shard_vertices:
+        for v in members:
+            owned[v] += 1
+    for v in partition.boundary:
+        owned[v] += 1
+    assert np.all(owned == 1)  # boundary xor exactly one shard
+    for u, v, _w in graph.edges():
+        destination = route_update(partition, (u, v))
+        assert destination == BOUNDARY_SHARD or 0 <= destination < partition.shards

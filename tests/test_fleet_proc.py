@@ -1,0 +1,59 @@
+"""Process-backed fleet: one spawned worker per shard.
+
+Keeps the graph small — each worker builds its shard oracle at spawn —
+and checks the cross-process contract: exact answers, two-phase
+publishes over RPC, and retired fleet snapshots that keep answering at
+their pinned shard epochs because workers retain every published epoch
+snapshot keyed by epoch number.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import distance as dijkstra_distance
+from repro.fleet import FleetCoordinator
+from repro.graph.generators import road_network
+from repro.perf.parallel import shared_memory_available
+from repro.workloads.updates import increase_batch, sample_edges
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="spawn-based multiprocessing unavailable in this sandbox",
+)
+
+
+def test_process_fleet_matches_dijkstra_across_epochs():
+    graph = road_network(70, seed=4)
+    rng = np.random.default_rng(0)
+    pairs = [
+        (int(rng.integers(graph.n)), int(rng.integers(graph.n)))
+        for _ in range(40)
+    ]
+    fleet = FleetCoordinator(
+        graph.copy(), shards=2, oracle="ch", processes=True
+    )
+    try:
+        pinned = fleet.snapshot()
+        before = fleet.query_many_on(pinned, pairs)
+        expected = [0] * fleet.shards
+        for round_no in range(2):
+            batch = increase_batch(
+                sample_edges(graph, 4, seed=50 + round_no), factor=2.0
+            )
+            report = fleet.apply(batch)
+            for shard in report.touched_shards:
+                expected[shard] += 1
+            graph.apply_batch(batch)
+        for (s, t), got in zip(pairs, fleet.query_many(pairs)):
+            assert got == dijkstra_distance(graph, s, t)
+        # retired fleet snapshot replays at its pinned shard epochs
+        assert fleet.query_many_on(pinned, pairs) == before
+        assert pinned.shard_epochs == (0,) * fleet.shards
+        assert fleet.snapshot().shard_epochs == tuple(expected)
+        assert fleet.snapshot().fleet_epoch == 2
+        stats = fleet.stats()
+        assert [row["shard"] for row in stats["per_shard"]] == [0, 1]
+    finally:
+        fleet.close()

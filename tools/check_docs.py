@@ -49,6 +49,7 @@ REQUIRED_DOCS = (
     "docs/degraded-mode.md",
     "docs/observability.md",
     "docs/performance.md",
+    "docs/sharding.md",
     "docs/slo.md",
 )
 
@@ -172,8 +173,10 @@ def check_observability_catalogue() -> List[str]:
 def check_registry_matches_catalogue() -> List[str]:
     """A fully-wired serving stack registers exactly the catalogued
     metrics: the server's own families plus the SLO engine, flight
-    recorder and boundedness sentinel sharing its registry."""
+    recorder, boundedness sentinel and a fleet coordinator sharing its
+    registry."""
     from repro.core.dynamic import DynamicCH
+    from repro.fleet.coordinator import FleetCoordinator
     from repro.graph.generators import grid_network
     from repro.obs import names
     from repro.obs.flight import FlightRecorder
@@ -187,6 +190,14 @@ def check_registry_matches_catalogue() -> List[str]:
         Envelope(c_aff=1.0, c_diff=1.0), registry=server.metrics
     )
     FlightRecorder(sentinel=sentinel, registry=server.metrics)
+    fleet = FleetCoordinator(
+        grid_network(4, 4, seed=0),
+        shards=2,
+        oracle="ch",
+        workers=1,
+        registry=server.metrics,
+    )
+    fleet.close()
     registered = set(server.metrics.names())
     errors = []
     for metric in sorted(names.METRICS - registered):

@@ -436,6 +436,7 @@ def _serve_bench_fleet(args) -> int:
         backend=args.backend,
         cache_capacity=args.cache_capacity,
         processes=args.fleet_processes,
+        incremental=not args.fleet_full_rebuild,
     )
     sink = previous = None
     if args.trace or args.flight_dir:
@@ -469,6 +470,19 @@ def _serve_bench_fleet(args) -> int:
     if publish:
         print(f"  fleet publish p50   {publish['p50'] / 1e3:8.1f} ms  "
               f"max {publish['max'] / 1e3:8.1f} ms")
+    small = latency_percentiles(result.small_publish_samples_s)
+    if small:
+        print(f"  1-edge publish mean {small['mean'] / 1e3:8.1f} ms  "
+              f"max {small['max'] / 1e3:8.1f} ms")
+    boundary = latency_percentiles(result.boundary_samples_s)
+    if boundary:
+        ratios = result.refresh_ratios()
+        ratio_txt = ""
+        if ratios:
+            ratio_txt = (f"  ops/aff {ratios['ops_per_aff_budget']:6.2f}  "
+                         f"ops/diff {ratios['ops_per_diff_budget']:6.2f}")
+        print(f"  boundary refresh    {boundary['p50'] / 1e3:8.1f} ms p50  "
+              f"max {boundary['max'] / 1e3:8.1f} ms{ratio_txt}")
     if args.json:
         _ensure_parent(args.json)
         with open(args.json, "w") as handle:
@@ -1038,6 +1052,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--fleet-processes", action="store_true",
                          help="with --fleet: host each shard server in "
                               "its own spawned worker process")
+    p_serve.add_argument("--fleet-full-rebuild", action="store_true",
+                         help="with --fleet: disable the AFF-scoped "
+                              "incremental boundary refresh and rebuild "
+                              "the boundary table from scratch on every "
+                              "publish (the reference path)")
     p_serve.set_defaults(func=_cmd_serve_bench)
 
     p_perf = sub.add_parser(

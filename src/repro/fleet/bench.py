@@ -14,7 +14,12 @@ the figures the CI gate watches (``BENCH_serve_fleet.json``):
 * ``cross_shard_fraction`` — non-local routes over all routed queries,
   straight from the ``repro_fleet_queries_total`` counters;
 * ``fleet_publish_latency`` — percentiles over every two-phase publish
-  driven by the update stream.
+  driven by the update stream (alternating increases and true
+  decreases that restore the previously raised edges);
+* ``small_batch_publish_latency`` — percentiles over a trailing phase
+  of 1-edge increase/restore publishes, the regime where the
+  AFF-scoped incremental boundary refresh pays off hardest because
+  publish cost tracks the update instead of the fleet.
 
 Note the headline throughput on a single-core host comes from the
 vectorised boundary min-plus, not process parallelism; ``processes=True``
@@ -53,6 +58,8 @@ class FleetBenchConfig:
     cache_capacity: int = 65536  #: per-shard query cache
     processes: bool = False  #: one worker process per shard
     latency_samples: int = 300  #: individually timed distance() calls
+    incremental: bool = True  #: AFF-scoped incremental boundary refresh
+    small_batches: int = 6  #: trailing 1-edge increase/restore publishes
 
 
 @dataclass
@@ -70,6 +77,16 @@ class FleetBenchResult:
     throughput_qps: float
     query_samples_s: List[float] = field(default_factory=list, repr=False)
     publish_samples_s: List[float] = field(default_factory=list, repr=False)
+    #: Publish wall times of the trailing 1-edge increase/restore phase.
+    small_publish_samples_s: List[float] = field(
+        default_factory=list, repr=False
+    )
+    #: Per-publish boundary refresh wall times (the incremental stage).
+    boundary_samples_s: List[float] = field(default_factory=list, repr=False)
+    #: Per-publish (ops_total, aff_norm, diff_cells) from RefreshStats.
+    refresh_work: List[Tuple[int, int, int]] = field(
+        default_factory=list, repr=False
+    )
     cross_shard_fraction: float = 0.0
     routes: Dict[str, int] = field(default_factory=dict)
     checksum: float = 0.0  #: sum of finite answers (differential anchor)
@@ -90,9 +107,42 @@ class FleetBenchResult:
             "fleet_publish_latency_us": latency_percentiles(
                 self.publish_samples_s
             ),
+            "small_batch_publish_latency_us": latency_percentiles(
+                self.small_publish_samples_s
+            ),
+            "boundary_refresh_latency_us": latency_percentiles(
+                self.boundary_samples_s
+            ),
             "cross_shard_fraction": self.cross_shard_fraction,
             "routes": dict(self.routes),
             "checksum": self.checksum,
+        }
+
+    def refresh_ratios(self) -> Dict[str, float]:
+        """Boundary-refresh subboundedness ratios (Theorem 4.1/5.1 shape).
+
+        The worst per-publish ``ops_total / linearithmic(measure)`` over
+        the update stream, with ``measure = ‖AFF‖`` (shard-local
+        affected sets plus overlay writes) and ``measure = |DIFF|``
+        (boundary-table cells that actually changed).  The max — not
+        the mean — goes on record because the boundedness sentinel fits
+        its envelope as ``margin × max(committed ratio)``.
+        """
+        from repro.core.bounds import subboundedness_ratio
+
+        if not self.refresh_work:
+            return {}
+        aff_ratios = [
+            subboundedness_ratio(ops, aff)
+            for ops, aff, _diff in self.refresh_work
+        ]
+        diff_ratios = [
+            subboundedness_ratio(ops, diff)
+            for ops, _aff, diff in self.refresh_work
+        ]
+        return {
+            "ops_per_aff_budget": max(aff_ratios),
+            "ops_per_diff_budget": max(diff_ratios),
         }
 
     def to_bench_record(self, name: str = "serve_fleet") -> BenchRecord:
@@ -102,7 +152,7 @@ class FleetBenchResult:
             config=dict(self.config.__dict__),
             latency_us=latency_percentiles(self.query_samples_s),
             throughput_qps=self.throughput_qps,
-            ratios={},
+            ratios=self.refresh_ratios(),
             index={},
             extra={
                 "build_s": self.build_s,
@@ -116,6 +166,12 @@ class FleetBenchResult:
                 "routes": dict(self.routes),
                 "fleet_publish_latency_us": latency_percentiles(
                     self.publish_samples_s
+                ),
+                "small_batch_publish_latency_us": latency_percentiles(
+                    self.small_publish_samples_s
+                ),
+                "boundary_refresh_latency_us": latency_percentiles(
+                    self.boundary_samples_s
                 ),
                 "checksum": self.checksum,
             },
@@ -147,6 +203,7 @@ def fleet_bench(config: FleetBenchConfig) -> FleetBenchResult:
         cache_capacity=config.cache_capacity,
         workers=1,
         processes=config.processes,
+        incremental=config.incremental,
     )
     build_s = perf_counter() - build_start
 
@@ -179,21 +236,52 @@ def fleet_bench(config: FleetBenchConfig) -> FleetBenchResult:
             coordinator.distance(s, t)
             samples.append(perf_counter() - start)
 
-        # Live update stream: two-phase publish latency.
+        # Live update stream: two-phase publish latency.  Restore rounds
+        # pop the previous increase so they are true weight decreases,
+        # not no-op rewrites of untouched edges.
         publishes: List[float] = []
-        for round_no in range(config.updates):
-            edges = sample_edges(
-                graph, config.batch, seed=config.seed + 101 + round_no
-            )
-            if round_no % 2 == 0:
-                updates = increase_batch(edges, factor=config.factor)
-            else:
-                updates = restore_batch(edges)
-            start = perf_counter()
+        boundary_samples: List[float] = []
+        refresh_work: List[Tuple[int, int, int]] = []
+        raised: List[list] = []
+
+        def timed_publish(updates, bucket: List[float]) -> None:
             report = coordinator.apply(updates)
-            publishes.append(report.total_s)
+            bucket.append(report.total_s)
+            boundary_samples.append(report.boundary_s)
+            stats = report.boundary_stats
+            if stats is not None:
+                refresh_work.append(
+                    (stats.ops_total, stats.aff_norm, stats.diff_cells)
+                )
             graph.apply_batch(updates)
+
+        for round_no in range(config.updates):
+            if round_no % 2 == 0 or not raised:
+                edges = sample_edges(
+                    graph, config.batch, seed=config.seed + 101 + round_no
+                )
+                updates = increase_batch(edges, factor=config.factor)
+                raised.append(restore_batch(edges))
+            else:
+                updates = raised.pop()
+            timed_publish(updates, publishes)
             coordinator.query_many(pairs)  # post-publish warm pass
+
+        # Trailing small-batch phase: 1-edge increase/true-restore pairs.
+        # This is the regime the AFF-scoped refresh targets — publish
+        # cost should track the single edge, not the fleet.
+        small_publishes: List[float] = []
+        raised.clear()
+        for round_no in range(config.small_batches):
+            if round_no % 2 == 0 or not raised:
+                edges = sample_edges(
+                    graph, 1, seed=config.seed + 501 + round_no
+                )
+                updates = increase_batch(edges, factor=config.factor)
+                raised.append(restore_batch(edges))
+            else:
+                updates = raised.pop()
+            timed_publish(updates, small_publishes)
 
         routes = _route_counts(coordinator)
         routed = sum(routes.values())
@@ -214,6 +302,9 @@ def fleet_bench(config: FleetBenchConfig) -> FleetBenchResult:
             throughput_qps=throughput,
             query_samples_s=samples,
             publish_samples_s=publishes,
+            small_publish_samples_s=small_publishes,
+            boundary_samples_s=boundary_samples,
+            refresh_work=refresh_work,
             cross_shard_fraction=cross_fraction,
             routes=routes,
             checksum=checksum,

@@ -24,18 +24,52 @@ Two numerical conventions make this exact rather than approximate:
   query is a single length-``|B|`` min-plus reduction
   (``(OUTD[s] + ROW_IN[t]).min()``) and a batch is one vectorised
   ``np.min`` over an ``(m, |B|)`` array.
+
+Incremental refresh (docs/sharding.md § Incremental boundary refresh)
+---------------------------------------------------------------------
+:func:`build_boundary` is the full-rebuild reference.  The serving hot
+path uses :func:`refresh_boundary` instead, which makes every stage of
+the rebuild AFF-scoped so a publish costs what the *update* touched,
+not what the *fleet* holds:
+
+1. **Rows** — a dirty shard's per-boundary Dijkstra sweeps shrink to
+   the boundary columns and interior rows named by the shard oracle's
+   own ``V_aff`` (:func:`plan_row_refresh` / :func:`scoped_row_patch`
+   / :func:`apply_row_patch`), sound because an entry ``d(x, b_j)``
+   can only change when ``x`` or ``b_j`` is in ``V_aff``.
+2. **Closure** — the ``DB`` min-plus closure is re-derived from the
+   previous closed matrix: decreases are folded in with Floyd–Warshall
+   pivots restricted to the endpoints of changed base cells; increases
+   re-close exactly the source rows whose old shortest boundary paths
+   ran through an increased cell (dense Dijkstra over the new base).
+3. **OUTD** — ``ROW_OUT ⊗ DB`` is patched per changed row / changed
+   ``DB`` column with a vectorised candidate mask instead of the full
+   blocked min-plus.
+
+Each stage falls back to its full counterpart when the change set is
+so large that the scoped path would not be cheaper
+(:class:`RefreshStats` records rows refreshed, closure cells relaxed
+and every fallback, which the coordinator surfaces as
+``repro_fleet_boundary_*`` metrics).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.baselines.dijkstra import dijkstra
 from repro.directed.dijkstra import directed_dijkstra
 from repro.fleet.partition import VIRTUAL_WEIGHT, Partition, shard_local_ids
+
+try:  # C-speed batched SSSP when the host happens to ship scipy
+    from scipy.sparse import csr_matrix as _csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+except ImportError:  # pragma: no cover - pure-python fallback below
+    _csr_matrix = None
+    _csgraph_dijkstra = None
 
 #: Any assembled distance at or above this is virtual-chain pollution
 #: (or genuine unreachability) and reads back as infinity.
@@ -92,7 +126,104 @@ class BoundaryTable:
         return values
 
 
-def shard_rows(shard_graph, interior: int, boundary: int) -> ShardRows:
+def _shard_csr(shard_graph):
+    """Shard adjacency as a CSR matrix, arcs explicit in both senses."""
+    n = shard_graph.n
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    if hasattr(shard_graph, "arcs"):
+        for u, v, w in shard_graph.arcs():
+            rows.append(u)
+            cols.append(v)
+            vals.append(w)
+    else:
+        for u, v, w in shard_graph.edges():
+            rows.append(u)
+            cols.append(v)
+            vals.append(w)
+            rows.append(v)
+            cols.append(u)
+            vals.append(w)
+    return _csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+class ShardCSR:
+    """Weight-patchable CSR mirror of one shard graph.
+
+    Fleet updates are weight rewrites, never edge insertions, so the
+    sparsity pattern is frozen at build time: the ``(u, v) -> data
+    slot`` map is computed once and :meth:`set_weight` patches
+    ``matrix.data`` in place — no per-publish adjacency rebuild.  When
+    scipy is absent ``matrix`` is ``None`` and sweeps fall back to the
+    pure-python per-source Dijkstra.
+    """
+
+    __slots__ = ("matrix", "_slots", "_directed")
+
+    def __init__(self, shard_graph):
+        self._directed = hasattr(shard_graph, "arcs")
+        if _csr_matrix is None:
+            self.matrix = None
+            self._slots = None
+            return
+        self.matrix = _shard_csr(shard_graph)
+        indptr = self.matrix.indptr
+        indices = self.matrix.indices
+        slots: Dict[Tuple[int, int], int] = {}
+        for u in range(self.matrix.shape[0]):
+            for slot in range(int(indptr[u]), int(indptr[u + 1])):
+                slots[(u, int(indices[slot]))] = slot
+        self._slots = slots
+
+    def set_weight(self, u: int, v: int, weight: float) -> None:
+        if self.matrix is None:
+            return
+        self.matrix.data[self._slots[(u, v)]] = weight
+        if not self._directed:
+            self.matrix.data[self._slots[(v, u)]] = weight
+
+
+def batched_sssp(
+    shard_graph,
+    sources: Sequence[int],
+    *,
+    reverse: bool = False,
+    csr=None,
+) -> np.ndarray:
+    """``(len(sources), n)`` distances from each source to every vertex.
+
+    Uses scipy's C Dijkstra when the host ships scipy (pass ``csr``
+    from :func:`_shard_csr` to amortise the adjacency build across
+    forward/backward calls); otherwise falls back to one pure-python
+    heap Dijkstra per source.  Exactness either way: every real path
+    sum of integral weights is exact in float64 regardless of
+    relaxation order, and virtual-chain pollution — where orders *can*
+    round differently — sits at or above :data:`VIRTUAL_CUTOFF` and
+    reads back as infinity.
+    """
+    directed = hasattr(shard_graph, "arcs")
+    if _csgraph_dijkstra is not None:
+        if csr is None:
+            csr = _shard_csr(shard_graph)
+        matrix = csr.T.tocsr() if (reverse and directed) else csr
+        if not len(sources):
+            return np.empty((0, shard_graph.n))
+        return np.asarray(
+            _csgraph_dijkstra(matrix, directed=True, indices=list(sources))
+        )
+    out = np.empty((len(sources), shard_graph.n))
+    for idx, source in enumerate(sources):
+        if directed:
+            out[idx] = directed_dijkstra(shard_graph, source, reverse=reverse)
+        else:
+            out[idx] = dijkstra(shard_graph, source)
+    return out
+
+
+def shard_rows(
+    shard_graph, interior: int, boundary: int, *, csr=None
+) -> ShardRows:
     """Dijkstra row blocks for one shard graph (local vertex ids).
 
     Runs one SSSP per boundary vertex (two per vertex when the shard
@@ -102,45 +233,57 @@ def shard_rows(shard_graph, interior: int, boundary: int) -> ShardRows:
     within this shard graph (virtual chain included — callers threshold
     at :data:`VIRTUAL_CUTOFF`).
     """
-    out_block = np.full((interior, boundary), np.inf)
-    in_block = np.full((interior, boundary), np.inf)
-    clique = np.full((boundary, boundary), np.inf)
     directed = hasattr(shard_graph, "arcs")
-    for j in range(boundary):
-        source = interior + j
-        if directed:
-            forward = np.asarray(directed_dijkstra(shard_graph, source))
-            backward = np.asarray(
-                directed_dijkstra(shard_graph, source, reverse=True)
-            )
-        else:
-            forward = np.asarray(dijkstra(shard_graph, source))
-            backward = forward
-        in_block[:, j] = forward[:interior]
-        out_block[:, j] = backward[:interior]
-        clique[j, :] = forward[interior : interior + boundary]
+    sources = list(range(interior, interior + boundary))
+    if csr is None and _csgraph_dijkstra is not None:
+        csr = _shard_csr(shard_graph)
+    forward = batched_sssp(shard_graph, sources, csr=csr)
+    backward = (
+        batched_sssp(shard_graph, sources, reverse=True, csr=csr)
+        if directed
+        else forward
+    )
+    in_block = forward[:, :interior].T.copy()
+    out_block = backward[:, :interior].T.copy()
+    clique = forward[:, interior : interior + boundary].copy()
     return out_block, in_block, clique
 
 
-def _closure(matrix: np.ndarray) -> np.ndarray:
-    """Vectorised Floyd–Warshall min-plus closure (in place, returned)."""
+def _closure(matrix: np.ndarray, *, count: Optional[List[int]] = None) -> np.ndarray:
+    """Vectorised Floyd–Warshall min-plus closure (in place, returned).
+
+    Pivot rows that are all-∞ cannot relax anything and are skipped.
+    ``count`` (a single-element list) accumulates relaxed cell visits.
+    """
     b = matrix.shape[0]
+    scratch = np.empty_like(matrix)
     for k in range(b):
-        np.minimum(
-            matrix, matrix[:, k, None] + matrix[None, k, :], out=matrix
-        )
+        row = matrix[k]
+        if not np.isfinite(row).any():
+            continue
+        np.add(matrix[:, k, None], row[None, :], out=scratch)
+        np.minimum(matrix, scratch, out=matrix)
+        if count is not None:
+            count[0] += b * b
     return matrix
 
 
 def _min_plus(rows: np.ndarray, db: np.ndarray, *, block: int = 128) -> np.ndarray:
-    """``out[v, j] = min_i rows[v, i] + db[i, j]``, chunked over v."""
-    n = rows.shape[0]
+    """``out[v, j] = min_i rows[v, i] + db[i, j]``, chunked over v.
+
+    A single ``(block, b, b)`` scratch buffer is reused across chunks
+    instead of materialising a fresh broadcast temp per chunk.
+    """
+    n, b = rows.shape
     out = np.empty_like(rows)
+    if b == 0 or n == 0:
+        return out
+    scratch = np.empty((min(block, n), b, b))
     for lo in range(0, n, block):
         hi = min(n, lo + block)
-        out[lo:hi] = np.min(
-            rows[lo:hi, :, None] + db[None, :, :], axis=1
-        )
+        view = scratch[: hi - lo]
+        np.add(rows[lo:hi, :, None], db[None, :, :], out=view)
+        np.min(view, axis=1, out=out[lo:hi])
     return out
 
 
@@ -192,21 +335,12 @@ def build_boundary(
         row_out[vertex, j] = 0.0
         row_in[vertex, j] = 0.0
 
-    db = np.full((b, b), np.inf)
+    base = _assemble_base(partition, rows, overlay, directed)
     if b:
-        np.fill_diagonal(db, 0.0)
-        index = partition.boundary_index
-        for (u, v), w in overlay.items():
-            ju, jv = index[u], index[v]
-            if w < db[ju, jv]:
-                db[ju, jv] = w
-            if not directed and w < db[jv, ju]:
-                db[jv, ju] = w
-        for k in range(len(shard_graphs)):
-            np.minimum(db, rows[k][2], out=db)
-        _closure(db)
+        db = _closure(base.copy())
         outd = _min_plus(row_out, db)
     else:
+        db = base
         outd = np.full((n, 0), np.inf)
 
     table = BoundaryTable(
@@ -218,6 +352,442 @@ def build_boundary(
         outd=outd,
     )
     return table, rows
+
+
+def _assemble_base(
+    partition: Partition,
+    rows: Mapping[int, ShardRows],
+    overlay: Mapping[Tuple[int, int], float],
+    directed: bool,
+) -> np.ndarray:
+    """Pre-closure base matrix: min(diag 0, overlay, per-shard cliques)."""
+    b = len(partition.boundary)
+    base = np.full((b, b), np.inf)
+    if not b:
+        return base
+    np.fill_diagonal(base, 0.0)
+    index = partition.boundary_index
+    for (u, v), w in overlay.items():
+        ju, jv = index[u], index[v]
+        if w < base[ju, jv]:
+            base[ju, jv] = w
+        if not directed and w < base[jv, ju]:
+            base[jv, ju] = w
+    for k in sorted(rows):
+        np.minimum(base, rows[k][2], out=base)
+    return base
+
+
+@dataclass
+class RefreshStats:
+    """Work accounting for one incremental boundary refresh.
+
+    ``rows_refreshed`` counts SSSP sources rerun inside dirty shards;
+    ``row_touches`` the vertex settles those sweeps cost;
+    ``closure_cells`` / ``outd_cells`` the matrix cells relaxed or
+    recomputed in the closure and OUTD stages.  ``aff_norm`` is the
+    publish's ‖AFF‖ currency (shard-local affected sets plus overlay
+    writes), ``diff_cells`` the |DIFF| analogue (boundary-table entries
+    that actually changed).  ``fallbacks`` names every stage that
+    reverted to its full counterpart; ``full_rebuild`` marks a publish
+    that bypassed the incremental path entirely.
+    """
+
+    rows_refreshed: int = 0
+    row_touches: int = 0
+    closure_cells: int = 0
+    outd_cells: int = 0
+    diff_cells: int = 0
+    aff_norm: int = 0
+    fallbacks: List[str] = field(default_factory=list)
+    full_rebuild: bool = False
+
+    @property
+    def ops_total(self) -> int:
+        """Total refresh work in the shared cell/settle currency."""
+        return self.row_touches + self.closure_cells + self.outd_cells
+
+
+@dataclass
+class BoundaryState:
+    """Carry-over between publishes for :func:`refresh_boundary`.
+
+    ``base`` is the *pre-closure* boundary matrix the current ``db``
+    closes; diffing a freshly assembled base against it yields the
+    exact changed-cell set that seeds the incremental closure.  The
+    previous ``table`` is never mutated — refresh copies-on-write, so
+    readers pinned on old fleet epochs keep their arrays.
+    """
+
+    rows: Dict[int, ShardRows]
+    base: np.ndarray
+    table: BoundaryTable
+    directed: bool
+
+
+def build_boundary_state(
+    partition: Partition,
+    shard_graphs: Sequence,
+    overlay: Dict[Tuple[int, int], float],
+    *,
+    version: int = 0,
+    cache: Optional[Dict[int, ShardRows]] = None,
+    dirty: Optional[Sequence[int]] = None,
+) -> Tuple[BoundaryTable, BoundaryState]:
+    """Full rebuild that also captures the incremental carry-over state."""
+    table, rows = build_boundary(
+        partition, shard_graphs, overlay, version=version, cache=cache, dirty=dirty
+    )
+    directed = bool(shard_graphs) and hasattr(shard_graphs[0], "arcs")
+    base = _assemble_base(partition, rows, overlay, directed)
+    return table, BoundaryState(
+        rows=rows, base=base, table=table, directed=directed
+    )
+
+
+def plan_row_refresh(
+    interior: int, boundary: int, aff: Optional[FrozenSet[int]]
+) -> Optional[Tuple[List[int], List[int]]]:
+    """AFF-scoped row-refresh plan for one dirty shard.
+
+    Returns ``(dirty_cols, aff_rows)`` — the boundary columns and
+    interior rows whose SSSPs must rerun — or ``None`` when the shard's
+    affected set is unknown or the scoped sweep would not beat the full
+    ``boundary``-source sweep.  Soundness: a block entry ``d(x, b_j)``
+    can only change when ``x ∈ AFF`` or ``b_j ∈ AFF`` (the shard
+    oracle's own V_aff guarantee), so recomputing the affected columns
+    *and* the affected interior rows covers every mutable entry.
+    """
+    if aff is None:
+        return None
+    dirty_cols = sorted(j for j in range(boundary) if interior + j in aff)
+    aff_rows = sorted(x for x in aff if 0 <= x < interior)
+    if len(dirty_cols) + len(aff_rows) >= boundary:
+        return None
+    return dirty_cols, aff_rows
+
+
+def scoped_row_patch(
+    shard_graph,
+    interior: int,
+    boundary: int,
+    plan: Optional[Tuple[Sequence[int], Sequence[int]]],
+    *,
+    csr=None,
+) -> Dict[str, object]:
+    """Compute the Dijkstra patch for one shard (worker- or local-side).
+
+    With ``plan=None`` the patch carries full :func:`shard_rows`
+    blocks; otherwise only the planned columns/rows are swept.  Pass a
+    :class:`ShardCSR` matrix via ``csr`` to skip the adjacency build.
+    The patch is pure data (lists + arrays) so it can cross the process
+    boundary — :func:`apply_row_patch` folds it into the cached blocks.
+    """
+    directed = hasattr(shard_graph, "arcs")
+    size = interior + boundary
+    per_sweep = size * (2 if directed else 1)
+    if csr is None and _csgraph_dijkstra is not None:
+        csr = _shard_csr(shard_graph)
+    if plan is None:
+        full = shard_rows(shard_graph, interior, boundary, csr=csr)
+        return {
+            "full": full,
+            "touches": per_sweep * boundary,
+            "sources": boundary,
+        }
+    dirty_cols, aff_rows = list(plan[0]), list(plan[1])
+    c, r = len(dirty_cols), len(aff_rows)
+    sources = [interior + j for j in dirty_cols] + aff_rows
+    forward = batched_sssp(shard_graph, sources, csr=csr)
+    backward = (
+        batched_sssp(shard_graph, sources, reverse=True, csr=csr)
+        if directed
+        else forward
+    )
+    col_in = forward[:c, :interior].T.copy()
+    col_out = backward[:c, :interior].T.copy()
+    clique_row = forward[:c, interior:size].copy()
+    clique_col = backward[:c, interior:size].T.copy()
+    row_out_p = forward[c:, interior:size].copy()
+    row_in_p = backward[c:, interior:size].copy()
+    return {
+        "cols": dirty_cols,
+        "col_in": col_in,
+        "col_out": col_out,
+        "clique_row": clique_row,
+        "clique_col": clique_col,
+        "rows": aff_rows,
+        "row_out": row_out_p,
+        "row_in": row_in_p,
+        "touches": per_sweep * (c + r),
+        "sources": c + r,
+    }
+
+
+def apply_row_patch(
+    cached: ShardRows, patch: Dict[str, object]
+) -> ShardRows:
+    """Fold a :func:`scoped_row_patch` into cached blocks (copy-on-write)."""
+    if "full" in patch:
+        return patch["full"]  # type: ignore[return-value]
+    out_block, in_block, clique = cached
+    out_block = out_block.copy()
+    in_block = in_block.copy()
+    clique = clique.copy()
+    cols = patch["cols"]
+    if cols:
+        out_block[:, cols] = patch["col_out"]
+        in_block[:, cols] = patch["col_in"]
+        clique[cols, :] = patch["clique_row"]
+        clique[:, cols] = patch["clique_col"]
+    rows = patch["rows"]
+    if rows:
+        out_block[rows, :] = patch["row_out"]
+        in_block[rows, :] = patch["row_in"]
+    return out_block, in_block, clique
+
+
+def _dense_dijkstra_row(base: np.ndarray, source: int) -> np.ndarray:
+    """Exact single-source distances over the dense base matrix."""
+    b = base.shape[0]
+    dist = base[source].copy()
+    done = np.zeros(b, dtype=bool)
+    for _ in range(b):
+        masked = np.where(done, np.inf, dist)
+        u = int(np.argmin(masked))
+        if not np.isfinite(masked[u]):
+            break
+        done[u] = True
+        np.minimum(dist, dist[u] + base[u], out=dist)
+    return dist
+
+
+def _refresh_closure(
+    base_old: np.ndarray,
+    base_new: np.ndarray,
+    db_old: np.ndarray,
+    stats: RefreshStats,
+) -> np.ndarray:
+    """Delta-seeded min-plus closure of ``base_new``.
+
+    ``db_old`` must be the exact closure of ``base_old``.  Increases
+    are handled first: a source row is dirty iff some old shortest
+    boundary path from it ran through an increased cell (equality test
+    against the old closure), and each dirty row is re-derived by dense
+    Dijkstra over ``base_new``.  Decreases are then folded in with
+    Floyd–Warshall pivots restricted to the endpoints of decreased
+    cells.  Falls back to the full closure when the changed-cell set is
+    too large to be cheaper.  Returns ``db_old`` itself (shared, not
+    copied) when no base cell changed.
+    """
+    b = base_old.shape[0]
+    changed = base_new != base_old
+    if not changed.any():
+        return db_old
+    stats.diff_cells += int(np.count_nonzero(changed))
+    inc_idx = np.argwhere(base_new > base_old)
+    dec_idx = np.argwhere(base_new < base_old)
+    pivots = (
+        np.unique(dec_idx) if dec_idx.size else np.empty(0, dtype=np.int64)
+    )
+    if inc_idx.shape[0] + pivots.size >= b:
+        stats.fallbacks.append("closure")
+        count = [0]
+        db = _closure(base_new.copy(), count=count)
+        stats.closure_cells += count[0]
+        return db
+    db = db_old.copy()
+    if inc_idx.size:
+        finite = np.isfinite(db_old)
+        dirty = np.zeros(b, dtype=bool)
+        for u, v in inc_idx:
+            contrib = db_old[:, u, None] + (base_old[u, v] + db_old[None, v, :])
+            dirty |= ((contrib == db_old) & finite).any(axis=1)
+            stats.closure_cells += b * b
+        for i in np.flatnonzero(dirty):
+            db[i, :] = _dense_dijkstra_row(base_new, int(i))
+            stats.closure_cells += b * b
+    if dec_idx.size:
+        rs, cs = dec_idx[:, 0], dec_idx[:, 1]
+        np.minimum.at(db, (rs, cs), base_new[rs, cs])
+        scratch = np.empty_like(db)
+        for k in pivots:
+            np.add(db[:, k, None], db[None, k, :], out=scratch)
+            np.minimum(db, scratch, out=db)
+            stats.closure_cells += b * b
+    return db
+
+
+def _refresh_outd(
+    row_out: np.ndarray,
+    changed_rows: Sequence[int],
+    db_old: np.ndarray,
+    db_new: np.ndarray,
+    outd_old: np.ndarray,
+    stats: RefreshStats,
+) -> np.ndarray:
+    """Masked refresh of ``OUTD = ROW_OUT ⊗ DB``.
+
+    Rows whose ``row_out`` changed are recomputed in full.  For the
+    rest, each changed ``DB`` column is patched in place: decreased
+    cells contribute a vectorised candidate minimum over just those
+    cells; increased cells force a full recompute only for the rows
+    whose old minimum was supported by an increased cell (exact
+    equality test — integral float64 sums make it reliable).  Returns
+    ``outd_old`` itself (shared) when nothing changed.
+    """
+    n, b = row_out.shape
+    if b == 0:
+        return outd_old
+    R = np.asarray(sorted(set(int(v) for v in changed_rows)), dtype=np.int64)
+    if db_new is db_old:
+        J = np.empty(0, dtype=np.int64)
+        changed_cells = 0
+    else:
+        cell_changed = db_new != db_old
+        J = np.flatnonzero(cell_changed.any(axis=0))
+        changed_cells = int(np.count_nonzero(cell_changed))
+        stats.diff_cells += changed_cells
+    if R.size == 0 and J.size == 0:
+        return outd_old
+    if R.size >= n // 2 or changed_cells >= (b * b) // 2:
+        stats.fallbacks.append("outd")
+        stats.outd_cells += n * b
+        return _min_plus(row_out, db_new)
+    outd = outd_old.copy()
+    if R.size:
+        outd[R] = _min_plus(row_out[R], db_new)
+        stats.outd_cells += int(R.size) * b
+    if J.size:
+        keep = np.ones(n, dtype=bool)
+        keep[R] = False
+        rest = np.flatnonzero(keep)
+        ro = row_out[rest]
+        for j in J:
+            old_col = db_old[:, j]
+            new_col = db_new[:, j]
+            inc = np.flatnonzero(new_col > old_col)
+            dec = np.flatnonzero(new_col < old_col)
+            cur = outd[rest, j]
+            if inc.size:
+                support = (
+                    ro[:, inc] + old_col[None, inc] == cur[:, None]
+                ).any(axis=1)
+                hits = np.flatnonzero(support)
+                if hits.size:
+                    cur[hits] = np.min(ro[hits] + new_col[None, :], axis=1)
+                    stats.outd_cells += int(hits.size) * b
+            if dec.size:
+                cand = np.min(ro[:, dec] + new_col[None, dec], axis=1)
+                np.minimum(cur, cand, out=cur)
+                stats.outd_cells += int(rest.size) * int(dec.size)
+            outd[rest, j] = cur
+    return outd
+
+
+def refresh_boundary(
+    partition: Partition,
+    overlay: Dict[Tuple[int, int], float],
+    state: BoundaryState,
+    new_rows: Mapping[int, ShardRows],
+    *,
+    version: int,
+    stats: Optional[RefreshStats] = None,
+) -> Tuple[BoundaryTable, BoundaryState, RefreshStats]:
+    """Incremental boundary refresh from carried state plus fresh rows.
+
+    ``new_rows`` maps each dirty shard to its refreshed row bundle
+    (from :func:`apply_row_patch`); untouched shards reuse their cached
+    bundles from ``state``.  The previous table's arrays are never
+    mutated — every changed array is rebuilt copy-on-write, and
+    unchanged stages hand back the old arrays by reference.
+    """
+    stats = stats if stats is not None else RefreshStats()
+    b = len(partition.boundary)
+    old = state.table
+    rows = dict(state.rows)
+    row_out = old.row_out
+    row_in = old.row_in
+    changed_rows: List[int] = []
+    rows_copied = False
+    for k, bundle in new_rows.items():
+        old_bundle = rows[k]
+        rows[k] = bundle
+        members = np.asarray(partition.shard_vertices[k], dtype=np.int64)
+        if members.size == 0:
+            continue
+        out_new, in_new, _ = bundle
+        out_old, in_old, _ = old_bundle
+        out_diff = np.any(out_new != out_old, axis=1)
+        in_diff = np.any(in_new != in_old, axis=1)
+        touched = np.flatnonzero(out_diff | in_diff)
+        if touched.size == 0:
+            continue
+        if not rows_copied:
+            row_out = row_out.copy()
+            row_in = row_in.copy()
+            rows_copied = True
+        sel = members[touched]
+        row_out[sel] = out_new[touched]
+        row_in[sel] = in_new[touched]
+        changed_rows.extend(int(v) for v in members[np.flatnonzero(out_diff)])
+        stats.diff_cells += int(np.count_nonzero(out_new != out_old))
+        stats.diff_cells += int(np.count_nonzero(in_new != in_old))
+    base_new = _assemble_base(partition, rows, overlay, state.directed)
+    if b:
+        db = _refresh_closure(state.base, base_new, old.db, stats)
+        outd = _refresh_outd(
+            row_out, changed_rows, old.db, db, old.outd, stats
+        )
+    else:
+        db = base_new
+        outd = old.outd
+    table = BoundaryTable(
+        version=version,
+        boundary=old.boundary,
+        db=db,
+        row_out=row_out,
+        row_in=row_in,
+        outd=outd,
+    )
+    new_state = BoundaryState(
+        rows=rows, base=base_new, table=table, directed=state.directed
+    )
+    return table, new_state, stats
+
+
+def refresh_boundary_local(
+    partition: Partition,
+    shard_graphs: Sequence,
+    overlay: Dict[Tuple[int, int], float],
+    state: BoundaryState,
+    shard_aff: Mapping[int, Optional[FrozenSet[int]]],
+    *,
+    version: int,
+) -> Tuple[BoundaryTable, BoundaryState, RefreshStats]:
+    """Plan, sweep and refresh in one call (in-process shards / tests).
+
+    ``shard_aff`` maps every dirty shard to its local affected-vertex
+    set (``None`` = unknown, forcing a full row sweep for that shard).
+    """
+    stats = RefreshStats()
+    b = len(partition.boundary)
+    new_rows: Dict[int, ShardRows] = {}
+    for k, aff in sorted(shard_aff.items()):
+        interior = len(partition.shard_vertices[k])
+        plan = plan_row_refresh(interior, b, aff)
+        if plan is None:
+            stats.fallbacks.append("rows")
+            stats.aff_norm += interior + b
+        else:
+            stats.aff_norm += len(aff)
+        patch = scoped_row_patch(shard_graphs[k], interior, b, plan)
+        stats.rows_refreshed += int(patch["sources"])
+        stats.row_touches += int(patch["touches"])
+        new_rows[k] = apply_row_patch(state.rows[k], patch)
+    return refresh_boundary(
+        partition, overlay, state, new_rows, version=version, stats=stats
+    )
 
 
 def local_shard_graphs(graph, partition: Partition):

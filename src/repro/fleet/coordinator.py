@@ -46,9 +46,17 @@ import numpy as np
 from repro.errors import QueryError
 from repro.fleet.boundary import (
     VIRTUAL_CUTOFF,
+    BoundaryState,
     BoundaryTable,
-    build_boundary,
+    RefreshStats,
+    ShardCSR,
+    ShardRows,
+    apply_row_patch,
+    build_boundary_state,
     initial_overlay,
+    plan_row_refresh,
+    refresh_boundary,
+    scoped_row_patch,
 )
 from repro.fleet.partition import (
     BOUNDARY_SHARD,
@@ -60,6 +68,7 @@ from repro.fleet.partition import (
 )
 from repro.fleet.shard import ShardServer
 from repro.obs import names
+from repro.reliability import OracleState
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import span
 
@@ -89,11 +98,16 @@ class FleetReport:
     fleet_epoch: int  #: the newly committed fleet epoch
     touched_shards: Tuple[int, ...]  #: shards that prepared a new epoch
     overlay_updates: int  #: boundary-boundary edges rewritten
-    boundary_rebuilt: bool  #: whether the boundary table was rebuilt
+    boundary_rebuilt: bool  #: whether the boundary table was refreshed
     prepare_s: float  #: wall time of the prepare phase
     commit_s: float  #: wall time of the commit swap
     total_s: float  #: wall time of the whole publish
     shard_reports: Dict[int, object] = field(default_factory=dict, repr=False)
+    #: Wall time of the boundary refresh inside prepare (0.0 if skipped).
+    boundary_s: float = 0.0
+    #: Work accounting of the incremental refresh (None when the publish
+    #: skipped the boundary or ran the full non-incremental rebuild).
+    boundary_stats: Optional[RefreshStats] = field(default=None, repr=False)
 
 
 class FleetCoordinator:
@@ -120,11 +134,15 @@ class FleetCoordinator:
         registry: Optional[MetricsRegistry] = None,
         processes: bool = False,
         cut_depth: int = 0,
+        incremental: bool = True,
     ) -> None:
         self.partition: Partition = separator_partition(
             graph, shards, cut_depth=cut_depth
         )
         self.processes = bool(processes)
+        #: AFF-scoped incremental boundary refresh on publish (the full
+        #: rebuild stays available as the bit-identical reference path).
+        self.incremental = bool(incremental)
         self.metrics = registry if registry is not None else MetricsRegistry()
         self._register_metrics()
 
@@ -139,6 +157,10 @@ class FleetCoordinator:
             shard_local_ids(self.partition, k)[0]
             for k in range(self.partition.shards)
         ]
+        # Weight-patchable CSR mirrors: scoped row sweeps reuse the
+        # frozen sparsity pattern instead of rebuilding the adjacency
+        # per publish (no-op containers when scipy is absent).
+        self._shard_csrs = [ShardCSR(g) for g in self._local_graphs]
         self._overlay = initial_overlay(graph, self.partition)
         self._directed = hasattr(graph, "arcs")
 
@@ -171,7 +193,7 @@ class FleetCoordinator:
                 for k in range(self.partition.shards)
             ]
 
-        table, self._rows_cache = build_boundary(
+        table, self._boundary_state = build_boundary_state(
             self.partition, self._local_graphs, self._overlay, version=0
         )
         pins = [shard.pin() for shard in self._shards]
@@ -222,6 +244,21 @@ class FleetCoordinator:
             "Edge updates fanned out, by destination shard "
             "('overlay' for boundary-boundary edges).",
             ("shard",),
+        )
+        self._m_boundary_rows = m.counter(
+            names.FLEET_BOUNDARY_ROWS_REFRESHED,
+            "Dijkstra row sources rerun by incremental boundary "
+            "refreshes (full sweeps count every boundary column).",
+        )
+        self._m_boundary_cells = m.counter(
+            names.FLEET_BOUNDARY_CLOSURE_CELLS,
+            "DB-closure cells relaxed by incremental boundary refreshes.",
+        )
+        self._m_boundary_full = m.counter(
+            names.FLEET_BOUNDARY_FULL_REBUILDS,
+            "Refresh stages that reverted to their full counterpart, "
+            "by stage (rows/closure/outd/disabled).",
+            ("stage",),
         )
 
     # -- routing -------------------------------------------------------
@@ -369,11 +406,28 @@ class FleetCoordinator:
                     tokens = list(current.shard_tokens)
                     epochs = list(current.shard_epochs)
                     reports: Dict[int, object] = {}
-                    for shard in sorted(per_shard):
+                    dirty = sorted(per_shard)
+                    if self.processes:
+                        # Fan the prepare out: every dirty worker applies
+                        # its sub-batch concurrently, replies collected in
+                        # shard order.
+                        for shard in dirty:
+                            self._shards[shard].request_apply(
+                                per_shard[shard]
+                            )
+                        collected = [
+                            self._shards[shard].collect_apply()
+                            for shard in dirty
+                        ]
+                    else:
+                        collected = [
+                            self._shards[shard].apply(per_shard[shard])
+                            for shard in dirty
+                        ]
+                    for shard, (token, epoch, report) in zip(
+                        dirty, collected
+                    ):
                         sub_batch = per_shard[shard]
-                        token, epoch, report = self._shards[shard].apply(
-                            sub_batch
-                        )
                         tokens[shard] = token
                         epochs[shard] = epoch
                         reports[shard] = report
@@ -391,20 +445,25 @@ class FleetCoordinator:
                             len(overlay_updates), shard="overlay"
                         )
                     rebuilt = bool(per_shard) or bool(overlay_updates)
+                    boundary_s = 0.0
+                    boundary_stats: Optional[RefreshStats] = None
                     if rebuilt:
                         with span(names.SPAN_FLEET_BOUNDARY_REBUILD):
                             rebuild_start = perf_counter()
-                            table, self._rows_cache = build_boundary(
-                                self.partition,
-                                self._local_graphs,
-                                self._overlay,
-                                version=current.fleet_epoch + 1,
-                                cache=self._rows_cache,
-                                dirty=sorted(per_shard),
-                            )
-                            self._m_rebuild.observe(
-                                perf_counter() - rebuild_start
-                            )
+                            try:
+                                table, boundary_stats = self._refresh_boundary(
+                                    current,
+                                    dirty,
+                                    reports,
+                                    len(overlay_updates),
+                                )
+                            finally:
+                                # Record the wall time even when the
+                                # refresh raises — a slow *failed* rebuild
+                                # must still reach the flight recorder's
+                                # slow-publish trigger.
+                                boundary_s = perf_counter() - rebuild_start
+                                self._m_rebuild.observe(boundary_s)
                     else:
                         table = current.boundary
                 prepare_s = perf_counter() - prepare_start
@@ -430,14 +489,143 @@ class FleetCoordinator:
                 commit_s=commit_s,
                 total_s=total_s,
                 shard_reports=reports,
+                boundary_s=boundary_s,
+                boundary_stats=boundary_stats,
             )
+
+    @staticmethod
+    def _report_aff(report) -> Optional[frozenset]:
+        """A shard report's V_aff (local ids), or None when unusable.
+
+        The affected set only scopes the row refresh soundly when the
+        shard oracle actually absorbed the whole batch: any deferral or
+        degraded state means the coordinator's mirror graph is ahead of
+        the oracle, so the shard falls back to a full row sweep.
+        """
+        healthy = OracleState.HEALTHY.value
+        if isinstance(report, dict):
+            if report.get("state", healthy) != healthy:
+                return None
+            if report.get("deferred") or report.get("promoted"):
+                return None
+            if report.get("caught_up"):
+                return None
+            aff = report.get("aff_vertices")
+            return None if aff is None else frozenset(int(v) for v in aff)
+        if getattr(report, "state", healthy) != healthy:
+            return None
+        if getattr(report, "deferred", 0) or getattr(report, "promoted", 0):
+            return None
+        if getattr(report, "caught_up", 0):
+            return None
+        aff = getattr(report, "aff_vertices", None)
+        return None if aff is None else frozenset(aff)
+
+    def _refresh_boundary(
+        self,
+        current: FleetSnapshot,
+        dirty: Sequence[int],
+        reports: Dict[int, object],
+        overlay_writes: int,
+    ) -> Tuple[BoundaryTable, Optional[RefreshStats]]:
+        """Refresh the boundary table against the prepared shard state.
+
+        Incremental mode plans an AFF-scoped row sweep per dirty shard
+        (fanned out to the shard workers in process mode), folds the
+        patches into the carried :class:`BoundaryState`, and runs the
+        delta-seeded closure + masked OUTD refresh under a
+        ``fleet.boundary.incremental`` span whose fields carry the
+        ‖AFF‖/ops currencies for the boundedness sentinel.  With
+        ``incremental=False`` the reference full rebuild runs instead
+        (row blocks still scoped to dirty shards, as before).
+        """
+        version = current.fleet_epoch + 1
+        if not self.incremental:
+            self._m_boundary_full.inc(1, stage="disabled")
+            table, self._boundary_state = build_boundary_state(
+                self.partition,
+                self._local_graphs,
+                self._overlay,
+                version=version,
+                cache=self._boundary_state.rows,
+                dirty=list(dirty),
+            )
+            return table, None
+        stats = RefreshStats()
+        stats.aff_norm += overlay_writes
+        b = len(self.partition.boundary)
+        plans: Dict[int, Optional[Tuple[List[int], List[int]]]] = {}
+        for shard in dirty:
+            interior = len(self.partition.shard_vertices[shard])
+            aff = self._report_aff(reports.get(shard))
+            plan = plan_row_refresh(interior, b, aff)
+            plans[shard] = plan
+            if plan is None:
+                stats.fallbacks.append("rows")
+                stats.aff_norm += interior + b
+            else:
+                stats.aff_norm += len(aff)
+        with span(names.SPAN_FLEET_BOUNDARY_INCREMENTAL) as sp:
+            if self.processes:
+                for shard in dirty:
+                    self._shards[shard].request_rows(plans[shard])
+                patches = {
+                    shard: self._shards[shard].collect_rows()
+                    for shard in dirty
+                }
+            else:
+                patches = {
+                    shard: scoped_row_patch(
+                        self._local_graphs[shard],
+                        len(self.partition.shard_vertices[shard]),
+                        b,
+                        plans[shard],
+                        csr=self._shard_csrs[shard].matrix,
+                    )
+                    for shard in dirty
+                }
+            new_rows: Dict[int, ShardRows] = {}
+            for shard in dirty:
+                patch = patches[shard]
+                stats.rows_refreshed += int(patch["sources"])
+                stats.row_touches += int(patch["touches"])
+                new_rows[shard] = apply_row_patch(
+                    self._boundary_state.rows[shard], patch
+                )
+            table, state, stats = refresh_boundary(
+                self.partition,
+                self._overlay,
+                self._boundary_state,
+                new_rows,
+                version=version,
+                stats=stats,
+            )
+            self._boundary_state = state
+            self._m_boundary_rows.inc(stats.rows_refreshed)
+            self._m_boundary_cells.inc(stats.closure_cells)
+            for stage in stats.fallbacks:
+                self._m_boundary_full.inc(1, stage=stage)
+            if sp.active:
+                sp.set(
+                    aff_norm=stats.aff_norm,
+                    diff=stats.diff_cells,
+                    ops_total=stats.ops_total,
+                    rows_refreshed=stats.rows_refreshed,
+                    closure_cells=stats.closure_cells,
+                    outd_cells=stats.outd_cells,
+                    fallbacks=len(stats.fallbacks),
+                )
+        return table, stats
 
     def _apply_local(self, shard: int, sub_batch) -> None:
         """Mirror a shard's updates onto the coordinator's graph copy."""
         graph = self._local_graphs[shard]
+        csr = self._shard_csrs[shard]
         to_local = self._to_local[shard]
         for (u, v), w in sub_batch:
-            graph.set_weight(int(to_local[u]), int(to_local[v]), w)
+            lu, lv = int(to_local[u]), int(to_local[v])
+            graph.set_weight(lu, lv, w)
+            csr.set_weight(lu, lv, w)
 
     # -- lifecycle -----------------------------------------------------
     def stats(self) -> Dict[str, object]:

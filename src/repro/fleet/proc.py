@@ -40,6 +40,8 @@ def _shard_worker_main(
     cache_capacity: int,
 ) -> None:
     """Worker entry: build the shard server, answer RPCs until stopped."""
+    from repro.fleet.boundary import ShardCSR, scoped_row_patch
+    from repro.fleet.partition import build_shard_graph
     from repro.fleet.shard import ShardServer
 
     try:
@@ -52,6 +54,11 @@ def _shard_worker_main(
             cache_capacity=cache_capacity,
             workers=1,
         )
+        # The shard server's own graph is frozen inside epoch 0's oracle
+        # snapshot, so row Dijkstras run on a dedicated mirror that the
+        # apply handler keeps current.
+        mirror = build_shard_graph(graph, partition, shard)
+        mirror_csr = ShardCSR(mirror)
         snapshots = {}
         token, epoch = server.pin()
         snapshots[epoch] = token
@@ -92,6 +99,10 @@ def _shard_worker_main(
                 else:
                     token, epoch, report = server.apply(updates)
                 snapshots[epoch] = token
+                for (lu, lv), w in server.translate(updates):
+                    mirror.set_weight(lu, lv, w)
+                    mirror_csr.set_weight(lu, lv, w)
+                aff = report.aff_vertices
                 conn.send(
                     (
                         "ok",
@@ -101,9 +112,37 @@ def _shard_worker_main(
                             "affected": report.affected,
                             "carried": report.carried,
                             "evicted": report.evicted,
+                            "state": report.state,
+                            "deferred": report.deferred,
+                            "dropped": report.dropped,
+                            "aff_vertices": (
+                                None if aff is None else sorted(aff)
+                            ),
                         },
                     )
                 )
+            elif kind == "rows":
+                _kind, plan, ctx = message
+                context = TraceContext.from_dict(ctx) if ctx else None
+                boundary = len(partition.boundary)
+                if context is not None:
+                    with use_context(context):
+                        patch = scoped_row_patch(
+                            mirror,
+                            server.interior,
+                            boundary,
+                            plan,
+                            csr=mirror_csr.matrix,
+                        )
+                else:
+                    patch = scoped_row_patch(
+                        mirror,
+                        server.interior,
+                        boundary,
+                        plan,
+                        csr=mirror_csr.matrix,
+                    )
+                conn.send(("ok", patch))
             elif kind == "stats":
                 conn.send(("ok", server.stats()))
             elif kind == "metrics":
@@ -179,10 +218,34 @@ class ShardProcessHandle:
         return self._collect()
 
     def apply(self, updates):
+        self.request_apply(updates)
+        return self.collect_apply()
+
+    def request_apply(self, updates) -> None:
+        """Fire the apply RPC without blocking on the reply.
+
+        Pair with :meth:`collect_apply`; the coordinator fans requests
+        out to every dirty shard first so the workers prepare in
+        parallel, then collects in the same order.
+        """
         self._conn.send(("apply", list(updates), self._ctx_dict()))
+
+    def collect_apply(self):
         epoch, report = self._collect()
         self._epoch = epoch
         return epoch, epoch, report
+
+    def request_rows(self, plan) -> None:
+        """Fire an AFF-scoped row-sweep RPC (see ``scoped_row_patch``).
+
+        ``plan`` is ``None`` for a full sweep or ``(dirty_cols,
+        aff_rows)``; the worker runs the Dijkstras on its own mirror
+        graph so dirty shards sweep concurrently across processes.
+        """
+        self._conn.send(("rows", plan, self._ctx_dict()))
+
+    def collect_rows(self):
+        return self._collect()
 
     def stats(self) -> Dict[str, object]:
         self._conn.send(("stats",))

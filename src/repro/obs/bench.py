@@ -146,14 +146,23 @@ class BenchComparison:
     def regressions(self) -> List[BenchDelta]:
         """Gated metrics that moved the wrong way beyond the threshold.
 
-        The gate watches ``latency_us.p95`` (higher is worse) and
-        ``throughput_qps`` (lower is worse).
+        The gate watches ``latency_us.p95`` (higher is worse),
+        ``throughput_qps`` (lower is worse), and any flattened
+        ``extra.*publish_latency_us.mean`` (higher is worse — this is
+        how CI holds the fleet's incremental boundary refresh to its
+        publish-latency win).
         """
         bad: List[BenchDelta] = []
         for delta in self.deltas:
             if delta.metric == "latency_us.p95" and delta.pct > self.threshold:
                 bad.append(delta)
             if delta.metric == "throughput_qps" and delta.pct < -self.threshold:
+                bad.append(delta)
+            if (
+                delta.metric.startswith("extra.")
+                and delta.metric.endswith("publish_latency_us.mean")
+                and delta.pct > self.threshold
+            ):
                 bad.append(delta)
         return bad
 
@@ -171,6 +180,18 @@ def _flatten(record: dict) -> Dict[str, float]:
     tput = record.get("throughput_qps")
     if isinstance(tput, (int, float)) and not isinstance(tput, bool):
         flat["throughput_qps"] = float(tput)
+    # Numeric extras (one level of nesting) so comparable harness-
+    # specific figures — e.g. the fleet's publish-latency percentiles —
+    # show up as extra.<key>[.<subkey>] deltas and can be gated.
+    for key, value in (record.get("extra") or {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[f"extra.{key}"] = float(value)
+        elif isinstance(value, dict):
+            for sub, subval in value.items():
+                if isinstance(subval, (int, float)) and not isinstance(
+                    subval, bool
+                ):
+                    flat[f"extra.{key}.{sub}"] = float(subval)
     return flat
 
 

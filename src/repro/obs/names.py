@@ -123,6 +123,13 @@ FLEET_BOUNDARY_VERTICES = "repro_fleet_boundary_vertices"
 FLEET_BOUNDARY_REBUILD = "repro_fleet_boundary_rebuild_seconds"
 FLEET_SHARD_UPDATES = "repro_fleet_shard_updates_total"
 
+# Incremental boundary refresh (docs/sharding.md § Incremental boundary
+# refresh): Dijkstra row sources rerun, closure/OUTD cells relaxed, and
+# stage-level reversions to the full rebuild path.
+FLEET_BOUNDARY_ROWS_REFRESHED = "repro_fleet_boundary_rows_refreshed_total"
+FLEET_BOUNDARY_CLOSURE_CELLS = "repro_fleet_boundary_closure_cells_total"
+FLEET_BOUNDARY_FULL_REBUILDS = "repro_fleet_boundary_full_rebuilds_total"
+
 #: Metrics registered by :class:`repro.fleet.coordinator.FleetCoordinator`.
 FLEET_METRICS = frozenset(
     {
@@ -135,6 +142,9 @@ FLEET_METRICS = frozenset(
         FLEET_BOUNDARY_VERTICES,
         FLEET_BOUNDARY_REBUILD,
         FLEET_SHARD_UPDATES,
+        FLEET_BOUNDARY_ROWS_REFRESHED,
+        FLEET_BOUNDARY_CLOSURE_CELLS,
+        FLEET_BOUNDARY_FULL_REBUILDS,
     }
 )
 
@@ -185,6 +195,7 @@ SPAN_FLEET_APPLY = "fleet.apply"
 SPAN_FLEET_PREPARE = "fleet.prepare"
 SPAN_FLEET_COMMIT = "fleet.commit"
 SPAN_FLEET_BOUNDARY_REBUILD = "fleet.boundary.rebuild"
+SPAN_FLEET_BOUNDARY_INCREMENTAL = "fleet.boundary.incremental"
 
 #: Every span name the library itself opens.
 SPANS = frozenset(
@@ -219,5 +230,6 @@ SPANS = frozenset(
         SPAN_FLEET_PREPARE,
         SPAN_FLEET_COMMIT,
         SPAN_FLEET_BOUNDARY_REBUILD,
+        SPAN_FLEET_BOUNDARY_INCREMENTAL,
     }
 )

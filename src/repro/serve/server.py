@@ -130,6 +130,10 @@ class ServeReport:
     #: the same edge / zero net change) — docs/performance.md § Coalescing.
     superseded: int = 0
     dropped: int = 0
+    #: The publish's V_aff as vertex ids (None: unknown / nothing
+    #: published).  Consumed by the fleet coordinator to scope the
+    #: boundary-table refresh to what this shard actually touched.
+    aff_vertices: Optional[frozenset] = field(default=None, repr=False)
 
 
 class DistanceServer:
@@ -553,6 +557,7 @@ class DistanceServer:
                 report=report,
                 state=self.state.value,
                 epsilon=self.epsilon,
+                aff_vertices=None if aff is None else frozenset(aff),
                 superseded=superseded,
                 dropped=dropped,
             )

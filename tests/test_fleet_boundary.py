@@ -1,0 +1,380 @@
+"""Incremental boundary refresh differential battery.
+
+The AFF-scoped incremental refresh (docs/sharding.md § Incremental
+boundary refresh) must be indistinguishable from the kept from-scratch
+``build_boundary`` path: after every publish the coordinator's carried
+table is compared array-for-array against a fresh rebuild over the
+same shard graphs and overlay.  Comparisons canonicalize entries at or
+above ``VIRTUAL_CUTOFF`` to ``inf`` first — real distances are exactly
+bit-identical in float64, but virtual-chain pollution (sums of >= 16
+virtual hops exceed 2^53) may round differently under different
+relaxation orders, and readers map everything past the cutoff to
+``inf`` anyway (``combo``/``combo_many``), so the canonical table is
+the serving-visible one.
+
+The battery covers seeded undirected and directed workloads across
+>= 3 epochs with true increases *and* true decreases (restoring
+previously doubled edges), a hypothesis property over arbitrary
+increase/restore/no-op interleavings, and unit tests for each stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dijkstra import distance as dijkstra_distance
+from repro.directed.graph import DiRoadNetwork
+from repro.fleet import FleetCoordinator
+from repro.fleet.boundary import (
+    VIRTUAL_CUTOFF,
+    _closure,
+    _dense_dijkstra_row,
+    _min_plus,
+    build_boundary_state,
+    initial_overlay,
+    local_shard_graphs,
+    plan_row_refresh,
+    refresh_boundary_local,
+)
+from repro.graph.generators import road_network
+from repro.obs import names
+from repro.workloads.updates import increase_batch, restore_batch, sample_edges
+
+EPOCHS = 3
+
+
+def canon(array: np.ndarray) -> np.ndarray:
+    """Map virtual-chain pollution (>= cutoff) to inf; copy otherwise."""
+    out = np.asarray(array, dtype=float).copy()
+    out[out >= VIRTUAL_CUTOFF] = np.inf
+    return out
+
+
+def assert_tables_identical(got, want):
+    """Canonicalized bit-identity across every array of two tables."""
+    assert np.array_equal(got.boundary, want.boundary)
+    for name in ("db", "row_out", "row_in", "outd"):
+        g, w = canon(getattr(got, name)), canon(getattr(want, name))
+        assert np.array_equal(g, w), f"{name} diverged"
+
+
+def fresh_reference_table(fleet: FleetCoordinator):
+    """From-scratch rebuild over the coordinator's own mirrors."""
+    table, _state = build_boundary_state(
+        fleet.partition,
+        fleet._local_graphs,
+        fleet._overlay,
+        version=fleet.snapshot().boundary.version,
+    )
+    return table
+
+
+def _counter_total(fleet: FleetCoordinator, metric: str) -> int:
+    entry = fleet.metrics.snapshot().get(metric, {})
+    return int(
+        sum(row.get("value", 0) for row in entry.get("series", ()))
+    )
+
+
+# ----------------------------------------------------------------------
+# Coordinator-level differentials (>= 3 epochs, true decreases)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("oracle", ["h2h", "ch"])
+def test_incremental_matches_full_rebuild_undirected(oracle):
+    graph = road_network(120, seed=3)
+    fleet = FleetCoordinator(graph.copy(), shards=4, oracle=oracle, workers=1)
+    rng = np.random.default_rng(11)
+    pairs = [
+        (int(rng.integers(graph.n)), int(rng.integers(graph.n)))
+        for _ in range(60)
+    ]
+    raised = []
+    try:
+        assert_tables_identical(fleet.snapshot().boundary, fresh_reference_table(fleet))
+        for epoch in range(EPOCHS * 2):
+            if epoch % 2 == 0:
+                edges = sample_edges(graph, 6, seed=40 + epoch)
+                batch = increase_batch(edges, factor=2.0)
+                raised.append(restore_batch(edges))
+            else:
+                batch = raised.pop()  # true decreases: back to old weights
+            report = fleet.apply(batch)
+            graph.apply_batch(batch)
+            assert report.boundary_stats is not None
+            assert not report.boundary_stats.full_rebuild
+            assert_tables_identical(
+                fleet.snapshot().boundary, fresh_reference_table(fleet)
+            )
+            for s, t in pairs[:20]:
+                assert fleet.distance(s, t) == dijkstra_distance(graph, s, t)
+    finally:
+        fleet.close()
+
+
+def test_incremental_matches_full_rebuild_directed():
+    base = road_network(100, seed=2)
+    rng = np.random.default_rng(5)
+    graph = DiRoadNetwork(base.n)
+    for u, v, w in base.edges():
+        graph.add_arc(u, v, float(int(w)))
+        graph.add_arc(v, u, float(int(w) + int(rng.integers(0, 5))))
+    fleet = FleetCoordinator(graph, shards=3, oracle="ch", workers=1)
+    arcs = list(graph.arcs())
+    try:
+        for epoch in range(EPOCHS):
+            chunk = arcs[epoch * 7 : (epoch + 1) * 7]
+            batch = [((u, v), w * 2.0) for u, v, w in chunk]
+            fleet.apply(batch)
+            for (u, v), w in batch:
+                graph.set_weight(u, v, w)
+            assert_tables_identical(
+                fleet.snapshot().boundary, fresh_reference_table(fleet)
+            )
+            # true decreases: restore the arcs this epoch doubled
+            restore = [((u, v), w) for u, v, w in chunk]
+            fleet.apply(restore)
+            for (u, v), w in restore:
+                graph.set_weight(u, v, w)
+            assert_tables_identical(
+                fleet.snapshot().boundary, fresh_reference_table(fleet)
+            )
+    finally:
+        fleet.close()
+
+
+def test_incremental_and_disabled_coordinators_agree():
+    graph = road_network(90, seed=6)
+    inc = FleetCoordinator(graph.copy(), shards=3, oracle="h2h", workers=1)
+    full = FleetCoordinator(
+        graph.copy(), shards=3, oracle="h2h", workers=1, incremental=False
+    )
+    try:
+        for epoch in range(EPOCHS):
+            edges = sample_edges(graph, 5, seed=70 + epoch)
+            batch = (
+                increase_batch(edges, factor=2.0)
+                if epoch % 2 == 0
+                else restore_batch(edges)
+            )
+            rep_inc = inc.apply(batch)
+            rep_full = full.apply(batch)
+            graph.apply_batch(batch)
+            assert rep_inc.boundary_stats is not None
+            assert rep_full.boundary_stats is None  # reference path
+            assert_tables_identical(
+                inc.snapshot().boundary, full.snapshot().boundary
+            )
+        # the disabled path counts itself under the stage="disabled" label
+        entry = full.metrics.snapshot().get(
+            names.FLEET_BOUNDARY_FULL_REBUILDS, {}
+        )
+        stages = {
+            row["labels"].get("stage"): row["value"]
+            for row in entry.get("series", ())
+        }
+        assert stages.get("disabled", 0) >= EPOCHS
+    finally:
+        inc.close()
+        full.close()
+
+
+def test_refresh_metrics_and_span_accounting():
+    graph = road_network(110, seed=8)
+    fleet = FleetCoordinator(graph.copy(), shards=4, oracle="h2h", workers=1)
+    try:
+        before = _counter_total(fleet, names.FLEET_BOUNDARY_ROWS_REFRESHED)
+        report = fleet.apply(
+            increase_batch(sample_edges(graph, 6, seed=90), factor=2.0)
+        )
+        stats = report.boundary_stats
+        assert stats is not None
+        assert stats.ops_total == (
+            stats.row_touches + stats.closure_cells + stats.outd_cells
+        )
+        assert stats.aff_norm > 0
+        after = _counter_total(fleet, names.FLEET_BOUNDARY_ROWS_REFRESHED)
+        assert after - before == stats.rows_refreshed
+        assert report.boundary_s >= 0.0
+    finally:
+        fleet.close()
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: arbitrary increase/restore/no-op interleavings
+# ----------------------------------------------------------------------
+
+interleaving_settings = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def scripts(draw):
+    rounds = draw(st.integers(min_value=2, max_value=4))
+    script = [
+        draw(st.sampled_from(["inc", "dec", "noop"])) for _ in range(rounds)
+    ]
+    return script, draw(st.integers(min_value=0, max_value=3))
+
+
+def _run_script(fleet, graph, script, seed):
+    raised = []
+    for round_no, action in enumerate(script):
+        if action == "inc":
+            edges = sample_edges(graph, 3, seed=seed * 100 + round_no)
+            batch = increase_batch(edges, factor=2.0)
+            raised.append(restore_batch(edges))
+        elif action == "dec" and raised:
+            batch = raised.pop()  # true decrease back to old weights
+        else:
+            # no-op: rewrite current weights (publishes, changes nothing)
+            batch = restore_batch(
+                sample_edges(graph, 3, seed=seed * 100 + round_no)
+            )
+        fleet.apply(batch)
+        graph.apply_batch(batch)
+        assert_tables_identical(
+            fleet.snapshot().boundary, fresh_reference_table(fleet)
+        )
+
+
+@interleaving_settings
+@given(scripts())
+def test_interleaving_property_undirected(data):
+    script, seed = data
+    graph = road_network(48, seed=seed)
+    fleet = FleetCoordinator(graph.copy(), shards=2, oracle="h2h", workers=1)
+    try:
+        _run_script(fleet, graph, script, seed)
+    finally:
+        fleet.close()
+
+
+@interleaving_settings
+@given(scripts())
+def test_interleaving_property_directed(data):
+    script, seed = data
+    base = road_network(40, seed=seed)
+    rng = np.random.default_rng(seed)
+    graph = DiRoadNetwork(base.n)
+    for u, v, w in base.edges():
+        graph.add_arc(u, v, float(int(w)))
+        graph.add_arc(v, u, float(int(w) + int(rng.integers(0, 4))))
+    fleet = FleetCoordinator(graph, shards=2, oracle="ch", workers=1)
+    arcs = list(graph.arcs())
+    raised = []
+    try:
+        for round_no, action in enumerate(script):
+            lo = (round_no * 5) % max(1, len(arcs) - 5)
+            chunk = arcs[lo : lo + 5]
+            if action == "inc":
+                batch = [((u, v), w * 2.0) for u, v, w in chunk]
+                raised.append([((u, v), w) for u, v, w in chunk])
+            elif action == "dec" and raised:
+                batch = raised.pop()
+            else:
+                batch = [((u, v), graph.weight(u, v)) for u, v, _ in chunk]
+            fleet.apply(batch)
+            for (u, v), w in batch:
+                graph.set_weight(u, v, w)
+            assert_tables_identical(
+                fleet.snapshot().boundary, fresh_reference_table(fleet)
+            )
+    finally:
+        fleet.close()
+
+
+# ----------------------------------------------------------------------
+# Stage unit tests
+# ----------------------------------------------------------------------
+
+
+def test_min_plus_matches_naive():
+    rng = np.random.default_rng(0)
+    rows = rng.integers(1, 50, size=(9, 5)).astype(float)
+    db = rng.integers(1, 50, size=(5, 5)).astype(float)
+    rows[rng.random(rows.shape) < 0.3] = np.inf
+    db[rng.random(db.shape) < 0.3] = np.inf
+    naive = np.full((9, 5), np.inf)
+    for i in range(9):
+        for j in range(5):
+            naive[i, j] = np.min(rows[i] + db[:, j])
+    assert np.array_equal(_min_plus(rows, db, block=4), naive)
+    assert _min_plus(np.empty((0, 5)), db).shape == (0, 5)
+    assert _min_plus(np.empty((5, 0)), np.empty((0, 0))).shape == (5, 0)
+
+
+def test_closure_skips_unreachable_pivots_exactly():
+    rng = np.random.default_rng(1)
+    base = rng.integers(1, 30, size=(7, 7)).astype(float)
+    base[rng.random(base.shape) < 0.4] = np.inf
+    base[3, :] = np.inf  # all-inf pivot row: must be skipped, not wrong
+    np.fill_diagonal(base, 0.0)
+    reference = base.copy()
+    for k in range(7):
+        reference = np.minimum(
+            reference, reference[:, k, None] + reference[None, k, :]
+        )
+    count = [0]
+    closed = _closure(base.copy(), count=count)
+    assert np.array_equal(closed, reference)
+    assert 0 < count[0] <= 7 * 7 * 7
+
+
+def test_dense_dijkstra_row_matches_closure_row():
+    rng = np.random.default_rng(2)
+    base = rng.integers(1, 40, size=(8, 8)).astype(float)
+    base[rng.random(base.shape) < 0.35] = np.inf
+    np.fill_diagonal(base, 0.0)
+    closed = _closure(base.copy())
+    for source in range(8):
+        assert np.array_equal(_dense_dijkstra_row(base, source), closed[source])
+
+
+def test_plan_row_refresh_scoping_and_fallback():
+    assert plan_row_refresh(10, 5, None) is None  # unknown AFF
+    # scoped sweep not smaller than the full |B|-source sweep
+    assert plan_row_refresh(10, 2, frozenset({0, 1, 10})) is None
+    cols, rows = plan_row_refresh(10, 5, frozenset({3, 7, 11, 14}))
+    assert cols == [1, 4]  # local ids 11, 14 -> boundary slots 1, 4
+    assert rows == [3, 7]
+    assert plan_row_refresh(10, 5, frozenset()) == ([], [])
+
+
+def test_refresh_boundary_local_matches_full_rebuild():
+    graph = road_network(70, seed=4)
+    fleet = FleetCoordinator(graph.copy(), shards=3, oracle="ch", workers=1)
+    partition = fleet.partition
+    fleet.close()
+    shard_graphs = local_shard_graphs(graph, partition)
+    overlay = initial_overlay(graph, partition)
+    _table, state = build_boundary_state(
+        partition, shard_graphs, overlay, version=0
+    )
+    # mutate one shard's interior weights directly on its mirror
+    edges = [
+        (u, v, w) for u, v, w in shard_graphs[0].edges() if w < VIRTUAL_CUTOFF
+    ][:4]
+    for u, v, w in edges:
+        shard_graphs[0].set_weight(u, v, w * 2.0)
+    # unknown AFF forces the full row sweep for that shard; the closure
+    # and OUTD stages still run incrementally off the carried state
+    table, state, stats = refresh_boundary_local(
+        partition, shard_graphs, overlay, state, {0: None}, version=1
+    )
+    assert stats.fallbacks and stats.fallbacks[0] == "rows"
+    want, _ = build_boundary_state(partition, shard_graphs, overlay, version=1)
+    assert_tables_identical(table, want)
+    # a second no-op refresh shares every array with the carried table
+    table2, _state2, stats2 = refresh_boundary_local(
+        partition, shard_graphs, overlay, state, {}, version=2
+    )
+    assert stats2.ops_total == 0
+    assert table2.db is table.db and table2.outd is table.outd

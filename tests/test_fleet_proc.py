@@ -14,9 +14,10 @@ import pytest
 
 from repro.baselines.dijkstra import distance as dijkstra_distance
 from repro.fleet import FleetCoordinator
+from repro.fleet.boundary import build_boundary_state
 from repro.graph.generators import road_network
 from repro.perf.parallel import shared_memory_available
-from repro.workloads.updates import increase_batch, sample_edges
+from repro.workloads.updates import increase_batch, restore_batch, sample_edges
 
 pytestmark = pytest.mark.skipif(
     not shared_memory_available(),
@@ -55,5 +56,45 @@ def test_process_fleet_matches_dijkstra_across_epochs():
         assert fleet.snapshot().fleet_epoch == 2
         stats = fleet.stats()
         assert [row["shard"] for row in stats["per_shard"]] == [0, 1]
+    finally:
+        fleet.close()
+
+
+def test_process_fleet_incremental_refresh_matches_full_rebuild():
+    """The worker-side ``rows`` RPC keeps the incremental table exact.
+
+    Workers maintain a mirror shard graph for scoped Dijkstra patches;
+    after increase and true-decrease publishes the coordinator's carried
+    boundary table must equal a from-scratch rebuild over its own
+    mirrors (canonicalizing virtual-chain pollution, as in
+    tests/test_fleet_boundary.py).
+    """
+    from test_fleet_boundary import assert_tables_identical
+
+    graph = road_network(70, seed=4)
+    fleet = FleetCoordinator(
+        graph.copy(), shards=2, oracle="ch", processes=True
+    )
+    try:
+        raised = []
+        for round_no in range(4):
+            if round_no % 2 == 0:
+                edges = sample_edges(graph, 4, seed=60 + round_no)
+                batch = increase_batch(edges, factor=2.0)
+                raised.append(restore_batch(edges))
+            else:
+                batch = raised.pop()  # true decreases
+            report = fleet.apply(batch)
+            graph.apply_batch(batch)
+            assert report.boundary_stats is not None
+            reference, _ = build_boundary_state(
+                fleet.partition,
+                fleet._local_graphs,
+                fleet._overlay,
+                version=fleet.snapshot().boundary.version,
+            )
+            assert_tables_identical(fleet.snapshot().boundary, reference)
+        for s, t in [(0, graph.n - 1), (3, 40), (11, 55)]:
+            assert fleet.distance(s, t) == dijkstra_distance(graph, s, t)
     finally:
         fleet.close()
